@@ -1,0 +1,114 @@
+// Command pilotstudy regenerates every table and figure of the paper's
+// evaluation (§4) from the simulated RIPE-Atlas-like platform:
+//
+//	pilotstudy                  # everything, at full paper scale
+//	pilotstudy -table 4         # just Table 4
+//	pilotstudy -figure 3        # just Figure 3
+//	pilotstudy -scale 0.1       # a 1,000-probe quick run
+//	pilotstudy -csv             # machine-readable Table 4
+//	pilotstudy -accuracy        # ground-truth scoring of the technique
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dnswatch/dnsloc/internal/analysis"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1.0, "study scale factor (1.0 = ~10,000 probes)")
+		seed     = flag.Int64("seed", 0, "override the spec's deterministic seed")
+		table    = flag.Int("table", 0, "print only this table (1-5)")
+		figure   = flag.Int("figure", 0, "print only this figure (3-4)")
+		csv      = flag.Bool("csv", false, "emit Table 4 as CSV")
+		jsonOut  = flag.String("json", "", "write the full per-probe results as JSON to this file")
+		accuracy = flag.Bool("accuracy", false, "also print ground-truth accuracy scoring")
+		ext      = flag.String("ext", "", "extension experiment: 'ttl' (hop ladders), 'patterns' (§4.1.1 families), or 'population' (platform bias)")
+	)
+	flag.Parse()
+
+	// Tables 1-3 need no study run.
+	if *table == 1 {
+		fmt.Println(analysis.FormatTable1())
+		return
+	}
+	if *table == 2 || *table == 3 {
+		rows := study.ExampleScenario()
+		if *table == 2 {
+			fmt.Println(analysis.FormatTable2(rows))
+		} else {
+			fmt.Println(analysis.FormatTable3(rows))
+		}
+		return
+	}
+
+	spec := study.PaperSpec()
+	if *scale != 1.0 {
+		spec = spec.Scale(*scale)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	fmt.Fprintf(os.Stderr, "building world: %d probes, %d interception seats...\n",
+		spec.TotalProbes, spec.TotalSeats())
+	world := study.BuildWorld(spec)
+	fmt.Fprintf(os.Stderr, "running the technique from every responding probe...\n")
+	results := study.Run(world)
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pilotstudy: encoding json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pilotstudy: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+
+	t4 := analysis.BuildTable4(results)
+	if *csv {
+		fmt.Print(analysis.CSVTable4(t4))
+		return
+	}
+	switch {
+	case *table == 4:
+		fmt.Println(analysis.FormatTable4(t4))
+	case *table == 5:
+		fmt.Println(analysis.FormatTable5(analysis.BuildTable5(results)))
+	case *figure == 3:
+		fmt.Println(analysis.FormatFigure3(analysis.BuildFigure3(results, 15)))
+	case *figure == 4:
+		fmt.Println(analysis.FormatFigure4(analysis.BuildFigure4(results, 15)))
+	default:
+		fmt.Println(analysis.FormatTable1())
+		rows := study.ExampleScenario()
+		fmt.Println(analysis.FormatTable2(rows))
+		fmt.Println(analysis.FormatTable3(rows))
+		fmt.Println(analysis.FormatTable4(t4))
+		fmt.Println(analysis.FormatTable5(analysis.BuildTable5(results)))
+		fmt.Println(analysis.FormatFigure3(analysis.BuildFigure3(results, 15)))
+		fmt.Println(analysis.FormatFigure4(analysis.BuildFigure4(results, 15)))
+	}
+	if *accuracy {
+		fmt.Println(analysis.FormatAccuracy(analysis.BuildAccuracy(results)))
+	}
+	switch *ext {
+	case "ttl":
+		fmt.Fprintf(os.Stderr, "running TTL ladders from intercepted probes...\n")
+		stats := study.RunTTLExtension(results, 50, 10)
+		fmt.Println(analysis.FormatTTLExtension(stats))
+	case "patterns":
+		fmt.Println(analysis.FormatPatternBreakdown(analysis.BuildPatternBreakdown(results, "IPv4")))
+		fmt.Println(analysis.FormatPatternBreakdown(analysis.BuildPatternBreakdown(results, "IPv6")))
+	case "population":
+		fmt.Println(analysis.FormatPopulation(analysis.BuildPopulation(results)))
+	}
+}

@@ -1,0 +1,94 @@
+package dnsloc_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runCmd executes one of the repository's commands via `go run` and
+// returns combined output. These are end-to-end CLI smoke tests: flags
+// parse, worlds build, output renders.
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIDnslocSimXB6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests compile binaries; skipped in -short mode")
+	}
+	out, err := runCmd(t, "./cmd/dnsloc", "-sim", "xb6")
+	// Interception detected -> exit code 1, which `go run` surfaces.
+	if err == nil {
+		t.Errorf("expected nonzero exit for an intercepted home")
+	}
+	for _, want := range []string{"intercepted by CPE", "dnsmasq-2.78", "NON-STANDARD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDnslocList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := runCmd(t, "./cmd/dnsloc", "-list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"xb6", "isp-middlebox", "cpe-chaos-relay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario list missing %q", want)
+		}
+	}
+}
+
+func TestCLIPilotstudySmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := runCmd(t, "./cmd/pilotstudy", "-scale", "0.02", "-table", "4")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"Table 4", "Cloudflare DNS", "All Intercepted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDnsmonSimRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := runCmd(t, "./cmd/dnsmon", "-sim", "pihole", "-count", "2", "-interval", "0")
+	if err == nil {
+		t.Error("expected exit 1 after observing interception")
+	}
+	if strings.Count(out, "round=") != 2 {
+		t.Errorf("rounds:\n%s", out)
+	}
+	if !strings.Contains(out, "dnsmasq-pi-hole") {
+		t.Errorf("fingerprint missing:\n%s", out)
+	}
+}
+
+func TestCLIXB6Lab(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := runCmd(t, "./cmd/xb6lab")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"dnat", "spoofing source", "intercepted by CPE", "well-behaved router"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("case study missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package dnsloc detects transparent DNS interception and localizes the
+// interceptor: the home router (CPE), the ISP, or beyond. It implements
+// the three-step, client-side technique of "Home is Where the Hijacking
+// is: Understanding DNS Interception by Residential Routers"
+// (Randall et al., IMC 2021):
+//
+//  1. Location queries — CHAOS/TXT debugging queries (id.server,
+//     o-o.myaddr.l.google.com, debug.opendns.com) whose answers have a
+//     distinctive per-operator format that an alternate resolver cannot
+//     reproduce. A non-standard answer means the query was intercepted.
+//  2. CPE test — version.bind sent to the CPE's own public address and
+//     to the intercepted resolvers; identical strings implicate the CPE,
+//     because DNAT-based interceptors answer both with the same
+//     forwarder.
+//  3. ISP test — queries to unroutable (bogon) destinations; an answer
+//     proves an interceptor inside the client's AS.
+//
+// The technique needs nothing but the ability to send DNS queries. The
+// same Detector runs over a real network (NewUDPClient) or inside the
+// packet-level simulator that ships with this module (NewSimHome and
+// the cmd/pilotstudy study harness), which models homes, CPE NAT/DNAT,
+// ISPs, middleboxes, and the four public resolver operators.
+//
+// Quick start:
+//
+//	lab := dnsloc.NewSimHome(dnsloc.ScenarioXB6)
+//	report := lab.Detector().Run()
+//	fmt.Println(report)   // "verdict: intercepted by CPE", fingerprint, ...
+//
+// On a live network:
+//
+//	det := &dnsloc.Detector{
+//		Client:      dnsloc.NewUDPClient(2 * time.Second),
+//		CPEPublicV4: myPublicAddr, // e.g. from the operator or router UI
+//		QueryV6:     true,
+//	}
+//	report := det.Run()
+package dnsloc
+
+import (
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// Detector runs the three-step localization technique. See the package
+// documentation for the protocol.
+type Detector = core.Detector
+
+// Report is a detector run's full output.
+type Report = core.Report
+
+// ProbeResult is one raw query observation inside a Report.
+type ProbeResult = core.ProbeResult
+
+// Client is the detector's transport abstraction.
+type Client = core.Client
+
+// Verdict is the localization conclusion.
+type Verdict = core.Verdict
+
+// Verdicts.
+const (
+	VerdictNotIntercepted = core.VerdictNotIntercepted
+	VerdictCPE            = core.VerdictCPE
+	VerdictISP            = core.VerdictISP
+	VerdictUnknown        = core.VerdictUnknown
+)
+
+// Transparency classifies interceptor behaviour toward ordinary queries.
+type Transparency = core.Transparency
+
+// Transparency classes.
+const (
+	Transparent      = core.Transparent
+	StatusModified   = core.StatusModified
+	TransparencyBoth = core.TransparencyBoth
+	TransparencyNA   = core.TransparencyNA
+)
+
+// ErrTimeout reports that a query received no response.
+var ErrTimeout = core.ErrTimeout
+
+// Family is an IP address family in probe results.
+type Family = core.Family
+
+// Families.
+const (
+	FamilyV4 = core.V4
+	FamilyV6 = core.V6
+)
+
+// ResolverID identifies a public resolver operator.
+type ResolverID = publicdns.ID
+
+// The four operators the technique probes.
+const (
+	Cloudflare = publicdns.Cloudflare
+	Google     = publicdns.Google
+	Quad9      = publicdns.Quad9
+	OpenDNS    = publicdns.OpenDNS
+)
+
+// AllResolvers lists the four operators in the paper's order.
+var AllResolvers = publicdns.All
+
+// SimHome is a self-contained simulated home network: one probe host
+// behind a configurable CPE, an ISP, and the simulated public Internet
+// (all four resolver operators, the DNS root, and supporting zones).
+type SimHome = homelab.Lab
+
+// Scenario selects a SimHome configuration.
+type Scenario = homelab.Scenario
+
+// Built-in scenarios.
+const (
+	// ScenarioClean is a well-behaved home: no interception.
+	ScenarioClean = homelab.Clean
+	// ScenarioXB6 reproduces the paper's §5 case study: an XB6 router
+	// whose XDNS firewall DNATs all LAN port-53 traffic to the ISP
+	// resolver.
+	ScenarioXB6 = homelab.XB6
+	// ScenarioPiHole is owner-intended interception via a Pi-hole.
+	ScenarioPiHole = homelab.PiHole
+	// ScenarioOpenForwarder answers DNS on its WAN port without
+	// intercepting (Appendix A's confounder).
+	ScenarioOpenForwarder = homelab.OpenForwarder
+	// ScenarioISPMiddlebox intercepts in the ISP, bogons included.
+	ScenarioISPMiddlebox = homelab.ISPMiddlebox
+	// ScenarioISPMiddleboxNoBogon intercepts in the ISP but ignores
+	// bogon destinations, defeating localization.
+	ScenarioISPMiddleboxNoBogon = homelab.ISPMiddleboxNoBogon
+	// ScenarioISPRefusing blocks intercepted resolvers with REFUSED.
+	ScenarioISPRefusing = homelab.ISPRefusing
+	// ScenarioISPMixed blocks some resolvers and resolves others.
+	ScenarioISPMixed = homelab.ISPMixed
+	// ScenarioBeyondISP intercepts in transit, outside the client AS.
+	ScenarioBeyondISP = homelab.BeyondISP
+	// ScenarioCPESelective intercepts only Google's IPv4 addresses.
+	ScenarioCPESelective = homelab.CPESelective
+	// ScenarioCPEChaosRelay reproduces §6's documented misclassification.
+	ScenarioCPEChaosRelay = homelab.CPEChaosRelay
+	// ScenarioReplicating duplicates queries instead of diverting them.
+	ScenarioReplicating = homelab.Replicating
+)
+
+// AllScenarios lists every built-in scenario.
+var AllScenarios = homelab.AllScenarios
+
+// NewSimHome builds a simulated home for a scenario.
+func NewSimHome(s Scenario) *SimHome { return homelab.New(s) }
+
+// ExpectedVerdict returns the verdict the technique reaches for a
+// scenario — including the §6 misclassification, which is documented
+// rather than hidden.
+func ExpectedVerdict(s Scenario) Verdict { return homelab.ExpectedVerdict(s) }

@@ -1,0 +1,75 @@
+package dnsloc_test
+
+import (
+	"testing"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+)
+
+// TestPublicAPIQuickstart is the package documentation's quick start,
+// verified: a simulated XB6 home is detected as CPE-intercepted.
+func TestPublicAPIQuickstart(t *testing.T) {
+	lab := dnsloc.NewSimHome(dnsloc.ScenarioXB6)
+	report := lab.Detector().Run()
+	if report.Verdict != dnsloc.VerdictCPE {
+		t.Fatalf("verdict = %s, want %s", report.Verdict, dnsloc.VerdictCPE)
+	}
+	if !report.Intercepted() {
+		t.Error("Intercepted() = false")
+	}
+}
+
+func TestPublicAPIScenariosAgree(t *testing.T) {
+	for _, s := range dnsloc.AllScenarios {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			report := dnsloc.NewSimHome(s).Detector().Run()
+			if report.Verdict != dnsloc.ExpectedVerdict(s) {
+				t.Errorf("verdict = %s, want %s", report.Verdict, dnsloc.ExpectedVerdict(s))
+			}
+		})
+	}
+}
+
+func TestPublicAPIResolverSet(t *testing.T) {
+	if len(dnsloc.AllResolvers) != 4 {
+		t.Fatalf("AllResolvers = %v", dnsloc.AllResolvers)
+	}
+	lab := dnsloc.NewSimHome(dnsloc.ScenarioClean)
+	d := lab.Detector()
+	d.Resolvers = []dnsloc.ResolverID{dnsloc.Cloudflare, dnsloc.Quad9}
+	r := d.Run()
+	if len(r.Location) != 8 { // 2 operators x 2 addrs x 2 families
+		t.Errorf("len(Location) = %d, want 8", len(r.Location))
+	}
+}
+
+// TestUDPClientAgainstLocalServer exercises the real-network transport
+// against a loopback DNS server built from the same wire codec.
+func TestUDPClientAgainstLocalServer(t *testing.T) {
+	srv := startLoopbackDNS(t)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(2 * time.Second)
+	c.Window = 50 * time.Millisecond
+
+	q := dnsloc.NewVersionBindQuery(7)
+	resps, err := c.Exchange(srv.addrPort, q)
+	if err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	if s, _ := resps[0].FirstTXT(); s != "loopback-test-server" {
+		t.Errorf("answer = %q", s)
+	}
+}
+
+func TestUDPClientTimeout(t *testing.T) {
+	// A port with (almost certainly) nothing listening on loopback.
+	c := dnsloc.NewUDPClient(300 * time.Millisecond)
+	q := dnsloc.NewVersionBindQuery(8)
+	_, err := c.Exchange(mustAddrPort("127.0.0.1:59953"), q)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+}

@@ -1,0 +1,127 @@
+// Extensions: a tour of the measurements the paper proposes as future
+// work (§6) or mentions in passing (§1, §2), all runnable in the
+// simulator:
+//
+//   - TTL-ladder hop localization of the interceptor
+//
+//   - DNS-over-TLS interception (strict vs. opportunistic profiles)
+//
+//   - DNSSEC breakage behind a DNSSEC-oblivious interceptor
+//
+//   - NXDOMAIN wildcarding (redirection, as distinct from interception)
+//
+//     go run ./examples/extensions
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/dnswatch/dnsloc/internal/dnssec"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/dotsim"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+	"github.com/dnswatch/dnsloc/internal/redirect"
+	"github.com/dnswatch/dnsloc/internal/ttlprobe"
+)
+
+// splitLines is a tiny helper for indented printing.
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func main() {
+	google := netip.AddrPortFrom(publicdns.Lookup(publicdns.Google).V4[0], 53)
+	cloudflare := netip.AddrPortFrom(publicdns.Lookup(publicdns.Cloudflare).V4[0], 53)
+
+	fmt.Println("== TTL-ladder hop localization (§6) ==")
+	for _, s := range []homelab.Scenario{homelab.Clean, homelab.XB6, homelab.ISPMiddlebox, homelab.BeyondISP} {
+		lab := homelab.New(s)
+		c := &ttlprobe.SimTTLClient{Net: lab.Net, Host: lab.Probe}
+		res, err := ttlprobe.Ladder(c, google, publicdns.CanaryDomain, 10)
+		if err != nil {
+			fmt.Printf("  %-22s ladder failed: %v\n", s, err)
+			continue
+		}
+		fmt.Printf("  %-22s first answer at TTL %d — %s\n", s, res.FirstTTL, ttlprobe.Classify(res, 5))
+	}
+
+	fmt.Println()
+	fmt.Println("== DNS traceroute (ICMP Time Exceeded) ==")
+	for _, s := range []homelab.Scenario{homelab.Clean, homelab.ISPMiddlebox} {
+		lab := homelab.New(s)
+		c := &ttlprobe.SimTTLClient{Net: lab.Net, Host: lab.Probe}
+		tr, err := ttlprobe.Traceroute(c, google, publicdns.CanaryDomain, 10)
+		if err != nil {
+			fmt.Printf("  %s: %v\n", s, err)
+			continue
+		}
+		fmt.Printf("  scenario %s:\n", s)
+		for _, line := range splitLines(tr.String()) {
+			fmt.Println("    " + line)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("== DNS-over-TLS interception (§6) ==")
+	target := &dotsim.Server{
+		Addr:     cloudflare.Addr(),
+		Cert:     dotsim.Certificate{Subject: cloudflare.Addr(), Trusted: true},
+		Identity: "IAD",
+	}
+	mitm := &dotsim.Interceptor{
+		Cert:    dotsim.Certificate{Subject: cloudflare.Addr(), Trusted: false},
+		Backend: &dotsim.Server{Identity: "unbound"},
+	}
+	validate := func(s string) bool { return publicdns.Lookup(publicdns.Cloudflare).ValidateLocationAnswer(s) }
+	for _, profile := range []dotsim.Profile{dotsim.Strict, dotsim.Opportunistic} {
+		detected, connected := dotsim.DetectInterception(
+			dotsim.Path{Target: target, Interceptor: mitm}, profile, validate)
+		fmt.Printf("  %-14s connected=%-5t interception detected=%t\n", profile, connected, detected)
+	}
+
+	fmt.Println()
+	fmt.Println("== DNSSEC behind an interceptor (§1) ==")
+	for _, s := range []homelab.Scenario{homelab.Clean, homelab.XB6} {
+		lab := homelab.New(s)
+		stub := &dnssec.Stub{
+			Client:      lab.Client(),
+			Resolver:    cloudflare,
+			TrustAnchor: lab.Backbone.TrustAnchor,
+		}
+		res := stub.Resolve(publicdns.CanaryDomain, dnswire.TypeA)
+		status := "SECURE"
+		if !res.Secure {
+			status = fmt.Sprintf("INSECURE (%v)", res.Err)
+		}
+		fmt.Printf("  %-22s %s\n", s, status)
+	}
+
+	fmt.Println()
+	fmt.Println("== NXDOMAIN wildcarding (redirection, §2) ==")
+	lab := homelab.New(homelab.Clean)
+	lab.ISP.Resolver.NXDomainWildcard = netip.MustParseAddr("96.120.0.80")
+	det := &redirect.Detector{Client: lab.Client(), Resolver: lab.ISP.ResolverAddrPort()}
+	res, err := det.Run()
+	if err != nil {
+		fmt.Printf("  detection failed: %v\n", err)
+		return
+	}
+	fmt.Printf("  ISP resolver wildcarded=%t ad servers=%v\n", res.Wildcarded, res.AdServers)
+	pub := &redirect.Detector{Client: lab.Client(), Resolver: cloudflare}
+	if pres, err := pub.Run(); err == nil {
+		fmt.Printf("  cloudflare    wildcarded=%t (honest)\n", pres.Wildcarded)
+	}
+}

@@ -1,0 +1,26 @@
+// Pilotstudy: run a reduced-scale version of the paper's RIPE Atlas
+// pilot study (§4) and print its tables and figures.
+//
+// The full harness lives in cmd/pilotstudy; this example shows the
+// public API: one call builds a ~1,000-probe world across dozens of
+// ISPs and countries, runs the technique from every responding probe,
+// and renders the paper's evaluation artifacts.
+//
+//	go run ./examples/pilotstudy
+package main
+
+import (
+	"fmt"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+)
+
+func main() {
+	out := dnsloc.RunPilotStudy(dnsloc.PilotOptions{Scale: 0.1})
+
+	fmt.Printf("probes: %d   intercepted: %d\n\n", out.Probes, out.Intercepted)
+	fmt.Println(out.Table4)
+	fmt.Println(out.Table5)
+	fmt.Println(out.Figure4)
+	fmt.Println(out.Accuracy)
+}

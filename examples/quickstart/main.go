@@ -1,0 +1,40 @@
+// Quickstart: detect and localize DNS interception in a simulated home.
+//
+// The home behind this probe is an XB6 router with the XDNS bug from the
+// paper's §5 case study: every LAN DNS query is silently DNATed to the
+// ISP resolver. Three steps of queries are enough to (1) notice the
+// interception, (2) pin it on the CPE, and (3) read off the forwarder's
+// fingerprint.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+)
+
+func main() {
+	// Build a simulated home — probe, CPE, ISP, and the public Internet
+	// with all four resolver operators.
+	lab := dnsloc.NewSimHome(dnsloc.ScenarioXB6)
+
+	// The detector gets a transport and the probe's public address
+	// (which a measurement platform like RIPE Atlas provides as
+	// metadata) and runs the full three-step technique.
+	report := lab.Detector().Run()
+
+	fmt.Println(report)
+
+	switch report.Verdict {
+	case dnsloc.VerdictNotIntercepted:
+		fmt.Println("quickstart: this home is clean")
+	case dnsloc.VerdictCPE:
+		fmt.Printf("quickstart: your own router is hijacking DNS (forwarder: %q)\n", report.CPEString)
+	case dnsloc.VerdictISP:
+		fmt.Println("quickstart: your ISP intercepts DNS before it leaves the network")
+	default:
+		fmt.Println("quickstart: DNS is intercepted somewhere beyond the ISP")
+	}
+}

@@ -1,0 +1,47 @@
+// Realprobe: run the technique against the actual network this machine
+// is connected to, using plain UDP sockets — the paper's point is that
+// no root access or measurement infrastructure is needed.
+//
+//	go run ./examples/realprobe                      # steps 1 and 3 only
+//	go run ./examples/realprobe -cpe-ip 203.0.113.7  # all three steps
+//
+// Without Internet access every query times out, which the technique
+// conservatively treats as "not intercepted" (§3.1) — so this example
+// is safe to run anywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+)
+
+func main() {
+	cpeIP := flag.String("cpe-ip", "", "your router's public IPv4 address (from its admin UI, or your probe platform's metadata)")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-query timeout")
+	flag.Parse()
+
+	det := &dnsloc.Detector{
+		Client:  dnsloc.NewUDPClient(*timeout),
+		QueryV6: true,
+	}
+	if *cpeIP != "" {
+		addr, err := netip.ParseAddr(*cpeIP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -cpe-ip: %v\n", err)
+			os.Exit(2)
+		}
+		det.CPEPublicV4 = addr
+	} else {
+		fmt.Println("no -cpe-ip given: step 2 (the CPE test) will be skipped;")
+		fmt.Println("interception can still be detected and localized to the ISP.")
+		fmt.Println()
+	}
+
+	report := det.Run()
+	fmt.Print(report)
+}

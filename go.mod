@@ -1,0 +1,3 @@
+module github.com/dnswatch/dnsloc
+
+go 1.22

@@ -1,0 +1,332 @@
+// Package analysis aggregates pilot-study results into the paper's
+// tables and figures: interception counts per resolver (Table 4),
+// version.bind string groups (Table 5), transparency per organization
+// (Figure 3), and interceptor location per country and organization
+// (Figure 4). It also scores the technique against the simulator's
+// ground truth — an evaluation the paper could not perform on the real
+// Internet.
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// Table4Row is one operator's line in Table 4.
+type Table4Row struct {
+	Resolver      publicdns.ID
+	Display       string
+	InterceptedV4 int
+	TotalV4       int
+	InterceptedV6 int
+	TotalV6       int
+}
+
+// Table4 reproduces "Number of intercepted probes per public resolver".
+type Table4 struct {
+	Rows []Table4Row
+	// The "All Intercepted" line: probes online for all four experiments
+	// of a family and intercepted for all four.
+	AllInterceptedV4 int
+	AllTotalV4       int
+	AllInterceptedV6 int
+	AllTotalV6       int
+	// DistinctIntercepted is the paper's "220 probes".
+	DistinctIntercepted int
+}
+
+// BuildTable4 computes Table 4 from study results.
+func BuildTable4(r *study.Results) Table4 {
+	var t Table4
+	for _, id := range publicdns.All {
+		row := Table4Row{Resolver: id, Display: publicdns.Lookup(id).DisplayName}
+		for _, rec := range r.Records {
+			if rec.Responded[study.ExpKey{Resolver: id, Family: core.V4}] {
+				row.TotalV4++
+				if rec.InterceptedFor(id, core.V4) {
+					row.InterceptedV4++
+				}
+			}
+			if rec.Responded[study.ExpKey{Resolver: id, Family: core.V6}] {
+				row.TotalV6++
+				if rec.InterceptedFor(id, core.V6) {
+					row.InterceptedV6++
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, rec := range r.Records {
+		if rec.RespondedAll4(core.V4) {
+			t.AllTotalV4++
+			all := true
+			for _, id := range publicdns.All {
+				if !rec.InterceptedFor(id, core.V4) {
+					all = false
+					break
+				}
+			}
+			if all {
+				t.AllInterceptedV4++
+			}
+		}
+		if rec.RespondedAll4(core.V6) {
+			t.AllTotalV6++
+			all := true
+			for _, id := range publicdns.All {
+				if !rec.InterceptedFor(id, core.V6) {
+					all = false
+					break
+				}
+			}
+			if all {
+				t.AllInterceptedV6++
+			}
+		}
+	}
+	t.DistinctIntercepted = len(r.Intercepted())
+	return t
+}
+
+// Table5Row is one version.bind string group.
+type Table5Row struct {
+	Group  string
+	Probes int
+}
+
+// Table5 reproduces "Strings sent in response to version.bind" for the
+// probes the technique attributes to CPE interception.
+type Table5 struct {
+	Rows     []Table5Row
+	CPETotal int
+}
+
+// GroupVersionString maps a raw version.bind string to its Table 5
+// group, using the paper's wildcard conventions.
+func GroupVersionString(s string) string {
+	switch {
+	case strings.HasPrefix(s, "dnsmasq-pi-hole"):
+		return "dnsmasq-pi-hole-*"
+	case strings.HasPrefix(s, "dnsmasq"):
+		return "dnsmasq-*"
+	case strings.HasPrefix(s, "unbound"):
+		return "unbound*"
+	case strings.HasSuffix(s, "-RedHat"):
+		return "*-RedHat"
+	case strings.HasSuffix(s, "-Debian"):
+		return "*-Debian"
+	case strings.HasPrefix(s, "PowerDNS Recursor"):
+		return "PowerDNS Recursor*"
+	case strings.HasPrefix(s, "Q9-"):
+		return "Q9-*"
+	default:
+		return s
+	}
+}
+
+// BuildTable5 computes Table 5.
+func BuildTable5(r *study.Results) Table5 {
+	counts := map[string]int{}
+	total := 0
+	for _, rec := range r.Intercepted() {
+		if rec.Report.Verdict != core.VerdictCPE {
+			continue
+		}
+		total++
+		counts[GroupVersionString(rec.Report.CPEString)]++
+	}
+	var t Table5
+	t.CPETotal = total
+	for g, n := range counts {
+		t.Rows = append(t.Rows, Table5Row{Group: g, Probes: n})
+	}
+	sort.Slice(t.Rows, func(i, j int) bool {
+		if t.Rows[i].Probes != t.Rows[j].Probes {
+			return t.Rows[i].Probes > t.Rows[j].Probes
+		}
+		return t.Rows[i].Group < t.Rows[j].Group
+	})
+	return t
+}
+
+// Figure3Row is one organization's transparency breakdown.
+type Figure3Row struct {
+	Org         string
+	ASN         int
+	Transparent int
+	Modified    int
+	Both        int
+	Total       int
+}
+
+// Figure3 reproduces "Intercepted probes per top 15 organizations".
+type Figure3 struct {
+	Rows []Figure3Row
+}
+
+// BuildFigure3 computes Figure 3 (top n organizations).
+func BuildFigure3(r *study.Results, n int) Figure3 {
+	byOrg := map[int]*Figure3Row{}
+	for _, rec := range r.Intercepted() {
+		row := byOrg[rec.Probe.ASN]
+		if row == nil {
+			row = &Figure3Row{Org: rec.Probe.Org, ASN: rec.Probe.ASN}
+			byOrg[rec.Probe.ASN] = row
+		}
+		row.Total++
+		switch rec.Report.Transparency {
+		case core.Transparent:
+			row.Transparent++
+		case core.StatusModified:
+			row.Modified++
+		case core.TransparencyBoth:
+			row.Both++
+		}
+	}
+	var rows []Figure3Row
+	for _, row := range byOrg {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Total != rows[j].Total {
+			return rows[i].Total > rows[j].Total
+		}
+		return rows[i].Org < rows[j].Org
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return Figure3{Rows: rows}
+}
+
+// Figure4Row is one country's or organization's location breakdown.
+type Figure4Row struct {
+	Label   string
+	CPE     int
+	ISP     int
+	Unknown int
+	Total   int
+}
+
+// Figure4 reproduces "Interception location for the 15 countries and
+// organizations with the most intercepted probes".
+type Figure4 struct {
+	Countries []Figure4Row
+	Orgs      []Figure4Row
+	// Totals across all intercepted probes.
+	CPE, ISP, Unknown int
+}
+
+// BuildFigure4 computes Figure 4 (top n of each).
+func BuildFigure4(r *study.Results, n int) Figure4 {
+	byCountry := map[string]*Figure4Row{}
+	byOrg := map[string]*Figure4Row{}
+	var f Figure4
+	add := func(m map[string]*Figure4Row, label string, v core.Verdict) {
+		row := m[label]
+		if row == nil {
+			row = &Figure4Row{Label: label}
+			m[label] = row
+		}
+		row.Total++
+		switch v {
+		case core.VerdictCPE:
+			row.CPE++
+		case core.VerdictISP:
+			row.ISP++
+		default:
+			row.Unknown++
+		}
+	}
+	for _, rec := range r.Intercepted() {
+		v := rec.Report.Verdict
+		add(byCountry, rec.Probe.Country, v)
+		add(byOrg, rec.Probe.Org, v)
+		switch v {
+		case core.VerdictCPE:
+			f.CPE++
+		case core.VerdictISP:
+			f.ISP++
+		default:
+			f.Unknown++
+		}
+	}
+	f.Countries = topRows(byCountry, n)
+	f.Orgs = topRows(byOrg, n)
+	return f
+}
+
+// topRows sorts and truncates a row map.
+func topRows(m map[string]*Figure4Row, n int) []Figure4Row {
+	var rows []Figure4Row
+	for _, row := range m {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Total != rows[j].Total {
+			return rows[i].Total > rows[j].Total
+		}
+		return rows[i].Label < rows[j].Label
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// Accuracy scores the technique against the simulator's ground truth —
+// only possible here, where the interceptors' true locations are known.
+type Accuracy struct {
+	// Detection confusion (intercepted yes/no).
+	TruePositives, FalsePositives, TrueNegatives, FalseNegatives int
+	// Localization outcomes among true positives.
+	CorrectCPE, CorrectISP, CorrectUnknown int
+	// MislocatedCPE counts probes blamed on the CPE whose true
+	// interceptor was elsewhere (§6's misclassification), and vice versa.
+	Mislocated int
+	// HiddenAsUnknown counts in-AS interceptors the technique correctly
+	// could not place (they drop bogons) — unknown is the *right* answer.
+	HiddenAsUnknown int
+}
+
+// BuildAccuracy computes the confusion matrix over responding probes.
+func BuildAccuracy(r *study.Results) Accuracy {
+	var a Accuracy
+	for _, rec := range r.Records {
+		if rec.Report == nil {
+			continue
+		}
+		truly := rec.Probe.Truth.Intercepted()
+		flagged := rec.Report.Intercepted()
+		switch {
+		case truly && flagged:
+			a.TruePositives++
+		case truly && !flagged:
+			a.FalseNegatives++
+		case !truly && flagged:
+			a.FalsePositives++
+		default:
+			a.TrueNegatives++
+		}
+		if !(truly && flagged) {
+			continue
+		}
+		switch loc, v := rec.Probe.Truth.Location, rec.Report.Verdict; {
+		case loc == "cpe" && v == core.VerdictCPE:
+			a.CorrectCPE++
+		case loc == "isp" && v == core.VerdictISP:
+			a.CorrectISP++
+		case loc == "transit" && v == core.VerdictUnknown:
+			a.CorrectUnknown++
+		case loc == "isp-hidden" && v == core.VerdictUnknown:
+			a.HiddenAsUnknown++
+		default:
+			a.Mislocated++
+		}
+	}
+	return a
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+	"github.com/dnswatch/dnsloc/internal/render"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// FormatTable1 renders Table 1: the location queries and expected
+// responses per operator — static configuration, printed for parity
+// with the paper.
+func FormatTable1() string {
+	rows := [][]string{{"Public Resolver", "Type", "Location Query", "Example Response"}}
+	for _, id := range publicdns.All {
+		c := publicdns.Lookup(id)
+		rows = append(rows, []string{
+			c.DisplayName, string(c.Location.Kind), string(c.Location.Name), c.ExampleResponse,
+		})
+	}
+	return "Table 1: Location queries and expected responses per resolver\n\n" +
+		render.Table(rows)
+}
+
+// FormatTable2 renders Table 2 from the worked-example rows.
+func FormatTable2(rows []study.ExampleRow) string {
+	out := [][]string{{"ProbeID", "Cloudflare DNS", "Google DNS"}}
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprint(r.ProbeID), r.LocCloudflare, r.LocGoogle})
+	}
+	return "Table 2: Example responses to IPv4 location queries\n\n" +
+		render.Table(out)
+}
+
+// FormatTable3 renders Table 3 from the worked-example rows.
+func FormatTable3(rows []study.ExampleRow) string {
+	out := [][]string{{"ProbeID", "Cloudflare DNS", "Google DNS", "CPE Public IP"}}
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprint(r.ProbeID), r.VBCloudflare, r.VBGoogle, r.VBCPE})
+	}
+	return "Table 3: Example responses to IPv4 version.bind queries\n\n" +
+		render.Table(out)
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(t Table4) string {
+	rows := [][]string{{"", "Intercepted v4", "Total v4", "Intercepted v6", "Total v6"}}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			r.Display,
+			fmt.Sprint(r.InterceptedV4), fmt.Sprint(r.TotalV4),
+			fmt.Sprint(r.InterceptedV6), fmt.Sprint(r.TotalV6),
+		})
+	}
+	rows = append(rows, []string{
+		"All Intercepted",
+		fmt.Sprint(t.AllInterceptedV4), fmt.Sprint(t.AllTotalV4),
+		fmt.Sprint(t.AllInterceptedV6), fmt.Sprint(t.AllTotalV6),
+	})
+	return fmt.Sprintf("Table 4: Number of intercepted probes per public resolver (distinct intercepted probes: %d)\n\n%s",
+		t.DistinctIntercepted, render.Table(rows))
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(t Table5) string {
+	rows := [][]string{{"version.bind Response", "# Probes"}}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{r.Group, fmt.Sprint(r.Probes)})
+	}
+	return fmt.Sprintf("Table 5: Strings sent in response to version.bind (%d CPE-intercepted probes)\n\n%s",
+		t.CPETotal, render.Table(rows))
+}
+
+// FormatFigure3 renders Figure 3 as a stacked bar chart.
+func FormatFigure3(f Figure3) string {
+	var entries []render.BarEntry
+	for _, r := range f.Rows {
+		entries = append(entries, render.BarEntry{
+			Label: fmt.Sprintf("%s (AS%d)", r.Org, r.ASN),
+			Segments: []render.BarSegment{
+				{Label: "Transparent", Value: r.Transparent, Rune: '#'},
+				{Label: "Status Modified", Value: r.Modified, Rune: 'x'},
+				{Label: "Both", Value: r.Both, Rune: '+'},
+			},
+		})
+	}
+	return render.Bars("Figure 3: Intercepted probes per top 15 organizations", entries, 40)
+}
+
+// FormatFigure4 renders Figure 4 as two stacked bar charts.
+func FormatFigure4(f Figure4) string {
+	toEntries := func(rows []Figure4Row) []render.BarEntry {
+		var entries []render.BarEntry
+		for _, r := range rows {
+			entries = append(entries, render.BarEntry{
+				Label: r.Label,
+				Segments: []render.BarSegment{
+					{Label: "CPE", Value: r.CPE, Rune: 'C'},
+					{Label: "Within ISP", Value: r.ISP, Rune: '#'},
+					{Label: "Unknown/Beyond", Value: r.Unknown, Rune: '?'},
+				},
+			})
+		}
+		return entries
+	}
+	var sb strings.Builder
+	sb.WriteString(render.Bars(
+		fmt.Sprintf("Figure 4: Interception location (all probes: CPE=%d, ISP=%d, unknown=%d)\n\nTop 15 countries:",
+			f.CPE, f.ISP, f.Unknown),
+		toEntries(f.Countries), 40))
+	sb.WriteString("\nTop 15 organizations:\n")
+	sb.WriteString(render.Bars("", toEntries(f.Orgs), 40))
+	return sb.String()
+}
+
+// FormatAccuracy renders the ground-truth scoring.
+func FormatAccuracy(a Accuracy) string {
+	rows := [][]string{
+		{"Metric", "Count"},
+		{"True positives (intercepted, detected)", fmt.Sprint(a.TruePositives)},
+		{"False positives", fmt.Sprint(a.FalsePositives)},
+		{"True negatives", fmt.Sprint(a.TrueNegatives)},
+		{"False negatives", fmt.Sprint(a.FalseNegatives)},
+		{"Localized correctly: CPE", fmt.Sprint(a.CorrectCPE)},
+		{"Localized correctly: within ISP", fmt.Sprint(a.CorrectISP)},
+		{"Beyond-AS, reported unknown (correct)", fmt.Sprint(a.CorrectUnknown)},
+		{"In-AS bogon-droppers, reported unknown (by design)", fmt.Sprint(a.HiddenAsUnknown)},
+		{"Mislocated", fmt.Sprint(a.Mislocated)},
+	}
+	return "Technique accuracy vs. simulator ground truth\n\n" + render.Table(rows)
+}
+
+// CSVTable4 renders Table 4 as CSV.
+func CSVTable4(t Table4) string {
+	rows := [][]string{{"resolver", "intercepted_v4", "total_v4", "intercepted_v6", "total_v6"}}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			string(r.Resolver),
+			fmt.Sprint(r.InterceptedV4), fmt.Sprint(r.TotalV4),
+			fmt.Sprint(r.InterceptedV6), fmt.Sprint(r.TotalV6),
+		})
+	}
+	rows = append(rows, []string{"all",
+		fmt.Sprint(t.AllInterceptedV4), fmt.Sprint(t.AllTotalV4),
+		fmt.Sprint(t.AllInterceptedV6), fmt.Sprint(t.AllTotalV6)})
+	return render.CSV(rows)
+}

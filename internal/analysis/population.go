@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dnswatch/dnsloc/internal/render"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// PopulationRow documents the platform's geographic bias, the caveat §4
+// leads with: RIPE Atlas (and therefore the synthetic fleet) is heavily
+// skewed toward Europe and North America.
+type PopulationRow struct {
+	Country string
+	Probes  int
+	// Responding counts probes that answered at least one experiment.
+	Responding int
+	// Intercepted counts detected interception.
+	Intercepted int
+}
+
+// BuildPopulation aggregates the fleet per country, descending by size.
+func BuildPopulation(r *study.Results) []PopulationRow {
+	byCountry := map[string]*PopulationRow{}
+	for _, rec := range r.Records {
+		row := byCountry[rec.Probe.Country]
+		if row == nil {
+			row = &PopulationRow{Country: rec.Probe.Country}
+			byCountry[rec.Probe.Country] = row
+		}
+		row.Probes++
+		if rec.Report != nil {
+			row.Responding++
+			if rec.Report.Intercepted() {
+				row.Intercepted++
+			}
+		}
+	}
+	rows := make([]PopulationRow, 0, len(byCountry))
+	for _, row := range byCountry {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Probes != rows[j].Probes {
+			return rows[i].Probes > rows[j].Probes
+		}
+		return rows[i].Country < rows[j].Country
+	})
+	return rows
+}
+
+// FormatPopulation renders the bias table.
+func FormatPopulation(rows []PopulationRow) string {
+	out := [][]string{{"Country", "Probes", "Responding", "Intercepted"}}
+	total := PopulationRow{Country: "total"}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Country, fmt.Sprint(r.Probes), fmt.Sprint(r.Responding), fmt.Sprint(r.Intercepted),
+		})
+		total.Probes += r.Probes
+		total.Responding += r.Responding
+		total.Intercepted += r.Intercepted
+	}
+	out = append(out, []string{
+		total.Country, fmt.Sprint(total.Probes), fmt.Sprint(total.Responding), fmt.Sprint(total.Intercepted),
+	})
+	return "Probe population by country (the platform bias §4 cautions about)\n\n" +
+		render.Table(out)
+}

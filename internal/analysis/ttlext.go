@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/render"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// FormatTTLExtension renders the TTL-ladder extension results: one row
+// per verdict class with the hop-distance distribution of whoever
+// answered. Interceptors sort by proximity — the finer localization §6
+// hoped TTLs would provide.
+func FormatTTLExtension(s study.TTLStats) string {
+	rows := [][]string{{"Verdict class", "Probes", "First answering TTL (min/median/max)"}}
+	order := []core.Verdict{
+		core.VerdictCPE, core.VerdictISP, core.VerdictUnknown, core.VerdictNotIntercepted,
+	}
+	for _, v := range order {
+		ttls := s.FirstTTLs[v]
+		if len(ttls) == 0 {
+			continue
+		}
+		min, max := s.Range(v)
+		rows = append(rows, []string{
+			string(v), fmt.Sprint(len(ttls)),
+			fmt.Sprintf("%d / %d / %d", min, s.Median(v), max),
+		})
+	}
+	return "Extension (§6): TTL-ladder hop distance of the answering party\n\n" +
+		render.Table(rows)
+}

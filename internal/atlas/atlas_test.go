@@ -1,0 +1,123 @@
+package atlas
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/netsim"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+func newProbe(id int, avail Availability) *Probe {
+	return &Probe{
+		ID: id, Country: "US", ASN: 7922, Org: "Comcast",
+		Region:       publicdns.RegionNA,
+		WANv4:        netip.MustParseAddr("96.120.1.1"),
+		Availability: avail,
+	}
+}
+
+func TestProbesSortedByID(t *testing.T) {
+	p := NewPlatform(netsim.NewNetwork(), 1)
+	p.Add(newProbe(30, Full))
+	p.Add(newProbe(10, Full))
+	p.Add(newProbe(20, Full))
+	ids := []int{}
+	for _, probe := range p.Probes() {
+		ids = append(ids, probe.ID)
+	}
+	if ids[0] != 10 || ids[1] != 20 || ids[2] != 30 {
+		t.Errorf("ids = %v", ids)
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestAvailabilityModel(t *testing.T) {
+	p := NewPlatform(netsim.NewNetwork(), 42)
+	full := newProbe(1, Full)
+	dead := newProbe(2, Dead)
+	partial := newProbe(3, Partial)
+	for i := 0; i < 100; i++ {
+		if !p.Responds(full) {
+			t.Fatal("full probe failed to respond")
+		}
+		if p.Responds(dead) {
+			t.Fatal("dead probe responded")
+		}
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if p.Responds(partial) {
+			hits++
+		}
+	}
+	// PartialRespondP defaults to 0.75.
+	if hits < 650 || hits > 850 {
+		t.Errorf("partial probe responded %d/1000, want ~750", hits)
+	}
+}
+
+func TestAvailabilityDeterministicPerSeed(t *testing.T) {
+	sample := func(seed int64) []bool {
+		p := NewPlatform(netsim.NewNetwork(), seed)
+		probe := newProbe(1, Partial)
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = p.Responds(probe)
+		}
+		return out
+	}
+	a, b := sample(7), sample(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := sample(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestGroundTruthIntercepted(t *testing.T) {
+	cases := map[string]bool{
+		"":           false,
+		"none":       false,
+		"cpe":        true,
+		"isp":        true,
+		"isp-hidden": true,
+		"transit":    true,
+	}
+	for loc, want := range cases {
+		g := GroundTruth{Location: loc}
+		if g.Intercepted() != want {
+			t.Errorf("Intercepted(%q) = %t, want %t", loc, g.Intercepted(), want)
+		}
+	}
+}
+
+func TestDetectorConfiguredFromMetadata(t *testing.T) {
+	p := NewPlatform(netsim.NewNetwork(), 1)
+	probe := newProbe(1, Full)
+	probe.HasIPv6 = true
+	probe.Host = netsim.NewHost("h", netip.MustParseAddr("192.168.1.2"), netip.Addr{}, nil)
+	p.Add(probe)
+	det := p.Detector(probe)
+	if det.CPEPublicV4 != probe.WANv4 {
+		t.Errorf("detector CPE addr = %s", det.CPEPublicV4)
+	}
+	if !det.QueryV6 {
+		t.Error("detector ignores probe v6 capability")
+	}
+	if det.Client == nil {
+		t.Error("detector has no transport")
+	}
+}

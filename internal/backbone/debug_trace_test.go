@@ -1,0 +1,25 @@
+package backbone
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// TestTraceOpenDNSv6 is a diagnostic trace; it only fails if the
+// exchange fails, and logs the packet path for inspection with -v.
+func TestTraceOpenDNSv6(t *testing.T) {
+	h := buildHome(t, nil, nil)
+	h.net.Tap(func(e netsim.TraceEvent) { t.Log(e.String()) })
+	c := publicdns.Lookup(publicdns.OpenDNS)
+	_, err := h.probe.Exchange(h.net,
+		netip.AddrPortFrom(c.V6[0], 53),
+		dnswire.MustPack(c.Location.Message(99)),
+		netsim.ExchangeOptions{})
+	if err != nil {
+		t.Fatalf("opendns v6: %v", err)
+	}
+}

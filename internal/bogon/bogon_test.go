@@ -1,0 +1,105 @@
+package bogon
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownBogons(t *testing.T) {
+	for _, s := range []string{
+		"10.1.2.3", "172.16.0.1", "172.31.255.255", "192.168.1.1",
+		"192.0.2.53", "198.51.100.1", "203.0.113.200", "100.64.0.1",
+		"127.0.0.1", "169.254.9.9", "198.18.0.5", "224.0.0.251", "255.255.255.255",
+		"::1", "2001:db8::1", "fe80::1", "fd00::1", "ff02::1", "100::9",
+	} {
+		if !Is(netip.MustParseAddr(s)) {
+			t.Errorf("Is(%s) = false, want true", s)
+		}
+	}
+}
+
+func TestKnownRoutables(t *testing.T) {
+	for _, s := range []string{
+		"8.8.8.8", "1.1.1.1", "9.9.9.9", "208.67.222.222",
+		"96.120.0.1",   // Comcast space
+		"172.15.0.1",   // just below 172.16/12
+		"172.32.0.1",   // just above 172.16/12
+		"100.63.255.1", // just below CGN space
+		"100.128.0.1",  // just above CGN space
+		"2001:4860:4860::8888", "2606:4700:4700::1111", "2620:fe::fe",
+	} {
+		if Is(netip.MustParseAddr(s)) {
+			t.Errorf("Is(%s) = true, want false", s)
+		}
+	}
+}
+
+func TestProbeAddressesAreBogons(t *testing.T) {
+	if !Is(ProbeV4) {
+		t.Error("ProbeV4 is not a bogon")
+	}
+	if !Is(ProbeV6) {
+		t.Error("ProbeV6 is not a bogon")
+	}
+	if !ProbeV4.Is4() || !ProbeV6.Is6() {
+		t.Error("probe address families wrong")
+	}
+}
+
+func TestMatchProvenance(t *testing.T) {
+	e := Match(netip.MustParseAddr("10.0.0.1"))
+	if e == nil || e.Source != "RFC 1918 private" {
+		t.Errorf("Match(10.0.0.1) = %+v", e)
+	}
+	if Match(netip.MustParseAddr("8.8.8.8")) != nil {
+		t.Error("Match(8.8.8.8) != nil")
+	}
+}
+
+func TestV4MappedClassifiedAsV4(t *testing.T) {
+	mapped := netip.AddrFrom16(netip.MustParseAddr("::ffff:10.0.0.1").As16())
+	if !Is(mapped) {
+		t.Error("v4-mapped private address not classified as bogon")
+	}
+}
+
+func TestIsPrivate(t *testing.T) {
+	if !IsPrivate(netip.MustParseAddr("192.168.100.1")) || !IsPrivate(netip.MustParseAddr("fd12::1")) {
+		t.Error("private addresses misclassified")
+	}
+	if IsPrivate(netip.MustParseAddr("192.0.2.53")) {
+		t.Error("TEST-NET-1 wrongly reported private")
+	}
+}
+
+func TestTableCopyIsolated(t *testing.T) {
+	tab := Table()
+	if len(tab) == 0 {
+		t.Fatal("empty table")
+	}
+	tab[0].Source = "mutated"
+	if Table()[0].Source == "mutated" {
+		t.Error("Table() returns aliased storage")
+	}
+}
+
+func TestPropertyPrivateImpliesBogon(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		var b [4]byte
+		r.Read(b[:])
+		a := netip.AddrFrom4(b)
+		if IsPrivate(a) && !Is(a) {
+			return false
+		}
+		var b6 [16]byte
+		r.Read(b6[:])
+		a6 := netip.AddrFrom16(b6)
+		return !IsPrivate(a6) || Is(a6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package core implements the paper's contribution: a client-side
+// technique that detects transparent DNS interception and localizes the
+// interceptor — the client's own CPE, the client's ISP, or somewhere
+// beyond (§3, Figure 2).
+//
+// The technique needs nothing but the ability to send DNS queries, so
+// the detector is written against a one-method transport interface; the
+// same Detector runs over the packet-level simulator (tests, pilot
+// study) and over real UDP sockets (cmd/dnsloc on a live network).
+package core
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+)
+
+// ErrTimeout reports that no response arrived for a query. The technique
+// treats timeouts conservatively: they are never evidence of
+// interception (§3.1).
+var ErrTimeout = errors.New("core: query timed out")
+
+// ErrNoRoute reports that the vantage has no connectivity in the
+// destination's address family (e.g. a v4-only probe asked for v6).
+var ErrNoRoute = errors.New("core: no connectivity in destination address family")
+
+// Client is the detector's transport: send one DNS query, collect the
+// response(s). Multiple responses occur under query replication; the
+// first is what a stub resolver would consume.
+type Client interface {
+	Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error)
+}
+
+// RTTExchanger is an optional Client extension: transports that can
+// measure a query's round-trip time return it alongside the responses.
+// The detector records it per probe result — an answer arriving much
+// faster than any plausible path to the target's nearest anycast site
+// is itself a proximity hint about the interceptor. Returning the RTT
+// (rather than stashing it on the client) keeps the interface safe for
+// the detector's parallel mode.
+type RTTExchanger interface {
+	ExchangeRTT(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, time.Duration, error)
+}
+
+// SimClient adapts a simulated host to the Client interface. It is NOT
+// safe for concurrent use: the simulator is a single-threaded event
+// loop. Do not combine it with Detector.Parallel.
+type SimClient struct {
+	Net  *netsim.Network
+	Host *netsim.Host
+}
+
+// Exchange implements Client over the simulator.
+func (c *SimClient) Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error) {
+	resps, _, err := c.ExchangeRTT(server, query)
+	return resps, err
+}
+
+// ExchangeRTT implements RTTExchanger with the virtual-clock RTT of the
+// first response.
+func (c *SimClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, time.Duration, error) {
+	payload, err := query.Pack()
+	if err != nil {
+		return nil, 0, err
+	}
+	pkts, err := c.Host.Exchange(c.Net, server, payload, netsim.ExchangeOptions{})
+	switch {
+	case errors.Is(err, netsim.ErrTimeout):
+		return nil, 0, ErrTimeout
+	case errors.Is(err, netsim.ErrNoAddress):
+		return nil, 0, ErrNoRoute
+	case err != nil:
+		return nil, 0, err
+	}
+	out := make([]*dnswire.Message, 0, len(pkts))
+	var rtt time.Duration
+	for _, p := range pkts {
+		m, err := dnswire.Unpack(p.Payload)
+		if err != nil {
+			continue // garbage response: ignore, as a stub would
+		}
+		if m.Header.ID != query.Header.ID {
+			continue // not ours
+		}
+		if len(out) == 0 {
+			rtt = p.RTT()
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, 0, ErrTimeout
+	}
+	return out, rtt, nil
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/bogon"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// Detector runs the three-step localization technique of Figure 2.
+type Detector struct {
+	// Client is the query transport.
+	Client Client
+
+	// CPEPublicV4 is the probe's public IPv4 address — the CPE WAN
+	// address. RIPE Atlas publishes it as probe metadata; on a live
+	// network the operator supplies it. When zero, step 2 cannot test
+	// the CPE and an intercepted probe can at best be localized to the
+	// ISP.
+	CPEPublicV4 netip.Addr
+
+	// Resolvers selects the operators to test; nil means all four.
+	Resolvers []publicdns.ID
+
+	// QueryV6 also tests each operator's IPv6 addresses.
+	QueryV6 bool
+
+	// BogonV4/BogonV6 are the unroutable destinations for step 3;
+	// zero values use the package defaults.
+	BogonV4 netip.Addr
+	BogonV6 netip.Addr
+
+	// CanaryName is the measurement-controlled domain asked in bogon
+	// queries; empty uses publicdns.CanaryDomain.
+	CanaryName dnswire.Name
+
+	// SkipTransparency disables the whoami check (§4.1.2).
+	SkipTransparency bool
+
+	// Retries re-sends a query after a timeout. Zero means one attempt;
+	// on lossy real networks 1-2 retries avoid misreading packet loss.
+	// (Timeouts are never evidence of interception either way.)
+	Retries int
+
+	// Parallel issues the step-1 location queries concurrently — on a
+	// live network with multi-second timeouts this cuts a full run from
+	// ~minutes to ~seconds. Use it only with concurrency-safe transports
+	// (the UDP/TCP clients are; SimClient is not).
+	Parallel bool
+
+	idMu   sync.Mutex
+	nextID uint16
+}
+
+// resolvers returns the operator set under test.
+func (d *Detector) resolvers() []publicdns.ID {
+	if len(d.Resolvers) > 0 {
+		return d.Resolvers
+	}
+	return publicdns.All
+}
+
+// id hands out query IDs (safe under Parallel).
+func (d *Detector) id() uint16 {
+	d.idMu.Lock()
+	defer d.idMu.Unlock()
+	d.nextID++
+	return d.nextID
+}
+
+// Run executes the full technique and returns the report.
+func (d *Detector) Run() *Report {
+	r := &Report{Verdict: VerdictNotIntercepted, Transparency: TransparencyNA}
+
+	d.stepLocation(r)
+	if !r.Intercepted() {
+		return r
+	}
+	r.Verdict = VerdictUnknown
+
+	if !d.SkipTransparency {
+		d.stepTransparency(r)
+	}
+
+	if d.stepCPE(r) {
+		r.Verdict = VerdictCPE
+		return r
+	}
+	if d.stepISP(r) {
+		r.Verdict = VerdictISP
+	}
+	return r
+}
+
+// exchangeOne sends a query and reduces the result to a ProbeResult.
+// For TXT-shaped queries the answer is the joined TXT; for address
+// queries it is the first address.
+func (d *Detector) exchangeOne(id publicdns.ID, server netip.AddrPort, q *dnswire.Message) ProbeResult {
+	family := V4
+	if server.Addr().Is6() && !server.Addr().Is4In6() {
+		family = V6
+	}
+	pr := ProbeResult{Resolver: id, Server: server, Family: family}
+	var resps []*dnswire.Message
+	var rtt time.Duration
+	var err error
+	rttClient, hasRTT := d.Client.(RTTExchanger)
+	for attempt := 0; ; attempt++ {
+		if hasRTT {
+			resps, rtt, err = rttClient.ExchangeRTT(server, q)
+		} else {
+			resps, err = d.Client.Exchange(server, q)
+		}
+		if !errors.Is(err, ErrTimeout) || attempt >= d.Retries {
+			break
+		}
+	}
+	switch {
+	case errors.Is(err, ErrTimeout):
+		pr.Outcome = OutcomeTimeout
+		return pr
+	case errors.Is(err, ErrNoRoute):
+		pr.Outcome = OutcomeNoRoute
+		return pr
+	case err != nil:
+		pr.Outcome = OutcomeTimeout
+		return pr
+	}
+	// Replication: prior work observed the interceptor's answer arriving
+	// first; either way interception and replication are
+	// indistinguishable here (§3.1), so take the first response.
+	m := resps[0]
+	pr.Replicated = len(resps) > 1
+	pr.RCode = m.Header.RCode
+	pr.RTT = rtt
+	if m.Header.RCode != dnswire.RCodeSuccess {
+		pr.Outcome = OutcomeError
+		return pr
+	}
+	if txt, ok := m.FirstTXT(); ok {
+		pr.Outcome = OutcomeAnswer
+		pr.Answer = txt
+		return pr
+	}
+	if addrs := m.AnswerAddrs(); len(addrs) > 0 {
+		pr.Outcome = OutcomeAnswer
+		pr.Answer = addrs[0]
+		return pr
+	}
+	// NOERROR with no usable records: treat as an error-shaped response.
+	pr.Outcome = OutcomeError
+	return pr
+}
+
+// stepLocation issues location queries to every address of every
+// operator (§3.1) and classifies each answer against the operator's
+// standard format.
+func (d *Detector) stepLocation(r *Report) {
+	type probeSpec struct {
+		id     publicdns.ID
+		server netip.AddrPort
+	}
+	var specs []probeSpec
+	for _, id := range d.resolvers() {
+		cfg := publicdns.Lookup(id)
+		servers := make([]netip.Addr, 0, 4)
+		servers = append(servers, cfg.V4...)
+		if d.QueryV6 {
+			servers = append(servers, cfg.V6...)
+		}
+		for _, server := range servers {
+			specs = append(specs, probeSpec{id: id, server: netip.AddrPortFrom(server, 53)})
+		}
+	}
+
+	results := make([]ProbeResult, len(specs))
+	probeOne := func(i int) {
+		spec := specs[i]
+		cfg := publicdns.Lookup(spec.id)
+		pr := d.exchangeOne(spec.id, spec.server, cfg.Location.Message(d.id()))
+		if pr.Outcome == OutcomeAnswer {
+			pr.Standard = cfg.ValidateLocationAnswer(pr.Answer)
+		}
+		results[i] = pr
+	}
+	if d.Parallel {
+		var wg sync.WaitGroup
+		for i := range specs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				probeOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range specs {
+			probeOne(i)
+		}
+	}
+
+	intercepted := map[publicdns.ID]map[Family]bool{}
+	for _, pr := range results {
+		r.Location = append(r.Location, pr)
+		// Timeouts are conservatively not interception (§3.1); any
+		// response that fails validation is.
+		nonStandard := (pr.Outcome == OutcomeAnswer && !pr.Standard) || pr.Outcome == OutcomeError
+		if nonStandard {
+			if intercepted[pr.Resolver] == nil {
+				intercepted[pr.Resolver] = map[Family]bool{}
+			}
+			intercepted[pr.Resolver][pr.Family] = true
+		}
+	}
+	for _, id := range d.resolvers() {
+		if intercepted[id][V4] {
+			r.InterceptedV4 = append(r.InterceptedV4, id)
+		}
+		if intercepted[id][V6] {
+			r.InterceptedV6 = append(r.InterceptedV6, id)
+		}
+	}
+}
+
+// stepCPE decides whether the CPE is the interceptor (§3.2): a
+// version.bind query to the CPE's public address must return the same
+// string as version.bind queries sent towards the intercepted public
+// resolvers. The string's uniqueness is what makes the comparison sound
+// (Appendix A); error rcodes carry no identity, so they never match.
+func (d *Detector) stepCPE(r *Report) bool {
+	if !d.CPEPublicV4.IsValid() || len(r.InterceptedV4) == 0 {
+		return false
+	}
+	vb := func() *dnswire.Message { return dnswire.NewChaosTXTQuery(d.id(), "version.bind") }
+	r.CPEVersionBind = d.exchangeOne("", netip.AddrPortFrom(d.CPEPublicV4, 53), vb())
+	if r.CPEVersionBind.Outcome != OutcomeAnswer || r.CPEVersionBind.Answer == "" {
+		// No string from the CPE: can't implicate it. Still collect the
+		// resolver-side strings for the report.
+		for _, id := range r.InterceptedV4 {
+			cfg := publicdns.Lookup(id)
+			r.ResolverVersionBind = append(r.ResolverVersionBind,
+				d.exchangeOne(id, netip.AddrPortFrom(cfg.V4[0], 53), vb()))
+		}
+		return false
+	}
+	all := true
+	for _, id := range r.InterceptedV4 {
+		cfg := publicdns.Lookup(id)
+		pr := d.exchangeOne(id, netip.AddrPortFrom(cfg.V4[0], 53), vb())
+		r.ResolverVersionBind = append(r.ResolverVersionBind, pr)
+		if pr.Outcome != OutcomeAnswer || pr.Answer != r.CPEVersionBind.Answer {
+			all = false
+		}
+	}
+	if all {
+		r.CPEString = r.CPEVersionBind.Answer
+	}
+	return all
+}
+
+// stepISP decides whether interception happens inside the AS (§3.3):
+// a query addressed to an unroutable (bogon) destination cannot leave
+// the AS, so any response proves an in-AS interceptor. Silence proves
+// nothing — the interceptor may be beyond the AS, or may ignore
+// bogon-addressed packets.
+func (d *Detector) stepISP(r *Report) bool {
+	name := d.CanaryName
+	if name == "" {
+		name = publicdns.CanaryDomain
+	}
+	answered := false
+
+	b4 := d.BogonV4
+	if !b4.IsValid() {
+		b4 = bogon.ProbeV4
+	}
+	q := dnswire.NewQuery(d.id(), name, dnswire.TypeA, dnswire.ClassINET)
+	pr := d.exchangeOne("", netip.AddrPortFrom(b4, 53), q)
+	r.BogonResults = append(r.BogonResults, pr)
+	if pr.Outcome == OutcomeAnswer || pr.Outcome == OutcomeError {
+		answered = true
+	}
+
+	if d.QueryV6 && len(r.InterceptedV6) > 0 {
+		b6 := d.BogonV6
+		if !b6.IsValid() {
+			b6 = bogon.ProbeV6
+		}
+		q6 := dnswire.NewQuery(d.id(), name, dnswire.TypeAAAA, dnswire.ClassINET)
+		pr6 := d.exchangeOne("", netip.AddrPortFrom(b6, 53), q6)
+		r.BogonResults = append(r.BogonResults, pr6)
+		if pr6.Outcome == OutcomeAnswer || pr6.Outcome == OutcomeError {
+			answered = true
+		}
+	}
+	return answered
+}
+
+// stepTransparency resolves the whoami domain via every intercepted
+// resolver (§4.1.2): a clean answer whose address is outside the target
+// operator's egress confirms transparent interception; a DNS error
+// status means the alternate resolver blocks rather than resolves.
+func (d *Detector) stepTransparency(r *Report) {
+	transparent, modified := 0, 0
+	for _, id := range r.InterceptedSet() {
+		cfg := publicdns.Lookup(id)
+		q := dnswire.NewQuery(d.id(), publicdns.WhoamiDomain, dnswire.TypeA, dnswire.ClassINET)
+		pr := d.exchangeOne(id, netip.AddrPortFrom(cfg.V4[0], 53), q)
+		switch pr.Outcome {
+		case OutcomeAnswer:
+			transparent++
+			// §4.1.2(a): the whoami answer reveals the answering
+			// resolver's egress. An address inside the target operator's
+			// egress space would mean the operator itself resolved it;
+			// Standard records that second confirmation signal.
+			if a, err := netip.ParseAddr(pr.Answer); err == nil {
+				pr.Standard = cfg.InEgress(a)
+			}
+		case OutcomeError:
+			modified++
+		}
+		r.Whoami = append(r.Whoami, pr)
+	}
+	switch {
+	case transparent > 0 && modified > 0:
+		r.Transparency = TransparencyBoth
+	case modified > 0:
+		r.Transparency = StatusModified
+	case transparent > 0:
+		r.Transparency = Transparent
+	default:
+		r.Transparency = TransparencyNA
+	}
+}
+
+// CPETestWithARecord is the counterfactual of Appendix A: testing the
+// CPE with an ordinary A-record query instead of version.bind. It
+// returns true when the A answers from the CPE's public address and
+// from the intercepted resolvers are identical — which misclassifies an
+// open-forwarder CPE as an interceptor, because everyone ultimately
+// returns the same A record. It exists for the ablation benchmark.
+func (d *Detector) CPETestWithARecord(name dnswire.Name, intercepted []publicdns.ID) bool {
+	if !d.CPEPublicV4.IsValid() || len(intercepted) == 0 {
+		return false
+	}
+	ask := func(server netip.Addr) (string, bool) {
+		q := dnswire.NewQuery(d.id(), name, dnswire.TypeA, dnswire.ClassINET)
+		pr := d.exchangeOne("", netip.AddrPortFrom(server, 53), q)
+		return pr.Answer, pr.Outcome == OutcomeAnswer
+	}
+	cpeAns, ok := ask(d.CPEPublicV4)
+	if !ok {
+		return false
+	}
+	for _, id := range intercepted {
+		ans, ok := ask(publicdns.Lookup(id).V4[0])
+		if !ok || ans != cpeAns {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,237 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+func TestVerdictPerScenario(t *testing.T) {
+	for _, s := range homelab.AllScenarios {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			lab := homelab.New(s)
+			report := lab.Detector().Run()
+			if report.Verdict != homelab.ExpectedVerdict(s) {
+				t.Errorf("verdict = %q, want %q\n%s", report.Verdict, homelab.ExpectedVerdict(s), report)
+			}
+		})
+	}
+}
+
+func TestCleanReportShape(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	r := lab.Detector().Run()
+	if r.Intercepted() {
+		t.Fatalf("clean home reported interception: %s", r)
+	}
+	// 4 operators x (2 v4 + 2 v6) location probes.
+	if len(r.Location) != 16 {
+		t.Errorf("len(Location) = %d, want 16", len(r.Location))
+	}
+	for _, p := range r.Location {
+		if p.Outcome != core.OutcomeAnswer || !p.Standard {
+			t.Errorf("clean location probe %s/%s: outcome=%s standard=%t answer=%q",
+				p.Resolver, p.Server, p.Outcome, p.Standard, p.Answer)
+		}
+	}
+	if r.Transparency != core.TransparencyNA {
+		t.Errorf("transparency = %s, want n/a", r.Transparency)
+	}
+	if len(r.BogonResults) != 0 || r.CPEVersionBind.Server.IsValid() {
+		t.Error("steps 2/3 ran for a clean probe")
+	}
+}
+
+func TestXB6ReportDetails(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	r := lab.Detector().Run()
+	if r.Verdict != core.VerdictCPE {
+		t.Fatalf("verdict = %s\n%s", r.Verdict, r)
+	}
+	if len(r.InterceptedV4) != 4 {
+		t.Errorf("InterceptedV4 = %v, want all four", r.InterceptedV4)
+	}
+	if len(r.InterceptedV6) != 0 {
+		t.Errorf("InterceptedV6 = %v, want none (XB6 bug is v4-only)", r.InterceptedV6)
+	}
+	if r.CPEString != "dnsmasq-2.78" {
+		t.Errorf("CPEString = %q", r.CPEString)
+	}
+	if r.Transparency != core.Transparent {
+		t.Errorf("transparency = %s, want transparent (XDNS resolves correctly)", r.Transparency)
+	}
+	// version.bind from CPE and from every resolver agree.
+	if r.CPEVersionBind.Answer != "dnsmasq-2.78" {
+		t.Errorf("CPE version.bind = %q", r.CPEVersionBind.Answer)
+	}
+	for _, p := range r.ResolverVersionBind {
+		if p.Answer != "dnsmasq-2.78" {
+			t.Errorf("resolver %s version.bind = %q", p.Resolver, p.Answer)
+		}
+	}
+}
+
+func TestISPMiddleboxReportDetails(t *testing.T) {
+	lab := homelab.New(homelab.ISPMiddlebox)
+	r := lab.Detector().Run()
+	if r.Verdict != core.VerdictISP {
+		t.Fatalf("verdict = %s\n%s", r.Verdict, r)
+	}
+	if r.CPEString != "" {
+		t.Errorf("CPEString = %q, want empty", r.CPEString)
+	}
+	// CPE's port is closed, so its version.bind probe timed out.
+	if r.CPEVersionBind.Outcome != core.OutcomeTimeout {
+		t.Errorf("CPE version.bind outcome = %s, want timeout", r.CPEVersionBind.Outcome)
+	}
+	if len(r.BogonResults) == 0 || r.BogonResults[0].Outcome != core.OutcomeAnswer {
+		t.Errorf("bogon results = %+v, want an answer", r.BogonResults)
+	}
+	if r.Transparency != core.Transparent {
+		t.Errorf("transparency = %s", r.Transparency)
+	}
+}
+
+func TestRefusingMiddleboxIsStatusModified(t *testing.T) {
+	lab := homelab.New(homelab.ISPRefusing)
+	r := lab.Detector().Run()
+	if r.Transparency != core.StatusModified {
+		t.Errorf("transparency = %s, want status modified", r.Transparency)
+	}
+	if r.Verdict != core.VerdictISP {
+		t.Errorf("verdict = %s (refusing resolver still answers bogon queries with REFUSED)", r.Verdict)
+	}
+}
+
+func TestMixedMiddleboxIsBoth(t *testing.T) {
+	lab := homelab.New(homelab.ISPMixed)
+	r := lab.Detector().Run()
+	if r.Transparency != core.TransparencyBoth {
+		t.Errorf("transparency = %s, want both\n%s", r.Transparency, r)
+	}
+	if len(r.InterceptedV4) != 4 {
+		t.Errorf("InterceptedV4 = %v", r.InterceptedV4)
+	}
+}
+
+func TestSelectiveCPEInterceptsOnlyGoogle(t *testing.T) {
+	lab := homelab.New(homelab.CPESelective)
+	r := lab.Detector().Run()
+	if len(r.InterceptedV4) != 1 || r.InterceptedV4[0] != publicdns.Google {
+		t.Fatalf("InterceptedV4 = %v, want [google]", r.InterceptedV4)
+	}
+	if r.Verdict != core.VerdictCPE {
+		t.Errorf("verdict = %s\n%s", r.Verdict, r)
+	}
+}
+
+func TestOpenForwarderNotImplicated(t *testing.T) {
+	// Appendix A: an open-forwarder CPE answers version.bind on its
+	// public IP, but since nothing is intercepted, step 2 never blames it.
+	lab := homelab.New(homelab.OpenForwarder)
+	r := lab.Detector().Run()
+	if r.Verdict != core.VerdictNotIntercepted {
+		t.Errorf("verdict = %s\n%s", r.Verdict, r)
+	}
+}
+
+func TestChaosRelayMisclassification(t *testing.T) {
+	// §6: CPE with open port 53 that forwards version.bind to the same
+	// alternate resolver the ISP middlebox uses — the method blames the
+	// CPE. The test pins the documented limitation.
+	lab := homelab.New(homelab.CPEChaosRelay)
+	r := lab.Detector().Run()
+	if r.Verdict != core.VerdictCPE {
+		t.Errorf("verdict = %s; the documented misclassification should occur", r.Verdict)
+	}
+	if r.CPEString != "unbound 1.9.0" {
+		t.Errorf("CPEString = %q, want the ISP resolver's string", r.CPEString)
+	}
+}
+
+func TestReplicationStillDetected(t *testing.T) {
+	lab := homelab.New(homelab.Replicating)
+	r := lab.Detector().Run()
+	if r.Verdict != core.VerdictISP {
+		t.Fatalf("verdict = %s\n%s", r.Verdict, r)
+	}
+	replicated := false
+	for _, p := range r.Location {
+		if p.Replicated {
+			replicated = true
+		}
+	}
+	if !replicated {
+		t.Error("no location probe observed replication")
+	}
+}
+
+func TestDetectorWithoutCPEAddressFallsBackToISP(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	d := lab.Detector()
+	d.CPEPublicV4 = d.BogonV4 // zero it via a fresh struct instead
+	d = &core.Detector{Client: lab.Client(), QueryV6: true}
+	r := d.Run()
+	// Without the CPE address the CPE test cannot run; the XB6 answers
+	// bogon queries (it DNATs everything), so localization says ISP-or-
+	// closer — the best the method can do without probe metadata.
+	if r.Verdict != core.VerdictISP {
+		t.Errorf("verdict = %s, want %s", r.Verdict, core.VerdictISP)
+	}
+}
+
+func TestSubsetOfResolvers(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	d := lab.Detector()
+	d.Resolvers = []publicdns.ID{publicdns.Quad9}
+	r := d.Run()
+	if len(r.Location) != 4 { // 2 v4 + 2 v6 for one operator
+		t.Errorf("len(Location) = %d, want 4", len(r.Location))
+	}
+	if r.Verdict != core.VerdictCPE {
+		t.Errorf("verdict = %s", r.Verdict)
+	}
+}
+
+func TestV4OnlyDetector(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	d := lab.Detector()
+	d.QueryV6 = false
+	r := d.Run()
+	if len(r.Location) != 8 {
+		t.Errorf("len(Location) = %d, want 8", len(r.Location))
+	}
+}
+
+func TestARecordAblationMisclassifiesOpenForwarder(t *testing.T) {
+	// Appendix A's thought experiment, run for real: with an ordinary
+	// A-record comparison, an open-forwarder CPE behind an ISP
+	// interceptor looks exactly like a CPE interceptor...
+	lab := homelab.New(homelab.CPEChaosRelay) // open CPE + ISP middlebox
+	d := lab.Detector()
+	if !d.CPETestWithARecord(publicdns.CanaryDomain, []publicdns.ID{publicdns.Google}) {
+		t.Error("A-record test should (wrongly) match: everyone returns the same A record")
+	}
+	// ...and even on a completely clean path the A-record answers agree,
+	// so the test is useless there too.
+	clean := homelab.New(homelab.OpenForwarder)
+	dc := clean.Detector()
+	if !dc.CPETestWithARecord(publicdns.CanaryDomain, []publicdns.ID{publicdns.Google}) {
+		t.Error("A-record test matches on clean open-forwarder homes as well")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	r := lab.Detector().Run()
+	s := r.String()
+	for _, want := range []string{"intercepted by CPE", "dnsmasq-2.78", "NON-STANDARD", "version.bind"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

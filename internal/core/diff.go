@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// Change is one observed difference between two detection runs.
+type Change struct {
+	// What identifies the changed aspect: "verdict", "transparency",
+	// "fingerprint", "intercepted-v4", "intercepted-v6".
+	What string
+	// Before and After are renderings of the old and new values.
+	Before, After string
+}
+
+// String renders the change.
+func (c Change) String() string {
+	return fmt.Sprintf("%s: %s -> %s", c.What, c.Before, c.After)
+}
+
+// Diff compares a previous report with this one and lists what changed —
+// what a monitor (cmd/dnsmon) alerts on: a firmware update flipping a
+// home from clean to intercepted, an ISP rolling a middlebox out or
+// back, a new forwarder fingerprint after a router swap.
+func (r *Report) Diff(prev *Report) []Change {
+	if prev == nil {
+		return nil
+	}
+	var out []Change
+	if prev.Verdict != r.Verdict {
+		out = append(out, Change{What: "verdict", Before: string(prev.Verdict), After: string(r.Verdict)})
+	}
+	if prev.Transparency != r.Transparency {
+		out = append(out, Change{What: "transparency", Before: string(prev.Transparency), After: string(r.Transparency)})
+	}
+	if prev.CPEString != r.CPEString {
+		out = append(out, Change{What: "fingerprint", Before: quoteOrDash(prev.CPEString), After: quoteOrDash(r.CPEString)})
+	}
+	if d := diffIDSet(prev.InterceptedV4, r.InterceptedV4); d != "" {
+		out = append(out, Change{What: "intercepted-v4", Before: renderIDs(prev.InterceptedV4), After: renderIDs(r.InterceptedV4)})
+	}
+	if d := diffIDSet(prev.InterceptedV6, r.InterceptedV6); d != "" {
+		out = append(out, Change{What: "intercepted-v6", Before: renderIDs(prev.InterceptedV6), After: renderIDs(r.InterceptedV6)})
+	}
+	return out
+}
+
+// diffIDSet returns a non-empty marker when the sets differ.
+func diffIDSet(a, b []publicdns.ID) string {
+	if renderIDs(a) != renderIDs(b) {
+		return "changed"
+	}
+	return ""
+}
+
+// renderIDs renders a sorted operator set.
+func renderIDs(ids []publicdns.ID) string {
+	if len(ids) == 0 {
+		return "none"
+	}
+	ss := make([]string, len(ids))
+	for i, id := range ids {
+		ss[i] = string(id)
+	}
+	// InterceptedV4/V6 are already in operator order; render verbatim.
+	return strings.Join(ss, ",")
+}
+
+// quoteOrDash renders a possibly-empty string.
+func quoteOrDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return fmt.Sprintf("%q", s)
+}

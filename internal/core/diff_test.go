@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+)
+
+func TestDiffDetectsFirmwareStyleFlip(t *testing.T) {
+	// The dnsmon use case: a home goes from clean to XB6-intercepted
+	// (e.g. a firmware update enabling XDNS).
+	clean := homelab.New(homelab.Clean).Detector().Run()
+	hijacked := homelab.New(homelab.XB6).Detector().Run()
+
+	changes := hijacked.Diff(clean)
+	if len(changes) == 0 {
+		t.Fatal("no changes detected")
+	}
+	joined := ""
+	for _, c := range changes {
+		joined += c.String() + "\n"
+	}
+	for _, want := range []string{
+		"verdict: not intercepted -> intercepted by CPE",
+		"fingerprint: - -> \"dnsmasq-2.78\"",
+		"intercepted-v4: none ->",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("changes missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDiffStableRunsReportNothing(t *testing.T) {
+	lab := homelab.New(homelab.ISPMiddlebox)
+	a := lab.Detector().Run()
+	b := lab.Detector().Run()
+	if changes := b.Diff(a); len(changes) != 0 {
+		t.Errorf("stable home diffed: %v", changes)
+	}
+}
+
+func TestDiffNilPrevious(t *testing.T) {
+	r := homelab.New(homelab.Clean).Detector().Run()
+	if changes := r.Diff(nil); changes != nil {
+		t.Errorf("diff against nil = %v", changes)
+	}
+}
+
+func TestDiffRouterSwapChangesFingerprint(t *testing.T) {
+	xb6 := homelab.New(homelab.XB6).Detector().Run()
+	pihole := homelab.New(homelab.PiHole).Detector().Run()
+	changes := pihole.Diff(xb6)
+	found := false
+	for _, c := range changes {
+		if c.What == "fingerprint" && strings.Contains(c.After, "pi-hole") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fingerprint change not reported: %v", changes)
+	}
+	// Verdict unchanged (both CPE), so no verdict change entry.
+	for _, c := range changes {
+		if c.What == "verdict" {
+			t.Errorf("spurious verdict change: %v", c)
+		}
+	}
+	_ = core.VerdictCPE
+}

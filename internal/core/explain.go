@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Explain narrates the Figure 2 decision path for a report: which
+// evidence was collected at each step and why the verdict follows. The
+// CLI prints it for operators who want the reasoning, not just the
+// conclusion.
+func (r *Report) Explain() string {
+	var sb strings.Builder
+
+	fmt.Fprintf(&sb, "Step 1 — location queries (§3.1):\n")
+	nonStandard := 0
+	for _, p := range r.Location {
+		switch {
+		case p.Outcome == OutcomeAnswer && p.Standard:
+			// Standard answers are the quiet majority; summarize below.
+		case p.Outcome == OutcomeAnswer:
+			nonStandard++
+			fmt.Fprintf(&sb, "  %s @ %s answered %q — not the operator's format: someone else answered.\n",
+				p.Resolver, p.Server, p.Answer)
+		case p.Outcome == OutcomeError:
+			nonStandard++
+			fmt.Fprintf(&sb, "  %s @ %s answered %s — a deliberate status, also not the operator's behaviour.\n",
+				p.Resolver, p.Server, p.RCode)
+		case p.Outcome == OutcomeTimeout:
+			fmt.Fprintf(&sb, "  %s @ %s timed out — conservatively NOT counted as interception.\n",
+				p.Resolver, p.Server)
+		}
+	}
+	if nonStandard == 0 {
+		fmt.Fprintf(&sb, "  every answer matched its operator's standard format.\n")
+		fmt.Fprintf(&sb, "conclusion: %s\n", VerdictNotIntercepted)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  => intercepted resolvers: v4=%v v6=%v\n\n", r.InterceptedV4, r.InterceptedV6)
+
+	if r.CPEVersionBind.Server.IsValid() {
+		fmt.Fprintf(&sb, "Step 2 — version.bind comparison (§3.2):\n")
+		fmt.Fprintf(&sb, "  CPE public IP answered: %s\n", r.CPEVersionBind)
+		for _, p := range r.ResolverVersionBind {
+			fmt.Fprintf(&sb, "  towards %-10s      : %s\n", p.Resolver, p)
+		}
+		if r.CPEString != "" {
+			fmt.Fprintf(&sb, "  identical strings everywhere: the CPE's forwarder (%q) answers for every resolver.\n", r.CPEString)
+			fmt.Fprintf(&sb, "conclusion: %s\n", VerdictCPE)
+			return sb.String()
+		}
+		fmt.Fprintf(&sb, "  strings differ (or the CPE gave none): the CPE is not implicated.\n\n")
+	} else {
+		fmt.Fprintf(&sb, "Step 2 skipped: no CPE public address available.\n\n")
+	}
+
+	fmt.Fprintf(&sb, "Step 3 — bogon queries (§3.3):\n")
+	for _, p := range r.BogonResults {
+		switch p.Outcome {
+		case OutcomeAnswer, OutcomeError:
+			fmt.Fprintf(&sb, "  %s bogon destination answered (%s): the query never left the AS.\n", p.Family, p)
+		default:
+			fmt.Fprintf(&sb, "  %s bogon destination silent: no in-AS evidence.\n", p.Family)
+		}
+	}
+	fmt.Fprintf(&sb, "conclusion: %s\n", r.Verdict)
+	if r.Transparency != TransparencyNA {
+		fmt.Fprintf(&sb, "transparency (§4.1.2): %s\n", r.Transparency)
+	}
+	return sb.String()
+}
+
+// probeResultJSON is the serialization shape of a ProbeResult.
+type probeResultJSON struct {
+	Resolver   string  `json:"resolver,omitempty"`
+	Server     string  `json:"server"`
+	Family     string  `json:"family"`
+	Outcome    string  `json:"outcome"`
+	Answer     string  `json:"answer,omitempty"`
+	RCode      string  `json:"rcode,omitempty"`
+	Standard   bool    `json:"standard"`
+	Replicated bool    `json:"replicated,omitempty"`
+	RTTms      float64 `json:"rtt_ms,omitempty"`
+}
+
+// MarshalJSON renders a ProbeResult with human-readable enums.
+func (p ProbeResult) MarshalJSON() ([]byte, error) {
+	out := probeResultJSON{
+		Resolver:   string(p.Resolver),
+		Family:     string(p.Family),
+		Outcome:    string(p.Outcome),
+		Answer:     p.Answer,
+		Standard:   p.Standard,
+		Replicated: p.Replicated,
+		RTTms:      float64(p.RTT) / float64(time.Millisecond),
+	}
+	if p.Server.IsValid() {
+		out.Server = p.Server.String()
+	}
+	if p.Outcome == OutcomeAnswer || p.Outcome == OutcomeError {
+		out.RCode = p.RCode.String()
+	}
+	return json.Marshal(out)
+}

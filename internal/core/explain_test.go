@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/homelab"
+)
+
+func TestExplainNarratesEachVerdict(t *testing.T) {
+	cases := []struct {
+		scenario homelab.Scenario
+		want     []string
+	}{
+		{homelab.Clean, []string{"Step 1", "every answer matched", "not intercepted"}},
+		{homelab.XB6, []string{"Step 2", "identical strings everywhere", "intercepted by CPE"}},
+		{homelab.ISPMiddlebox, []string{"Step 3", "never left the AS", "intercepted within ISP"}},
+		{homelab.BeyondISP, []string{"bogon destination silent", "location unknown"}},
+	}
+	for _, c := range cases {
+		t.Run(string(c.scenario), func(t *testing.T) {
+			r := homelab.New(c.scenario).Detector().Run()
+			got := r.Explain()
+			for _, w := range c.want {
+				if !strings.Contains(got, w) {
+					t.Errorf("explanation missing %q:\n%s", w, got)
+				}
+			}
+		})
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	r := homelab.New(homelab.XB6).Detector().Run()
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	s := string(blob)
+	for _, want := range []string{
+		`"intercepted by CPE"`, `"dnsmasq-2.78"`, `"rtt_ms"`, `"outcome":"answer"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("json missing %s", want)
+		}
+	}
+}

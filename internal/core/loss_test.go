@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+)
+
+// TestRetriesSurviveLossyNetwork injects 10% per-hop loss into the
+// simulated network — a brutally lossy path — and checks that the
+// detector with retries still localizes the XB6, while losses never
+// produce false interception evidence (timeouts are conservative).
+func TestRetriesSurviveLossyNetwork(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	lab.Net.SetLoss(0.10, 7)
+	det := lab.Detector()
+	det.Retries = 5
+	r := det.Run()
+	if r.Verdict != core.VerdictCPE {
+		t.Errorf("verdict under loss = %s, want CPE\n%s", r.Verdict, r)
+	}
+}
+
+func TestLossNeverFabricatesInterception(t *testing.T) {
+	// A clean home under heavy loss: some queries die, but no answer is
+	// ever non-standard, so the verdict stays "not intercepted" — the
+	// conservative-timeout rule of §3.1 in action.
+	for seed := int64(1); seed <= 5; seed++ {
+		lab := homelab.New(homelab.Clean)
+		lab.Net.SetLoss(0.25, seed)
+		r := lab.Detector().Run()
+		if r.Intercepted() {
+			t.Errorf("seed %d: loss produced interception evidence\n%s", seed, r)
+		}
+	}
+}
+
+func TestHeavyLossDegradesToTimeouts(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	lab.Net.SetLoss(0.9, 3)
+	r := lab.Detector().Run()
+	timeouts := 0
+	for _, p := range r.Location {
+		if p.Outcome == core.OutcomeTimeout {
+			timeouts++
+		}
+	}
+	if timeouts < len(r.Location)/2 {
+		t.Errorf("only %d/%d location probes timed out at 90%% loss", timeouts, len(r.Location))
+	}
+	if r.Verdict != core.VerdictNotIntercepted {
+		t.Errorf("verdict = %s", r.Verdict)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// Family is an IP address family.
+type Family string
+
+// Families.
+const (
+	V4 Family = "IPv4"
+	V6 Family = "IPv6"
+)
+
+// Outcome classifies a single query's result.
+type Outcome string
+
+// Outcomes.
+const (
+	OutcomeAnswer  Outcome = "answer"  // a TXT/A answer arrived
+	OutcomeError   Outcome = "error"   // a DNS error rcode arrived
+	OutcomeTimeout Outcome = "timeout" // nothing arrived
+	OutcomeNoRoute Outcome = "noroute" // no connectivity in this family
+)
+
+// ProbeResult is one raw query observation.
+type ProbeResult struct {
+	Resolver publicdns.ID
+	Server   netip.AddrPort
+	Family   Family
+	Outcome  Outcome
+	// Answer is the TXT string (location/version queries) or the first
+	// address (whoami queries) when Outcome is OutcomeAnswer.
+	Answer string
+	// RCode is set when a response arrived.
+	RCode dnswire.RCode
+	// Standard reports whether a location answer matched the resolver's
+	// expected format.
+	Standard bool
+	// Replicated reports that more than one response arrived.
+	Replicated bool
+	// RTT is the round-trip time of the first response, when the
+	// transport can measure it (zero otherwise). Interceptors near the
+	// client answer conspicuously faster than distant anycast sites.
+	RTT time.Duration
+}
+
+// String renders the observation compactly, in the style of Table 2/3
+// cells: the answer string, or the rcode mnemonic, or "timeout".
+func (p ProbeResult) String() string {
+	switch p.Outcome {
+	case OutcomeAnswer:
+		return p.Answer
+	case OutcomeError:
+		return p.RCode.String()
+	case OutcomeNoRoute:
+		return "-"
+	default:
+		return "timeout"
+	}
+}
+
+// Verdict is the localization conclusion (Figure 2's outputs).
+type Verdict string
+
+// Verdicts.
+const (
+	// VerdictNotIntercepted: every location answer was standard.
+	VerdictNotIntercepted Verdict = "not intercepted"
+	// VerdictCPE: the client's own CPE intercepts (§3.2).
+	VerdictCPE Verdict = "intercepted by CPE"
+	// VerdictISP: interception happens before queries leave the AS (§3.3).
+	VerdictISP Verdict = "intercepted within ISP"
+	// VerdictUnknown: intercepted, but the interceptor is beyond the ISP
+	// or drops bogon-addressed queries.
+	VerdictUnknown Verdict = "intercepted, location unknown"
+)
+
+// Transparency classifies how the interceptor treats ordinary queries
+// (§4.1.2 / Figure 3).
+type Transparency string
+
+// Transparency classes.
+const (
+	// TransparencyNA: not intercepted, nothing to classify.
+	TransparencyNA Transparency = "n/a"
+	// Transparent: every intercepted resolver still resolved correctly.
+	Transparent Transparency = "transparent"
+	// StatusModified: every intercepted resolver returned DNS errors.
+	StatusModified Transparency = "status modified"
+	// TransparencyBoth: some resolved, some errored.
+	TransparencyBoth Transparency = "both"
+)
+
+// Report is the detector's full output for one vantage.
+type Report struct {
+	// Location holds every location-query observation (step 1).
+	Location []ProbeResult
+
+	// InterceptedV4/V6 list the resolvers whose location queries came
+	// back non-standard, per family.
+	InterceptedV4 []publicdns.ID
+	InterceptedV6 []publicdns.ID
+
+	// CPEVersionBind is the version.bind observation against the CPE's
+	// public address (step 2); zero-valued if the step did not run.
+	CPEVersionBind ProbeResult
+	// ResolverVersionBind holds version.bind observations against each
+	// intercepted resolver (step 2).
+	ResolverVersionBind []ProbeResult
+	// CPEString is the matched forwarder fingerprint when the CPE is the
+	// interceptor.
+	CPEString string
+
+	// BogonResults hold the bogon-query observations (step 3).
+	BogonResults []ProbeResult
+
+	// Whoami holds the transparency-check observations (§4.1.2).
+	Whoami []ProbeResult
+
+	Verdict      Verdict
+	Transparency Transparency
+}
+
+// Intercepted reports whether any resolver was intercepted in either
+// family.
+func (r *Report) Intercepted() bool {
+	return len(r.InterceptedV4) > 0 || len(r.InterceptedV6) > 0
+}
+
+// InterceptedSet returns the union of intercepted resolvers.
+func (r *Report) InterceptedSet() []publicdns.ID {
+	seen := map[publicdns.ID]bool{}
+	var out []publicdns.ID
+	for _, id := range append(append([]publicdns.ID{}, r.InterceptedV4...), r.InterceptedV6...) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders a human-readable report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verdict: %s\n", r.Verdict)
+	if r.Intercepted() {
+		fmt.Fprintf(&sb, "intercepted (IPv4): %v\n", r.InterceptedV4)
+		fmt.Fprintf(&sb, "intercepted (IPv6): %v\n", r.InterceptedV6)
+		fmt.Fprintf(&sb, "transparency: %s\n", r.Transparency)
+	}
+	if r.CPEString != "" {
+		fmt.Fprintf(&sb, "CPE forwarder fingerprint: %q\n", r.CPEString)
+	}
+	fmt.Fprintf(&sb, "location queries:\n")
+	for _, p := range r.Location {
+		mark := "standard"
+		if !p.Standard {
+			mark = "NON-STANDARD"
+		}
+		if p.Outcome == OutcomeTimeout || p.Outcome == OutcomeNoRoute {
+			mark = string(p.Outcome)
+		}
+		rtt := ""
+		if p.RTT > 0 {
+			rtt = fmt.Sprintf("  rtt=%.1fms", float64(p.RTT)/float64(time.Millisecond))
+		}
+		fmt.Fprintf(&sb, "  %-10s %-24s %-4s %-24s %s%s\n",
+			p.Resolver, p.Server, p.Family, p.String(), mark, rtt)
+	}
+	if r.CPEVersionBind.Server.IsValid() {
+		fmt.Fprintf(&sb, "version.bind @ CPE public IP: %s\n", r.CPEVersionBind.String())
+		for _, p := range r.ResolverVersionBind {
+			fmt.Fprintf(&sb, "version.bind @ %-10s: %s\n", p.Resolver, p.String())
+		}
+	}
+	for _, p := range r.BogonResults {
+		fmt.Fprintf(&sb, "bogon query (%s): %s\n", p.Family, p.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+)
+
+// flakyClient drops the first drop attempts of every flow.
+type flakyClient struct {
+	inner core.Client
+	drop  int
+	tries map[string]int
+}
+
+func (c *flakyClient) Exchange(server netip.AddrPort, q *dnswire.Message) ([]*dnswire.Message, error) {
+	if c.tries == nil {
+		c.tries = make(map[string]int)
+	}
+	key := server.String() + "/" + string(q.Question().Name)
+	c.tries[key]++
+	if c.tries[key] <= c.drop {
+		return nil, core.ErrTimeout
+	}
+	return c.inner.Exchange(server, q)
+}
+
+func TestRetriesRecoverFromLoss(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	flaky := &flakyClient{inner: lab.Client(), drop: 1}
+	det := lab.Detector()
+	det.Client = flaky
+	det.Retries = 2
+	r := det.Run()
+	if r.Verdict != core.VerdictCPE {
+		t.Errorf("verdict with retries = %s, want CPE", r.Verdict)
+	}
+	for _, p := range r.Location {
+		if p.Outcome == core.OutcomeTimeout {
+			t.Errorf("probe %s/%s still timed out despite retries", p.Resolver, p.Server)
+		}
+	}
+}
+
+func TestNoRetriesSeeLossAsTimeouts(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	flaky := &flakyClient{inner: lab.Client(), drop: 1}
+	det := lab.Detector()
+	det.Client = flaky
+	det.Retries = 0
+	r := det.Run()
+	// Everything timed out once; timeouts are conservatively not
+	// interception, so the verdict degrades to "not intercepted".
+	if r.Verdict != core.VerdictNotIntercepted {
+		t.Errorf("verdict without retries = %s", r.Verdict)
+	}
+}
+
+func TestWhoamiEgressValidationRecorded(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	r := lab.Detector().Run()
+	if len(r.Whoami) == 0 {
+		t.Fatal("no whoami probes recorded")
+	}
+	for _, p := range r.Whoami {
+		if p.Outcome != core.OutcomeAnswer {
+			t.Errorf("whoami %s outcome = %s", p.Resolver, p.Outcome)
+			continue
+		}
+		if p.Standard {
+			t.Errorf("whoami %s answer %q claims to be in the operator's egress — it's the ISP resolver", p.Resolver, p.Answer)
+		}
+	}
+	// Clean home: whoami answers do come from operator egress.
+	clean := homelab.New(homelab.Clean).Detector().Run()
+	if len(clean.Whoami) != 0 {
+		t.Error("clean home ran the transparency step")
+	}
+}

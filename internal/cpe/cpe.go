@@ -1,0 +1,310 @@
+// Package cpe models Customer Premises Equipment — the home routers the
+// paper implicates in transparent DNS interception.
+//
+// A CPE device is a netsim.Router with NAT between its LAN and WAN, plus
+// a DNS forwarder (dnsmasq-style) optionally bound to port 53. The
+// interception mechanism is the one the paper's §5 case study documents
+// on the Arris/Technicolor XB6: an RDK-B firewall DNAT rule that rewrites
+// every LAN-originated port-53 packet to the CPE's own forwarder, which
+// relays it to the ISP resolver. Because the rule lives in PREROUTING,
+// it catches queries addressed to public resolvers *and* queries
+// addressed to the CPE's own public IP — the asymmetry the localization
+// technique exploits.
+package cpe
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+)
+
+// InterceptSpec describes which port-53 destinations a CPE diverts to
+// its own forwarder. The zero value intercepts nothing.
+type InterceptSpec struct {
+	// AllV4 intercepts every IPv4 destination (minus ExceptV4).
+	AllV4 bool
+	// TargetsV4 intercepts only these IPv4 destinations (ignored when
+	// AllV4 is set).
+	TargetsV4 []netip.Addr
+	// ExceptV4 exempts destinations from AllV4 — the "only one resolver
+	// allowed" pattern of §4.1.1.
+	ExceptV4 []netip.Addr
+	// AllV6 and TargetsV6 are the IPv6 equivalents. The paper found v6
+	// interception far rarer than v4 (Table 4), so most specs leave
+	// these empty.
+	AllV6     bool
+	TargetsV6 []netip.Addr
+	// Replicate forwards the original query too (query replication).
+	Replicate bool
+}
+
+// Active reports whether the spec intercepts anything.
+func (s InterceptSpec) Active() bool {
+	return s.AllV4 || s.AllV6 || len(s.TargetsV4) > 0 || len(s.TargetsV6) > 0
+}
+
+// matchesV4 reports whether an IPv4 destination is intercepted.
+func (s InterceptSpec) matchesV4(dst netip.Addr) bool {
+	if s.AllV4 {
+		for _, e := range s.ExceptV4 {
+			if e == dst {
+				return false
+			}
+		}
+		return true
+	}
+	for _, t := range s.TargetsV4 {
+		if t == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesV6 reports whether an IPv6 destination is intercepted.
+func (s InterceptSpec) matchesV6(dst netip.Addr) bool {
+	if s.AllV6 {
+		return true
+	}
+	for _, t := range s.TargetsV6 {
+		if t == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// Config describes one CPE device.
+type Config struct {
+	// Name labels the device in traces.
+	Name string
+
+	// LANAddr/LANPrefix are the private side; WANAddr is the public side.
+	LANAddr   netip.Addr
+	LANPrefix netip.Prefix
+	WANAddr   netip.Addr
+
+	// LANAddr6/LANPrefix6/WANAddr6 enable IPv6. Homes route v6 globally
+	// (no NAT), as deployed dual-stack residential networks do.
+	LANAddr6   netip.Addr
+	LANPrefix6 netip.Prefix
+	WANAddr6   netip.Addr
+
+	// Upstream is the forwarder's resolver — for a rented XB6, the ISP
+	// resolver.
+	Upstream netip.AddrPort
+
+	// Persona is the forwarder's CHAOS fingerprint (Table 5 strings).
+	Persona dnsserver.ChaosPersona
+
+	// ForwardUnhandledChaos relays debugging queries the persona does
+	// not answer upstream — the §6 misclassification configuration.
+	ForwardUnhandledChaos bool
+
+	// WANPort53Open leaves the forwarder reachable on the WAN address
+	// even without interception (an "open forwarder" CPE).
+	WANPort53Open bool
+
+	// LANPort53Open serves DNS to the home (the DHCP-advertised
+	// resolver). On by default in Build unless the CPE has no forwarder.
+	DisableForwarder bool
+
+	// Intercept is the DNAT interception behaviour.
+	Intercept InterceptSpec
+}
+
+// Device is a built CPE.
+type Device struct {
+	Config    Config
+	Router    *netsim.Router
+	Forwarder *dnsserver.Forwarder
+}
+
+// Build wires a CPE from its config.
+func Build(cfg Config) *Device {
+	r := netsim.NewRouter(cfg.Name, cfg.LANAddr, cfg.WANAddr)
+	r.Delay = 500 * time.Microsecond // home uplink
+	r.RouterID = cfg.LANAddr         // what home traceroutes show as hop 1
+	if cfg.LANAddr6.IsValid() {
+		r.AddAddr(cfg.LANAddr6)
+	}
+	if cfg.WANAddr6.IsValid() {
+		r.AddAddr(cfg.WANAddr6)
+	}
+
+	nat := netsim.NewNAT()
+	nat.MasqueradeV4 = cfg.WANAddr
+	nat.LANPrefixes = []netip.Prefix{cfg.LANPrefix}
+	if cfg.LANPrefix6.IsValid() {
+		nat.LANPrefixes = append(nat.LANPrefixes, cfg.LANPrefix6)
+	}
+	r.NAT = nat
+
+	d := &Device{Config: cfg, Router: r}
+
+	if !cfg.DisableForwarder {
+		fwd := dnsserver.NewForwarder(cfg.Persona, cfg.WANAddr, cfg.Upstream)
+		fwd.ForwardUnhandledChaos = cfg.ForwardUnhandledChaos
+		d.Forwarder = fwd
+		r.Bind(53, fwd)
+		if !cfg.WANPort53Open {
+			// The forwarder serves the LAN but the WAN-side port is
+			// firewalled: queries to the public IP go unanswered...
+			r.CloseOn(cfg.WANAddr, 53)
+			if cfg.WANAddr6.IsValid() {
+				r.CloseOn(cfg.WANAddr6, 53)
+			}
+			// ...unless the interception DNAT rule redirects them first,
+			// which is exactly how an intercepting CPE betrays itself.
+		}
+	}
+
+	d.installInterception()
+	return d
+}
+
+// installInterception adds the XDNS-style DNAT rules.
+func (d *Device) installInterception() {
+	spec := d.Config.Intercept
+	if !spec.Active() || d.Config.DisableForwarder {
+		return
+	}
+	cfg := d.Config
+	lanSrc := func(src netip.Addr) bool {
+		return cfg.LANPrefix.Contains(src.Unmap()) ||
+			(cfg.LANPrefix6.IsValid() && cfg.LANPrefix6.Contains(src)) ||
+			// Queries addressed to the CPE's own public IP arrive with a
+			// LAN source too; DNAT must also catch queries a LAN host
+			// sends directly to the WAN address.
+			src == cfg.WANAddr || src == cfg.WANAddr6
+	}
+	if spec.AllV4 || len(spec.TargetsV4) > 0 {
+		d.Router.NAT.AddDNAT(netsim.DNATRule{
+			Name: "xdns-v4",
+			Match: func(pkt netsim.Packet) bool {
+				return pkt.Proto == netsim.UDP && pkt.Dst.Port() == 53 &&
+					!pkt.IsIPv6() && lanSrc(pkt.Src.Addr()) &&
+					spec.matchesV4(pkt.Dst.Addr())
+			},
+			To:        netip.AddrPortFrom(cfg.LANAddr, 53),
+			Replicate: spec.Replicate,
+		})
+	}
+	if (spec.AllV6 || len(spec.TargetsV6) > 0) && cfg.LANAddr6.IsValid() {
+		d.Router.NAT.AddDNAT(netsim.DNATRule{
+			Name: "xdns-v6",
+			Match: func(pkt netsim.Packet) bool {
+				return pkt.Proto == netsim.UDP && pkt.Dst.Port() == 53 &&
+					pkt.IsIPv6() && lanSrc(pkt.Src.Addr()) &&
+					spec.matchesV6(pkt.Dst.Addr())
+			},
+			To:        netip.AddrPortFrom(cfg.LANAddr6, 53),
+			Replicate: spec.Replicate,
+		})
+	}
+}
+
+// SetUplink points the CPE's default route at the ISP access device.
+func (d *Device) SetUplink(next netsim.Device) {
+	d.Router.AddDefaultRoute(next)
+}
+
+// AttachHost creates a LAN host behind the CPE and wires routes both
+// ways. hostIdx picks distinct LAN addresses for multiple hosts.
+func (d *Device) AttachHost(name string, hostIdx int) *netsim.Host {
+	a4 := d.Config.LANAddr.As4()
+	a4[3] += byte(1 + hostIdx)
+	hostV4 := netip.AddrFrom4(a4)
+
+	var hostV6 netip.Addr
+	if d.Config.LANAddr6.IsValid() {
+		a6 := d.Config.LANAddr6.As16()
+		a6[15] += byte(1 + hostIdx)
+		hostV6 = netip.AddrFrom16(a6)
+	}
+
+	h := netsim.NewHost(name, hostV4, hostV6, d.Router)
+	h.Delay = 200 * time.Microsecond // LAN hop
+	d.Router.AddRoute(netip.PrefixFrom(hostV4, 32), h)
+	if hostV6.IsValid() {
+		d.Router.AddRoute(netip.PrefixFrom(hostV6, 128), h)
+	}
+	return h
+}
+
+// Presets for the models seen in the study.
+
+// NewXB6 builds an Arris/Technicolor XB6 with the XDNS interception bug:
+// all LAN port-53 traffic (v4) is DNATed to the CPE forwarder and on to
+// the ISP resolver, with no user-visible indication (§5).
+func NewXB6(name string, lan netip.Prefix, wan netip.Addr, upstream netip.AddrPort) Config {
+	return Config{
+		Name:      name,
+		LANAddr:   firstHost(lan),
+		LANPrefix: lan,
+		WANAddr:   wan,
+		Upstream:  upstream,
+		// XDNS implements a version.bind response (§5).
+		Persona:   dnsserver.ChaosPersona{Version: "dnsmasq-2.78"},
+		Intercept: InterceptSpec{AllV4: true},
+	}
+}
+
+// NewPlain builds a CPE that forwards faithfully and firewalls port 53
+// on its WAN side — the common, well-behaved case.
+func NewPlain(name string, lan netip.Prefix, wan netip.Addr, upstream netip.AddrPort) Config {
+	return Config{
+		Name:      name,
+		LANAddr:   firstHost(lan),
+		LANPrefix: lan,
+		WANAddr:   wan,
+		Upstream:  upstream,
+		Persona:   dnsserver.PersonaDnsmasq,
+	}
+}
+
+// NewOpenForwarder builds a non-intercepting CPE whose port 53 answers
+// on the WAN address — the case Appendix A shows would confound an
+// A-record-based test, and §6's misclassification risk when combined
+// with ForwardUnhandledChaos.
+func NewOpenForwarder(name string, lan netip.Prefix, wan netip.Addr, upstream netip.AddrPort) Config {
+	cfg := NewPlain(name, lan, wan, upstream)
+	cfg.WANPort53Open = true
+	return cfg
+}
+
+// NewPiHole builds a deliberately-intercepting CPE running Pi-hole:
+// the owner routes all DNS to their own filter (§4.2).
+func NewPiHole(name string, lan netip.Prefix, wan netip.Addr, upstream netip.AddrPort) Config {
+	cfg := NewPlain(name, lan, wan, upstream)
+	cfg.Persona = dnsserver.PersonaPiHole
+	cfg.Intercept = InterceptSpec{AllV4: true}
+	return cfg
+}
+
+// firstHost returns the .1 (or ::1) address of a prefix.
+func firstHost(p netip.Prefix) netip.Addr {
+	if p.Addr().Is4() {
+		a := p.Addr().As4()
+		a[3] |= 1
+		return netip.AddrFrom4(a)
+	}
+	a := p.Addr().As16()
+	a[15] |= 1
+	return netip.AddrFrom16(a)
+}
+
+// String describes the device briefly.
+func (d *Device) String() string {
+	mode := "plain"
+	switch {
+	case d.Config.Intercept.Active():
+		mode = "intercepting"
+	case d.Config.WANPort53Open:
+		mode = "open-forwarder"
+	}
+	return fmt.Sprintf("cpe %s (%s, wan %s)", d.Config.Name, mode, d.Config.WANAddr)
+}

@@ -1,0 +1,229 @@
+// Package dnssec implements DNSSEC signing and validation with Ed25519
+// (RFC 4034 / RFC 8080): canonical RRset encoding, RRSIG generation and
+// verification, DS digests, and a chain-of-trust validating stub.
+//
+// The paper notes (§1) that transparent interception "can interfere
+// with the correct operation of protocols such as DNSSEC". This package
+// makes that observable in the simulator: signed zones validate through
+// an honest path, while an interceptor whose alternate resolver is
+// DNSSEC-oblivious strips the records a validating stub needs — the
+// stub sees bogus (unvalidatable) answers even though the A records
+// themselves look plausible.
+//
+// Simplifications, documented: signature inception/expiration are fixed
+// sentinel values (the simulator has no wall clock) and are not
+// checked; wildcard proofs and NSEC denial-of-existence are out of
+// scope — the validating stub treats unsigned answers for names under a
+// signed zone as bogus, which is the behaviour the interception
+// experiment needs.
+package dnssec
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// Fixed signature validity sentinels (no wall clock in the simulator).
+const (
+	SigInception  = 20211101_00
+	SigExpiration = 20311101_00
+)
+
+// Key is a zone's signing key pair.
+type Key struct {
+	// Owner is the zone origin the key signs for.
+	Owner dnswire.Name
+	// Public is the DNSKEY record body.
+	Public dnswire.DNSKEYRData
+	// private is the Ed25519 signing key.
+	private ed25519.PrivateKey
+}
+
+// GenerateKey derives a deterministic zone key from a seed string —
+// reproducible worlds need reproducible keys.
+func GenerateKey(owner dnswire.Name, seed string) *Key {
+	h := sha256.Sum256([]byte("dnsloc-zone-key:" + string(owner.Canonical()) + ":" + seed))
+	pub, priv, err := ed25519.GenerateKey(bytes.NewReader(append(h[:], h[:]...)))
+	if err != nil {
+		panic(err) // cannot fail with a sized reader
+	}
+	return &Key{
+		Owner: owner,
+		Public: dnswire.DNSKEYRData{
+			Flags:     dnswire.DNSKEYFlagZone | dnswire.DNSKEYFlagSEP,
+			Protocol:  3,
+			Algorithm: dnswire.AlgoEd25519,
+			PublicKey: append([]byte(nil), pub...),
+		},
+		private: priv,
+	}
+}
+
+// DNSKEYRecord returns the key's DNSKEY RR.
+func (k *Key) DNSKEYRecord(ttl uint32) dnswire.Record {
+	return dnswire.Record{
+		Name: k.Owner, Class: dnswire.ClassINET, TTL: ttl, Data: k.Public,
+	}
+}
+
+// DSRecord returns the delegation-signer record the parent zone
+// publishes for this key (SHA-256 digest, RFC 4509).
+func (k *Key) DSRecord(ttl uint32) dnswire.Record {
+	return dnswire.Record{
+		Name: k.Owner, Class: dnswire.ClassINET, TTL: ttl,
+		Data: DSFor(k.Owner, k.Public),
+	}
+}
+
+// DSFor computes the DS body for a DNSKEY.
+func DSFor(owner dnswire.Name, key dnswire.DNSKEYRData) dnswire.DSRData {
+	h := sha256.New()
+	writeCanonicalName(h, owner)
+	rdata, _ := packRData(key)
+	h.Write(rdata)
+	return dnswire.DSRData{
+		KeyTag:     key.KeyTag(),
+		Algorithm:  key.Algorithm,
+		DigestType: 2,
+		Digest:     h.Sum(nil),
+	}
+}
+
+// Errors.
+var (
+	// ErrNoSignature means the RRset arrived without a covering RRSIG.
+	ErrNoSignature = errors.New("dnssec: no covering RRSIG")
+	// ErrBadSignature means signature verification failed.
+	ErrBadSignature = errors.New("dnssec: signature verification failed")
+	// ErrKeyMismatch means the RRSIG references a key that was not
+	// offered.
+	ErrKeyMismatch = errors.New("dnssec: rrsig key tag matches no offered key")
+	// ErrBrokenChain means the chain of trust could not be followed from
+	// the trust anchor to the answer.
+	ErrBrokenChain = errors.New("dnssec: broken chain of trust")
+)
+
+// SignRRset produces the RRSIG covering one RRset (same owner, type).
+func SignRRset(rrs []dnswire.Record, key *Key) (dnswire.Record, error) {
+	if len(rrs) == 0 {
+		return dnswire.Record{}, errors.New("dnssec: empty rrset")
+	}
+	owner := rrs[0].Name
+	sig := dnswire.RRSIGRData{
+		TypeCovered: rrs[0].Type(),
+		Algorithm:   key.Public.Algorithm,
+		Labels:      uint8(len(owner.Labels())),
+		OrigTTL:     rrs[0].TTL,
+		Expiration:  SigExpiration,
+		Inception:   SigInception,
+		KeyTag:      key.Public.KeyTag(),
+		SignerName:  key.Owner,
+	}
+	data, err := signedData(sig, rrs)
+	if err != nil {
+		return dnswire.Record{}, err
+	}
+	sig.Signature = ed25519.Sign(key.private, data)
+	return dnswire.Record{
+		Name: owner, Class: dnswire.ClassINET, TTL: rrs[0].TTL, Data: sig,
+	}, nil
+}
+
+// VerifyRRset checks an RRSIG over an RRset against candidate DNSKEYs.
+func VerifyRRset(rrs []dnswire.Record, sig dnswire.RRSIGRData, keys []dnswire.DNSKEYRData) error {
+	if len(rrs) == 0 {
+		return ErrNoSignature
+	}
+	data, err := signedData(sig, rrs)
+	if err != nil {
+		return err
+	}
+	for _, key := range keys {
+		if key.KeyTag() != sig.KeyTag || key.Algorithm != sig.Algorithm {
+			continue
+		}
+		if key.Algorithm != dnswire.AlgoEd25519 || len(key.PublicKey) != ed25519.PublicKeySize {
+			continue
+		}
+		if ed25519.Verify(ed25519.PublicKey(key.PublicKey), data, sig.Signature) {
+			return nil
+		}
+		return ErrBadSignature
+	}
+	return ErrKeyMismatch
+}
+
+// signedData builds the byte string a signature covers: the RRSIG RDATA
+// without the signature, followed by the canonical RRset
+// (RFC 4034 §3.1.8.1).
+func signedData(sig dnswire.RRSIGRData, rrs []dnswire.Record) ([]byte, error) {
+	out, err := sig.PackPresig()
+	if err != nil {
+		return nil, err
+	}
+	// Canonical RRs: owner lowercase, original TTL, rdata sorted.
+	type canon struct{ rdata []byte }
+	canons := make([]canon, 0, len(rrs))
+	for _, rr := range rrs {
+		rdata, err := packRData(rr.Data)
+		if err != nil {
+			return nil, err
+		}
+		canons = append(canons, canon{rdata: rdata})
+	}
+	sort.Slice(canons, func(i, j int) bool {
+		return bytes.Compare(canons[i].rdata, canons[j].rdata) < 0
+	})
+	owner := rrs[0].Name
+	for _, c := range canons {
+		var buf bytes.Buffer
+		writeCanonicalName(&buf, owner)
+		buf.Write(beUint16(uint16(rrs[0].Type())))
+		buf.Write(beUint16(uint16(dnswire.ClassINET)))
+		buf.Write(beUint32(sig.OrigTTL))
+		buf.Write(beUint16(uint16(len(c.rdata))))
+		buf.Write(c.rdata)
+		out = append(out, buf.Bytes()...)
+	}
+	return out, nil
+}
+
+// packRData encodes an RData body alone, via a throwaway record.
+func packRData(data dnswire.RData) ([]byte, error) {
+	m := &dnswire.Message{
+		Header:  dnswire.Header{},
+		Answers: []dnswire.Record{{Name: "", Class: dnswire.ClassINET, TTL: 0, Data: data}},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
+	// Header (12) + root owner (1) + type/class/ttl (8) + rdlength (2).
+	const prefix = 12 + 1 + 8 + 2
+	if len(wire) < prefix {
+		return nil, fmt.Errorf("dnssec: short packed record")
+	}
+	return wire[prefix:], nil
+}
+
+// writeCanonicalName writes the uncompressed, lower-cased wire name.
+func writeCanonicalName(w io.Writer, n dnswire.Name) {
+	for _, label := range n.Canonical().Labels() {
+		w.Write([]byte{byte(len(label))}) //nolint:errcheck
+		io.WriteString(w, label)          //nolint:errcheck
+	}
+	w.Write([]byte{0}) //nolint:errcheck
+}
+
+// beUint16/beUint32 are tiny big-endian helpers.
+func beUint16(v uint16) []byte { return []byte{byte(v >> 8), byte(v)} }
+func beUint32(v uint32) []byte {
+	return []byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}

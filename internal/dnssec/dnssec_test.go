@@ -1,0 +1,166 @@
+package dnssec
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+func rrset() []dnswire.Record {
+	return []dnswire.Record{
+		{Name: "canary.dnsloc.com", Class: dnswire.ClassINET, TTL: 300,
+			Data: dnswire.ARData{Addr: netip.MustParseAddr("45.33.7.7")}},
+		{Name: "canary.dnsloc.com", Class: dnswire.ClassINET, TTL: 300,
+			Data: dnswire.ARData{Addr: netip.MustParseAddr("45.33.7.8")}},
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	key := GenerateKey("dnsloc.com", "test")
+	rrs := rrset()
+	sigRec, err := SignRRset(rrs, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := sigRec.Data.(dnswire.RRSIGRData)
+	if sig.TypeCovered != dnswire.TypeA || !sig.SignerName.Equal("dnsloc.com") {
+		t.Errorf("sig = %+v", sig)
+	}
+	if err := VerifyRRset(rrs, sig, []dnswire.DNSKEYRData{key.Public}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// RRset order must not matter (canonical ordering).
+	swapped := []dnswire.Record{rrs[1], rrs[0]}
+	if err := VerifyRRset(swapped, sig, []dnswire.DNSKEYRData{key.Public}); err != nil {
+		t.Fatalf("verify swapped: %v", err)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	key := GenerateKey("dnsloc.com", "test")
+	rrs := rrset()
+	sigRec, _ := SignRRset(rrs, key)
+	sig := sigRec.Data.(dnswire.RRSIGRData)
+
+	// A spoofed address — what a meddling resolver would substitute.
+	tampered := rrset()
+	tampered[0].Data = dnswire.ARData{Addr: netip.MustParseAddr("10.9.9.9")}
+	if err := VerifyRRset(tampered, sig, []dnswire.DNSKEYRData{key.Public}); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered rrset: err = %v, want ErrBadSignature", err)
+	}
+
+	// A flipped signature bit.
+	bad := sig
+	bad.Signature = append([]byte(nil), sig.Signature...)
+	bad.Signature[0] ^= 1
+	if err := VerifyRRset(rrs, bad, []dnswire.DNSKEYRData{key.Public}); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("bad signature: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyWrongKey(t *testing.T) {
+	key := GenerateKey("dnsloc.com", "test")
+	other := GenerateKey("dnsloc.com", "other")
+	rrs := rrset()
+	sigRec, _ := SignRRset(rrs, key)
+	sig := sigRec.Data.(dnswire.RRSIGRData)
+	err := VerifyRRset(rrs, sig, []dnswire.DNSKEYRData{other.Public})
+	if !errors.Is(err, ErrKeyMismatch) && !errors.Is(err, ErrBadSignature) {
+		t.Errorf("wrong key: err = %v", err)
+	}
+}
+
+func TestKeysAreDeterministicPerSeed(t *testing.T) {
+	a := GenerateKey("com", "x")
+	b := GenerateKey("com", "x")
+	c := GenerateKey("com", "y")
+	if string(a.Public.PublicKey) != string(b.Public.PublicKey) {
+		t.Error("same seed produced different keys")
+	}
+	if string(a.Public.PublicKey) == string(c.Public.PublicKey) {
+		t.Error("different seeds produced the same key")
+	}
+	if a.Public.KeyTag() == 0 {
+		t.Error("zero key tag")
+	}
+}
+
+func TestDSDigestBindsOwnerAndKey(t *testing.T) {
+	key := GenerateKey("dnsloc.com", "test")
+	ds := DSFor("dnsloc.com", key.Public)
+	if ds.KeyTag != key.Public.KeyTag() || ds.DigestType != 2 || len(ds.Digest) != 32 {
+		t.Errorf("ds = %+v", ds)
+	}
+	other := DSFor("evil.com", key.Public)
+	if string(other.Digest) == string(ds.Digest) {
+		t.Error("DS digest ignores the owner name")
+	}
+	rec := key.DSRecord(300)
+	if rec.Type() != dnswire.TypeDS || !rec.Name.Equal("dnsloc.com") {
+		t.Errorf("DSRecord = %v", rec)
+	}
+}
+
+func TestDNSSECWireRoundTrip(t *testing.T) {
+	key := GenerateKey("dnsloc.com", "test")
+	rrs := rrset()
+	sigRec, _ := SignRRset(rrs, key)
+	m := &dnswire.Message{
+		Header:  dnswire.Header{ID: 5, Response: true},
+		Answers: append(rrs, sigRec, key.DNSKEYRecord(300), key.DSRecord(300)),
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dnswire.Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig dnswire.RRSIGRData
+	var dnskey dnswire.DNSKEYRData
+	for _, rr := range got.Answers {
+		switch d := rr.Data.(type) {
+		case dnswire.RRSIGRData:
+			sig = d
+		case dnswire.DNSKEYRData:
+			dnskey = d
+		}
+	}
+	if sig.Signature == nil || dnskey.PublicKey == nil {
+		t.Fatal("DNSSEC records lost in round trip")
+	}
+	// The decoded records still verify.
+	if err := VerifyRRset(got.Answers[:2], sig, []dnswire.DNSKEYRData{dnskey}); err != nil {
+		t.Fatalf("verify decoded: %v", err)
+	}
+}
+
+func TestEDNSDOFlag(t *testing.T) {
+	q := dnswire.NewQuery(1, "canary.dnsloc.com", dnswire.TypeA, dnswire.ClassINET)
+	if q.DO() {
+		t.Error("fresh query has DO set")
+	}
+	q.SetEDNS(4096, true)
+	if !q.DO() {
+		t.Error("DO not set")
+	}
+	wire := dnswire.MustPack(q)
+	got, err := dnswire.Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.DO() {
+		t.Error("DO lost in round trip")
+	}
+	got.SetEDNS(1232, false)
+	if got.DO() {
+		t.Error("SetEDNS(false) left DO set")
+	}
+	got.RemoveEDNS()
+	if len(got.Additional) != 0 {
+		t.Error("RemoveEDNS left records")
+	}
+}

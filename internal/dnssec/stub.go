@@ -1,0 +1,193 @@
+package dnssec
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// Exchanger is the stub's transport. It is structurally identical to
+// core.Client, so any detector transport (simulated or real UDP)
+// satisfies it; declaring it here keeps this package free of the
+// detector's dependencies.
+type Exchanger interface {
+	Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error)
+}
+
+// Stub is a validating stub resolver: it sends DO-flagged queries to
+// one recursive resolver and builds the chain of trust itself, from a
+// configured root trust anchor down to the answer. It is the client
+// that observes DNSSEC breaking behind a DNSSEC-oblivious interceptor.
+type Stub struct {
+	// Client is the transport (simulated or real).
+	Client Exchanger
+	// Resolver is the recursive resolver to query.
+	Resolver netip.AddrPort
+	// TrustAnchor is the root zone's DNSKEY.
+	TrustAnchor dnswire.DNSKEYRData
+
+	nextID   uint16
+	keyCache map[dnswire.Name][]dnswire.DNSKEYRData
+}
+
+// Result is one validated resolution.
+type Result struct {
+	// Records are the answer RRset (without signatures).
+	Records []dnswire.Record
+	// Secure reports whether the chain of trust validated end to end.
+	Secure bool
+	// Err explains why validation failed when Secure is false.
+	Err error
+}
+
+// Resolve looks up (name, typ) and validates the answer.
+func (s *Stub) Resolve(name dnswire.Name, typ dnswire.Type) Result {
+	s.keyCache = make(map[dnswire.Name][]dnswire.DNSKEYRData)
+	answers, sigs, err := s.query(name, typ)
+	if err != nil {
+		return Result{Err: err}
+	}
+	res := Result{Records: answers}
+	if len(sigs) == 0 {
+		res.Err = ErrNoSignature
+		return res
+	}
+	sig := sigs[0]
+	keys, err := s.trustedKeys(sig.SignerName, 0)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if err := VerifyRRset(answers, sig, keys); err != nil {
+		res.Err = err
+		return res
+	}
+	res.Secure = true
+	return res
+}
+
+// query sends one DO-flagged query and splits the answer section into
+// matching records and covering signatures.
+func (s *Stub) query(name dnswire.Name, typ dnswire.Type) ([]dnswire.Record, []dnswire.RRSIGRData, error) {
+	s.nextID++
+	q := dnswire.NewQuery(0x6000+s.nextID, name, typ, dnswire.ClassINET)
+	q.SetEDNS(4096, true)
+	resps, err := s.Client.Exchange(s.Resolver, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := resps[0]
+	if m.Header.RCode != dnswire.RCodeSuccess {
+		return nil, nil, fmt.Errorf("dnssec: %s query for %q answered %s", typ, name, m.Header.RCode)
+	}
+	var matched []dnswire.Record
+	var sigs []dnswire.RRSIGRData
+	for _, rr := range m.Answers {
+		if rr.Type() == typ && rr.Name.Equal(name) {
+			matched = append(matched, rr)
+		}
+		if sig, ok := rr.Data.(dnswire.RRSIGRData); ok && sig.TypeCovered == typ && rr.Name.Equal(name) {
+			sigs = append(sigs, sig)
+		}
+	}
+	if len(matched) == 0 {
+		return nil, nil, fmt.Errorf("dnssec: empty answer for %q %s", name, typ)
+	}
+	return matched, sigs, nil
+}
+
+// trustedKeys authenticates and returns the DNSKEY set of a zone:
+// the root set must contain (and be signed by) the trust anchor; any
+// other zone's set must be vouched for by a DS RRset signed by its
+// parent, recursively up to the root.
+func (s *Stub) trustedKeys(zone dnswire.Name, depth int) ([]dnswire.DNSKEYRData, error) {
+	if depth > 8 {
+		return nil, fmt.Errorf("%w: delegation chain too deep", ErrBrokenChain)
+	}
+	if keys, ok := s.keyCache[zone.Canonical()]; ok {
+		return keys, nil
+	}
+	keyRecs, keySigs, err := s.query(zone, dnswire.TypeDNSKEY)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBrokenChain, err)
+	}
+	if len(keySigs) == 0 {
+		return nil, fmt.Errorf("%w: DNSKEY set of %q unsigned", ErrBrokenChain, zone)
+	}
+	keySig := keySigs[0]
+	keys := make([]dnswire.DNSKEYRData, 0, len(keyRecs))
+	for _, rr := range keyRecs {
+		if k, ok := rr.Data.(dnswire.DNSKEYRData); ok {
+			keys = append(keys, k)
+		}
+	}
+	// The key set must be self-consistent: signed by a key it contains.
+	if err := VerifyRRset(keyRecs, keySig, keys); err != nil {
+		return nil, fmt.Errorf("%w: DNSKEY self-signature of %q: %v", ErrBrokenChain, zone, err)
+	}
+	// And anchored: either it is the root set containing the trust
+	// anchor, or the parent's signed DS vouches for the signing key.
+	signingKey, ok := keyByTag(keys, keySig.KeyTag)
+	if !ok {
+		return nil, fmt.Errorf("%w: signing key of %q not in its own set", ErrBrokenChain, zone)
+	}
+	if zone.Canonical() == "" {
+		if !keyEqual(signingKey, s.TrustAnchor) {
+			return nil, fmt.Errorf("%w: root key does not match the trust anchor", ErrBrokenChain)
+		}
+	} else {
+		if err := s.checkDS(zone, signingKey, depth); err != nil {
+			return nil, err
+		}
+	}
+	s.keyCache[zone.Canonical()] = keys
+	return keys, nil
+}
+
+// checkDS validates that the parent zone's DS RRset vouches for key.
+func (s *Stub) checkDS(zone dnswire.Name, key dnswire.DNSKEYRData, depth int) error {
+	dsRecs, dsSigs, err := s.query(zone, dnswire.TypeDS)
+	if err != nil {
+		return fmt.Errorf("%w: DS for %q: %v", ErrBrokenChain, zone, err)
+	}
+	if len(dsSigs) == 0 {
+		return fmt.Errorf("%w: DS set of %q unsigned", ErrBrokenChain, zone)
+	}
+	dsSig := dsSigs[0]
+	parentKeys, err := s.trustedKeys(dsSig.SignerName, depth+1)
+	if err != nil {
+		return err
+	}
+	if err := VerifyRRset(dsRecs, dsSig, parentKeys); err != nil {
+		return fmt.Errorf("%w: DS signature of %q: %v", ErrBrokenChain, zone, err)
+	}
+	want := DSFor(zone, key)
+	for _, rr := range dsRecs {
+		ds, ok := rr.Data.(dnswire.DSRData)
+		if !ok {
+			continue
+		}
+		if ds.KeyTag == want.KeyTag && ds.DigestType == want.DigestType &&
+			string(ds.Digest) == string(want.Digest) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: no DS of %q matches its signing key", ErrBrokenChain, zone)
+}
+
+// keyByTag finds the key with a tag.
+func keyByTag(keys []dnswire.DNSKEYRData, tag uint16) (dnswire.DNSKEYRData, bool) {
+	for _, k := range keys {
+		if k.KeyTag() == tag {
+			return k, true
+		}
+	}
+	return dnswire.DNSKEYRData{}, false
+}
+
+// keyEqual compares keys by material.
+func keyEqual(a, b dnswire.DNSKEYRData) bool {
+	return a.Flags == b.Flags && a.Algorithm == b.Algorithm &&
+		string(a.PublicKey) == string(b.PublicKey)
+}

@@ -1,0 +1,111 @@
+package dnssec_test
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/dnssec"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// stubFor builds a validating stub for a lab probe pointed at a resolver.
+func stubFor(lab *homelab.Lab, resolver netip.Addr) *dnssec.Stub {
+	return &dnssec.Stub{
+		Client:      lab.Client(),
+		Resolver:    netip.AddrPortFrom(resolver, 53),
+		TrustAnchor: lab.Backbone.TrustAnchor,
+	}
+}
+
+func TestChainOfTrustValidatesOnCleanPath(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	stub := stubFor(lab, publicdns.Lookup(publicdns.Cloudflare).V4[0])
+	res := stub.Resolve(publicdns.CanaryDomain, dnswire.TypeA)
+	if res.Err != nil {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if !res.Secure {
+		t.Fatal("clean path did not validate")
+	}
+	if len(res.Records) != 1 || res.Records[0].Data.(dnswire.ARData).Addr != publicdns.CanaryAnswer {
+		t.Errorf("records = %v", res.Records)
+	}
+}
+
+func TestInterceptionBreaksDNSSEC(t *testing.T) {
+	// The paper (§1): interception "can interfere with the correct
+	// operation of protocols such as DNSSEC". Behind the XB6 the query
+	// never reaches the validating public resolver: the DNSSEC-oblivious
+	// ISP resolver answers, stripping every signature. The A record
+	// looks fine — the stub just cannot prove it.
+	lab := homelab.New(homelab.XB6)
+	stub := stubFor(lab, publicdns.Lookup(publicdns.Cloudflare).V4[0])
+	res := stub.Resolve(publicdns.CanaryDomain, dnswire.TypeA)
+	if res.Secure {
+		t.Fatal("validation succeeded through a DNSSEC-oblivious interceptor")
+	}
+	if !errors.Is(res.Err, dnssec.ErrNoSignature) {
+		t.Errorf("err = %v, want ErrNoSignature", res.Err)
+	}
+	// The data itself was resolved correctly — transparency holds.
+	if len(res.Records) != 1 || res.Records[0].Data.(dnswire.ARData).Addr != publicdns.CanaryAnswer {
+		t.Errorf("records = %v", res.Records)
+	}
+}
+
+func TestDNSSECAwareInterceptorStillValidates(t *testing.T) {
+	// The counterpoint: DNSSEC protects data, not paths. If the
+	// interceptor's resolver is itself DNSSEC-aware, the stub validates
+	// happily and learns nothing about the interception — which is why
+	// the paper's localization technique is needed at all.
+	lab := homelab.New(homelab.XB6)
+	lab.ISP.Resolver.DNSSECAware = true
+	stub := stubFor(lab, publicdns.Lookup(publicdns.Cloudflare).V4[0])
+	res := stub.Resolve(publicdns.CanaryDomain, dnswire.TypeA)
+	if res.Err != nil {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if !res.Secure {
+		t.Fatal("aware alternate resolver should deliver a validatable chain")
+	}
+}
+
+func TestForgedAnswerFailsValidation(t *testing.T) {
+	// An alternate resolver that *rewrites* answers (redirection, §2)
+	// cannot forge signatures: swap the canary's address at the ISP
+	// resolver via a blocklist-style rewrite is not modeled, so instead
+	// verify at the wire level: a tampered RRset under a genuine chain
+	// fails. (Unit-level variant lives in dnssec_test.go; this checks
+	// the stub's verify step end to end by corrupting the trust anchor.)
+	lab := homelab.New(homelab.Clean)
+	stub := stubFor(lab, publicdns.Lookup(publicdns.Cloudflare).V4[0])
+	stub.TrustAnchor.PublicKey = append([]byte(nil), stub.TrustAnchor.PublicKey...)
+	stub.TrustAnchor.PublicKey[0] ^= 1
+	res := stub.Resolve(publicdns.CanaryDomain, dnswire.TypeA)
+	if res.Secure {
+		t.Fatal("validation succeeded with a corrupted trust anchor")
+	}
+	if !errors.Is(res.Err, dnssec.ErrBrokenChain) {
+		t.Errorf("err = %v, want ErrBrokenChain", res.Err)
+	}
+}
+
+func TestUnsignedZoneReportsInsecure(t *testing.T) {
+	// whoami.akamai.com is dynamic and unsigned (like its real
+	// counterpart): resolution works, validation reports no signature.
+	lab := homelab.New(homelab.Clean)
+	stub := stubFor(lab, publicdns.Lookup(publicdns.Google).V4[0])
+	res := stub.Resolve(publicdns.WhoamiDomain, dnswire.TypeA)
+	if res.Secure {
+		t.Fatal("unsigned zone validated")
+	}
+	if !errors.Is(res.Err, dnssec.ErrNoSignature) {
+		t.Errorf("err = %v, want ErrNoSignature", res.Err)
+	}
+	if len(res.Records) == 0 {
+		t.Error("no records resolved")
+	}
+}

@@ -1,0 +1,119 @@
+package dnsserver
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/dnssec"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+)
+
+// signedWorld extends the mini DNS tree with signatures on the
+// example.com zone and a DS record in com.
+func signedWorld(t *testing.T) (*dnsWorld, *dnssec.Key) {
+	t.Helper()
+	w := buildDNSWorld(t)
+	key := dnssec.GenerateKey("example.com", "zone-test")
+	// Rebuild the auth with a signed zone: easiest is signing the zone
+	// in place (records were added by buildDNSWorld).
+	if err := w.authZone.Sign(key); err != nil {
+		t.Fatal(err)
+	}
+	return w, key
+}
+
+// askRaw exchanges a prepared message through the world's client.
+func askRaw(t *testing.T, w *dnsWorld, server string, m *dnswire.Message) *dnswire.Message {
+	t.Helper()
+	resps, err := w.client.Exchange(w.net, ap(server), dnswire.MustPack(m), netsim.ExchangeOptions{})
+	if err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	out, err := dnswire.Unpack(resps[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSignedZoneServesRRSIGsWithDO(t *testing.T) {
+	w, key := signedWorld(t)
+	q := dnswire.NewQuery(51, "www.example.com", dnswire.TypeA, dnswire.ClassINET)
+	q.SetEDNS(4096, true)
+	m := askRaw(t, w, "192.0.2.2:53", q)
+	var sig *dnswire.RRSIGRData
+	var answers []dnswire.Record
+	for _, rr := range m.Answers {
+		if s, ok := rr.Data.(dnswire.RRSIGRData); ok {
+			sig = &s
+		} else {
+			answers = append(answers, rr)
+		}
+	}
+	if sig == nil {
+		t.Fatalf("no RRSIG in DO answer: %s", m)
+	}
+	if err := dnssec.VerifyRRset(answers, *sig, []dnswire.DNSKEYRData{key.Public}); err != nil {
+		t.Fatalf("served signature does not verify: %v", err)
+	}
+}
+
+func TestSignedZoneOmitsRRSIGsWithoutDO(t *testing.T) {
+	w, _ := signedWorld(t)
+	q := dnswire.NewQuery(52, "www.example.com", dnswire.TypeA, dnswire.ClassINET)
+	m := askRaw(t, w, "192.0.2.2:53", q)
+	for _, rr := range m.Answers {
+		if rr.Type() == dnswire.TypeRRSIG {
+			t.Fatalf("RRSIG served without DO: %s", m)
+		}
+	}
+}
+
+func TestDNSKEYServedAtOrigin(t *testing.T) {
+	w, key := signedWorld(t)
+	q := dnswire.NewQuery(53, "example.com", dnswire.TypeDNSKEY, dnswire.ClassINET)
+	q.SetEDNS(4096, true)
+	m := askRaw(t, w, "192.0.2.2:53", q)
+	var found bool
+	for _, rr := range m.Answers {
+		if k, ok := rr.Data.(dnswire.DNSKEYRData); ok && k.KeyTag() == key.Public.KeyTag() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DNSKEY missing: %s", m)
+	}
+}
+
+func TestDSAtCutAnsweredByParent(t *testing.T) {
+	// The com TLD in buildDNSWorld delegates example.com. Add a DS for
+	// the cut and ask the *parent*: it must answer, not refer.
+	w := buildDNSWorld(t)
+	key := dnssec.GenerateKey("example.com", "ds-test")
+
+	comZone := NewZone("com")
+	comZone.Delegate("example.com", map[dnswire.Name][]netip.Addr{
+		"ns1.example.com": {addr("192.0.2.2")},
+	})
+	comZone.MustAdd(key.DSRecord(3600))
+	comRtr := netsim.NewRouter("com-tld2", addr("192.5.7.30"))
+	comRtr.Bind(53, NewAuthServer(comZone))
+	comRtr.AddDefaultRoute(w.backbone)
+	w.backbone.AddRoute(pfx("192.5.7.0/24"), comRtr)
+
+	q := dnswire.NewQuery(54, "example.com", dnswire.TypeDS, dnswire.ClassINET)
+	m := askRaw(t, w, "192.5.7.30:53", q)
+	if len(m.Answers) != 1 {
+		t.Fatalf("DS at cut: %s", m)
+	}
+	if _, ok := m.Answers[0].Data.(dnswire.DSRData); !ok {
+		t.Fatalf("answer is not DS: %s", m.Answers[0])
+	}
+	// An A query for the cut still refers.
+	qa := dnswire.NewQuery(55, "example.com", dnswire.TypeA, dnswire.ClassINET)
+	ma := askRaw(t, w, "192.5.7.30:53", qa)
+	if len(ma.Answers) != 0 || len(ma.Authority) == 0 {
+		t.Fatalf("A at cut should refer: %s", ma)
+	}
+}

@@ -1,0 +1,185 @@
+package dnsserver
+
+import (
+	"net/netip"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+)
+
+// Forwarder is a dnsmasq-style DNS forwarder: the software that runs on
+// nearly all CPE (Table 5 of the paper). It answers CHAOS debugging
+// queries itself — the behavior the localization technique depends on —
+// and relays everything else to a pre-configured upstream resolver.
+type Forwarder struct {
+	// Persona answers version.bind and friends. The persona string is
+	// the fingerprint the detector compares (§3.2).
+	Persona ChaosPersona
+
+	// ForwardUnhandledChaos forwards CHAOS debugging queries the persona
+	// does not implement upstream instead of answering NOTIMP. A CPE
+	// configured this way while not intercepting is the §6
+	// misclassification case.
+	ForwardUnhandledChaos bool
+
+	// Upstream is the resolver queries are relayed to — for an XDNS-style
+	// CPE, the ISP resolver.
+	Upstream netip.AddrPort
+
+	// Egress is the source address of upstream queries (the CPE WAN
+	// address).
+	Egress netip.Addr
+
+	// NoCache disables the answer cache; dnsmasq caches by default.
+	NoCache bool
+
+	pending  map[uint16]fwdPending
+	cache    map[fwdCacheKey]fwdCacheEntry
+	nextPort uint16
+}
+
+type fwdPending struct {
+	clientPkt netsim.Packet
+	clientID  uint16
+	q         dnswire.Question
+}
+
+type fwdCacheKey struct {
+	name  dnswire.Name
+	typ   dnswire.Type
+	class dnswire.Class
+}
+
+type fwdCacheEntry struct {
+	msg     *dnswire.Message
+	expires time.Duration
+}
+
+// NewForwarder creates a forwarder relaying to upstream from egress.
+func NewForwarder(persona ChaosPersona, egress netip.Addr, upstream netip.AddrPort) *Forwarder {
+	return &Forwarder{
+		Persona:  persona,
+		Upstream: upstream,
+		Egress:   egress,
+		pending:  make(map[uint16]fwdPending),
+		cache:    make(map[fwdCacheKey]fwdCacheEntry),
+		nextPort: 20000,
+	}
+}
+
+// ServeUDP implements netsim.Service.
+func (f *Forwarder) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
+	if pkt.Dst.Port() != 53 {
+		f.handleUpstream(sc, pkt)
+		return
+	}
+	query, err := dnswire.Unpack(pkt.Payload)
+	if err != nil || query.Header.Response || len(query.Questions) == 0 {
+		return
+	}
+	q := query.Question()
+	isChaosDebug := q.Class == dnswire.ClassCHAOS && q.Type == dnswire.TypeTXT && IsChaosDebugName(q.Name)
+	if isChaosDebug {
+		answersLocally := (IsVersionQuery(q.Name) && f.Persona.Version != "") ||
+			(IsIdentityQuery(q.Name) && f.Persona.Identity != "")
+		if answersLocally || !f.ForwardUnhandledChaos {
+			if resp := f.Persona.Answer(query); resp != nil {
+				f.reply(sc, pkt, resp)
+				return
+			}
+		}
+		// Fall through: forward the debugging query upstream.
+	}
+	// dnsmasq-style cache: repeated LAN lookups are answered locally.
+	if !f.NoCache && q.Class == dnswire.ClassINET {
+		key := fwdCacheKey{name: q.Name.Canonical(), typ: q.Type, class: q.Class}
+		if e, ok := f.cache[key]; ok {
+			if e.expires > sc.Now() {
+				resp := *e.msg
+				resp.Header.ID = query.Header.ID
+				f.reply(sc, pkt, &resp)
+				return
+			}
+			delete(f.cache, key)
+		}
+	}
+	f.forward(sc, pkt, query)
+}
+
+// forward relays the query upstream on a fresh ephemeral port.
+func (f *Forwarder) forward(sc *netsim.ServiceCtx, pkt netsim.Packet, query *dnswire.Message) {
+	if !f.Upstream.IsValid() || !f.Egress.IsValid() {
+		f.reply(sc, pkt, dnswire.NewErrorResponse(query, dnswire.RCodeServerFailure))
+		return
+	}
+	port := f.allocPort()
+	f.pending[port] = fwdPending{clientPkt: pkt, clientID: query.Header.ID, q: query.Question()}
+	sc.Router.Bind(port, f)
+	sc.Send(netsim.Packet{
+		Src:     netip.AddrPortFrom(f.Egress, port),
+		Dst:     f.Upstream,
+		Proto:   netsim.UDP,
+		TTL:     netsim.DefaultTTL,
+		Payload: append([]byte(nil), pkt.Payload...),
+	})
+}
+
+// handleUpstream relays an upstream response back to the waiting client.
+func (f *Forwarder) handleUpstream(sc *netsim.ServiceCtx, pkt netsim.Packet) {
+	p, ok := f.pending[pkt.Dst.Port()]
+	if !ok {
+		return
+	}
+	delete(f.pending, pkt.Dst.Port())
+	sc.Router.Unbind(pkt.Dst.Port())
+	if !f.NoCache {
+		f.maybeCache(sc, p.q, pkt.Payload)
+	}
+	sc.Reply(p.clientPkt, append([]byte(nil), pkt.Payload...))
+}
+
+// maybeCache stores a successful upstream answer for its minimum TTL.
+// TTL-zero records (the dynamic echo zones) stay uncacheable, and
+// CHAOS-class traffic is never cached.
+func (f *Forwarder) maybeCache(sc *netsim.ServiceCtx, q dnswire.Question, payload []byte) {
+	if q.Class != dnswire.ClassINET {
+		return
+	}
+	m, err := dnswire.Unpack(payload)
+	if err != nil || m.Header.RCode != dnswire.RCodeSuccess || len(m.Answers) == 0 {
+		return
+	}
+	minTTL := m.Answers[0].TTL
+	for _, rr := range m.Answers {
+		if rr.TTL < minTTL {
+			minTTL = rr.TTL
+		}
+	}
+	if minTTL == 0 {
+		return
+	}
+	f.cache[fwdCacheKey{name: q.Name.Canonical(), typ: q.Type, class: q.Class}] = fwdCacheEntry{
+		msg:     m,
+		expires: sc.Now() + time.Duration(minTTL)*time.Second,
+	}
+}
+
+// reply packs and sends a locally-generated answer.
+func (f *Forwarder) reply(sc *netsim.ServiceCtx, to netsim.Packet, m *dnswire.Message) {
+	payload, err := m.Pack()
+	if err != nil {
+		return
+	}
+	sc.Reply(to, payload)
+}
+
+// allocPort cycles upstream ports within [20000, 28000).
+func (f *Forwarder) allocPort() uint16 {
+	p := f.nextPort
+	f.nextPort++
+	if f.nextPort >= 28000 {
+		f.nextPort = 20000
+	}
+	return p
+}

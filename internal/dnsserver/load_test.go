@@ -1,0 +1,39 @@
+package dnsserver
+
+import (
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+func TestZoneLoad(t *testing.T) {
+	z := NewZone("example.com")
+	err := z.Load(`
+; a readable test zone
+www.example.com.   300 IN A     192.0.2.80
+www.example.com.   300 IN AAAA  2001:db8::80
+alias.example.com.  60 IN CNAME www.example.com.
+example.com.       300 IN TXT   "v=spf1 -all"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rrs, _ := z.Lookup(q("www.example.com", dnswire.TypeA), testSrc)
+	if res != LookupAnswer || len(rrs) != 1 {
+		t.Errorf("A lookup: res=%v rrs=%v", res, rrs)
+	}
+	res, _, _ = z.Lookup(q("alias.example.com", dnswire.TypeA), testSrc)
+	if res != LookupCNAME {
+		t.Errorf("CNAME lookup: res=%v", res)
+	}
+}
+
+func TestZoneLoadRejectsOutOfZone(t *testing.T) {
+	z := NewZone("example.com")
+	if err := z.Load("www.example.org. 300 IN A 192.0.2.1"); err == nil {
+		t.Fatal("out-of-zone record loaded")
+	}
+	if err := z.Load("not a record"); err == nil {
+		t.Fatal("garbage loaded")
+	}
+}

@@ -1,0 +1,60 @@
+package dnsserver
+
+import (
+	"sort"
+
+	"github.com/dnswatch/dnsloc/internal/dnssec"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// Sign signs every static RRset in the zone with key: it publishes the
+// DNSKEY at the origin and stores one RRSIG per (name, type) set, which
+// the auth server attaches to answers carrying the DO bit. Dynamic
+// names cannot be pre-signed and stay unsigned (as real
+// source-address-echo zones are). Call Sign after all static records
+// and delegation DS records have been added.
+func (z *Zone) Sign(key *dnssec.Key) error {
+	z.key = key
+	z.MustAdd(key.DNSKEYRecord(3600))
+	z.sigs = make(map[dnswire.Name]map[dnswire.Type]dnswire.Record)
+
+	// Deterministic sweep order.
+	names := make([]dnswire.Name, 0, len(z.records))
+	for name := range z.records {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	for _, name := range names {
+		types := make([]dnswire.Type, 0, len(z.records[name]))
+		for typ := range z.records[name] {
+			types = append(types, typ)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, typ := range types {
+			if typ == dnswire.TypeRRSIG {
+				continue
+			}
+			sig, err := dnssec.SignRRset(z.records[name][typ], key)
+			if err != nil {
+				return err
+			}
+			if z.sigs[name] == nil {
+				z.sigs[name] = make(map[dnswire.Type]dnswire.Record)
+			}
+			z.sigs[name][typ] = sig
+		}
+	}
+	return nil
+}
+
+// Signed reports whether the zone carries signatures.
+func (z *Zone) Signed() bool { return z.key != nil }
+
+// SignatureFor returns the RRSIG covering (name, typ), if one exists.
+func (z *Zone) SignatureFor(name dnswire.Name, typ dnswire.Type) (dnswire.Record, bool) {
+	if z.sigs == nil {
+		return dnswire.Record{}, false
+	}
+	sig, ok := z.sigs[name.Canonical()][typ]
+	return sig, ok
+}

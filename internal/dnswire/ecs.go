@@ -1,0 +1,126 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// EDNS Client Subnet (RFC 7871): an OPT option carrying the client's
+// subnet so that geo-aware authoritative servers can answer precisely.
+// Google's o-o.myaddr.l.google.com echoes it back with an
+// "edns0-client-subnet" TXT string — measurement tooling uses that to
+// see what subnet a resolver claims to speak for.
+
+// ednsOptionECS is the option code.
+const ednsOptionECS = 8
+
+// ECS is a decoded client-subnet option.
+type ECS struct {
+	// Prefix is the client subnet.
+	Prefix netip.Prefix
+	// Scope is the server-signalled scope prefix length (0 in queries).
+	Scope uint8
+}
+
+// String renders the option the way Google's echo does.
+func (e ECS) String() string {
+	return fmt.Sprintf("%s/%d", e.Prefix.Addr(), e.Prefix.Bits())
+}
+
+// packECS encodes the option body.
+func packECS(e ECS) []byte {
+	addrLen := (e.Prefix.Bits() + 7) / 8
+	var family uint16
+	var addrBytes []byte
+	if e.Prefix.Addr().Is6() && !e.Prefix.Addr().Is4In6() {
+		family = 2
+		addr16 := e.Prefix.Addr().As16()
+		addrBytes = addr16[:addrLen]
+	} else {
+		family = 1
+		addr4 := e.Prefix.Addr().As4()
+		addrBytes = addr4[:addrLen]
+	}
+	body := make([]byte, 0, 8+addrLen)
+	body = binary.BigEndian.AppendUint16(body, ednsOptionECS)
+	body = binary.BigEndian.AppendUint16(body, uint16(4+addrLen))
+	body = binary.BigEndian.AppendUint16(body, family)
+	body = append(body, uint8(e.Prefix.Bits()), e.Scope)
+	body = append(body, addrBytes...)
+	return body
+}
+
+// parseECS walks OPT option TLVs for a client-subnet option.
+func parseECS(options []byte) (ECS, bool) {
+	for off := 0; off+4 <= len(options); {
+		code := binary.BigEndian.Uint16(options[off : off+2])
+		length := int(binary.BigEndian.Uint16(options[off+2 : off+4]))
+		off += 4
+		if off+length > len(options) {
+			return ECS{}, false
+		}
+		body := options[off : off+length]
+		off += length
+		if code != ednsOptionECS || len(body) < 4 {
+			continue
+		}
+		family := binary.BigEndian.Uint16(body[0:2])
+		srcLen := int(body[2])
+		scope := body[3]
+		addrBytes := body[4:]
+		var addr netip.Addr
+		switch family {
+		case 1:
+			var a [4]byte
+			copy(a[:], addrBytes)
+			addr = netip.AddrFrom4(a)
+			if srcLen > 32 {
+				return ECS{}, false
+			}
+		case 2:
+			var a [16]byte
+			copy(a[:], addrBytes)
+			addr = netip.AddrFrom16(a)
+			if srcLen > 128 {
+				return ECS{}, false
+			}
+		default:
+			continue
+		}
+		return ECS{Prefix: netip.PrefixFrom(addr, srcLen).Masked(), Scope: scope}, true
+	}
+	return ECS{}, false
+}
+
+// SetECS attaches a client-subnet option, creating the OPT record if
+// the message has none.
+func (m *Message) SetECS(prefix netip.Prefix) {
+	opt := m.findOPT()
+	if opt == nil {
+		m.SetEDNS(4096, false)
+		opt = m.findOPT()
+	}
+	data := opt.Data.(OPTRData)
+	data.Options = append(data.Options, packECS(ECS{Prefix: prefix.Masked()})...)
+	opt.Data = data
+}
+
+// ClientSubnet returns the message's ECS option, if present.
+func (m *Message) ClientSubnet() (ECS, bool) {
+	opt := m.findOPT()
+	if opt == nil {
+		return ECS{}, false
+	}
+	return parseECS(opt.Data.(OPTRData).Options)
+}
+
+// findOPT locates the OPT record in the additional section.
+func (m *Message) findOPT() *Record {
+	for i := range m.Additional {
+		if m.Additional[i].Type() == TypeOPT {
+			return &m.Additional[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestECSRoundTrip(t *testing.T) {
+	cases := []string{"96.120.1.0/24", "10.0.0.0/8", "2601:db00::/48", "192.0.2.1/32"}
+	for _, c := range cases {
+		q := NewQuery(1, "o-o.myaddr.l.google.com", TypeTXT, ClassINET)
+		prefix := netip.MustParsePrefix(c)
+		q.SetECS(prefix)
+		wire := MustPack(q)
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		ecs, ok := got.ClientSubnet()
+		if !ok {
+			t.Fatalf("%s: option lost", c)
+		}
+		if ecs.Prefix != prefix.Masked() {
+			t.Errorf("%s: got %s", c, ecs.Prefix)
+		}
+	}
+}
+
+func TestECSOnExistingOPT(t *testing.T) {
+	q := NewQuery(2, "example.com", TypeA, ClassINET)
+	q.SetEDNS(4096, true)
+	q.SetECS(netip.MustParsePrefix("198.51.100.0/24"))
+	if !q.DO() {
+		t.Error("adding ECS dropped the DO bit")
+	}
+	got, err := Unpack(MustPack(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.ClientSubnet(); !ok {
+		t.Error("ECS lost")
+	}
+	if !got.DO() {
+		t.Error("DO lost")
+	}
+	// Exactly one OPT record.
+	opts := 0
+	for _, rr := range got.Additional {
+		if rr.Type() == TypeOPT {
+			opts++
+		}
+	}
+	if opts != 1 {
+		t.Errorf("OPT records = %d", opts)
+	}
+}
+
+func TestECSAbsent(t *testing.T) {
+	q := NewQuery(3, "example.com", TypeA, ClassINET)
+	if _, ok := q.ClientSubnet(); ok {
+		t.Error("phantom ECS")
+	}
+	q.SetEDNS(512, false)
+	if _, ok := q.ClientSubnet(); ok {
+		t.Error("phantom ECS on plain OPT")
+	}
+}
+
+func TestECSMalformedOptionsIgnored(t *testing.T) {
+	q := NewQuery(4, "example.com", TypeA, ClassINET)
+	q.Additional = append(q.Additional, Record{
+		Name: "", Class: Class(4096), TTL: 0,
+		Data: OPTRData{Options: []byte{0, 8, 0, 99}}, // length overruns
+	})
+	if _, ok := q.ClientSubnet(); ok {
+		t.Error("malformed option parsed")
+	}
+}
+
+func TestECSString(t *testing.T) {
+	e := ECS{Prefix: netip.MustParsePrefix("96.120.0.0/16")}
+	if e.String() != "96.120.0.0/16" {
+		t.Errorf("String = %q", e)
+	}
+}

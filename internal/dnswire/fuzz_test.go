@@ -1,0 +1,79 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedMessages builds a corpus of valid packets so the fuzzer starts
+// from interesting shapes.
+func seedMessages() [][]byte {
+	var seeds [][]byte
+	add := func(m *Message) {
+		if b, err := m.Pack(); err == nil {
+			seeds = append(seeds, b)
+		}
+	}
+	add(NewQuery(1, "example.com", TypeA, ClassINET))
+	add(NewChaosTXTQuery(2, "version.bind"))
+	add(NewTXTResponse(NewChaosTXTQuery(3, "id.server"), "IAD"))
+	add(NewErrorResponse(NewQuery(4, "x.test", TypeAAAA, ClassINET), RCodeRefused))
+	q := NewQuery(5, "o-o.myaddr.l.google.com", TypeTXT, ClassINET)
+	q.SetEDNS(4096, true)
+	add(q)
+	return seeds
+}
+
+// FuzzUnpack asserts the decoder's core contract on arbitrary bytes:
+// never panic, never loop, and — when a message decodes — re-encoding
+// and re-decoding is stable (the canonical-encoder property).
+func FuzzUnpack(f *testing.F) {
+	for _, s := range seedMessages() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		repacked, err := m.Pack()
+		if err != nil {
+			// Legal: a decoded message can exceed the UDP encoding limit
+			// after decompression.
+			return
+		}
+		m2, err := Unpack(repacked)
+		if err != nil {
+			t.Fatalf("repacked message does not decode: %v", err)
+		}
+		again, err := m2.Pack()
+		if err != nil {
+			t.Fatalf("second pack failed: %v", err)
+		}
+		if !bytes.Equal(repacked, again) {
+			t.Fatalf("encoder not canonical:\n%x\n%x", repacked, again)
+		}
+	})
+}
+
+// FuzzUnpackName asserts the name decoder's bounds on raw fragments.
+func FuzzUnpackName(f *testing.F) {
+	f.Add([]byte{7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 3, 'c', 'o', 'm', 0}, 0)
+	f.Add([]byte{0xC0, 0x00}, 0)
+	f.Add([]byte{1, 'a', 0xC0, 0x00}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		if off < 0 || off > len(data) {
+			return
+		}
+		name, end, err := unpackName(data, off)
+		if err != nil {
+			return
+		}
+		if end < off || end > len(data) {
+			t.Fatalf("end %d outside [%d,%d]", end, off, len(data))
+		}
+		if len(name) > 4*maxNameWire {
+			t.Fatalf("decoded name absurdly long: %d", len(name))
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// headerLen is the fixed size of the DNS message header.
+const headerLen = 12
+
+// Header is the 12-byte DNS message header (RFC 1035 §4.1.1) with the
+// flags word broken out into named fields.
+type Header struct {
+	ID     uint16
+	Opcode Opcode
+	RCode  RCode
+
+	Response           bool // QR
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	AuthenticData      bool // AD (RFC 4035)
+	CheckingDisabled   bool // CD (RFC 4035)
+
+	QDCount uint16
+	ANCount uint16
+	NSCount uint16
+	ARCount uint16
+}
+
+// flags assembles the 16-bit flags word.
+func (h *Header) flags() uint16 {
+	var f uint16
+	if h.Response {
+		f |= 1 << 15
+	}
+	f |= uint16(h.Opcode&0xF) << 11
+	if h.Authoritative {
+		f |= 1 << 10
+	}
+	if h.Truncated {
+		f |= 1 << 9
+	}
+	if h.RecursionDesired {
+		f |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		f |= 1 << 7
+	}
+	if h.AuthenticData {
+		f |= 1 << 5
+	}
+	if h.CheckingDisabled {
+		f |= 1 << 4
+	}
+	f |= uint16(h.RCode & 0xF)
+	return f
+}
+
+// setFlags splits a 16-bit flags word into the named fields.
+func (h *Header) setFlags(f uint16) {
+	h.Response = f&(1<<15) != 0
+	h.Opcode = Opcode(f >> 11 & 0xF)
+	h.Authoritative = f&(1<<10) != 0
+	h.Truncated = f&(1<<9) != 0
+	h.RecursionDesired = f&(1<<8) != 0
+	h.RecursionAvailable = f&(1<<7) != 0
+	h.AuthenticData = f&(1<<5) != 0
+	h.CheckingDisabled = f&(1<<4) != 0
+	h.RCode = RCode(f & 0xF)
+}
+
+// pack appends the wire encoding of the header.
+func (h *Header) pack(buf []byte) []byte {
+	var w [headerLen]byte
+	binary.BigEndian.PutUint16(w[0:2], h.ID)
+	binary.BigEndian.PutUint16(w[2:4], h.flags())
+	binary.BigEndian.PutUint16(w[4:6], h.QDCount)
+	binary.BigEndian.PutUint16(w[6:8], h.ANCount)
+	binary.BigEndian.PutUint16(w[8:10], h.NSCount)
+	binary.BigEndian.PutUint16(w[10:12], h.ARCount)
+	return append(buf, w[:]...)
+}
+
+// unpack reads the header from the start of msg.
+func (h *Header) unpack(msg []byte) error {
+	if len(msg) < headerLen {
+		return ErrShortMessage
+	}
+	h.ID = binary.BigEndian.Uint16(msg[0:2])
+	h.setFlags(binary.BigEndian.Uint16(msg[2:4]))
+	h.QDCount = binary.BigEndian.Uint16(msg[4:6])
+	h.ANCount = binary.BigEndian.Uint16(msg[6:8])
+	h.NSCount = binary.BigEndian.Uint16(msg[8:10])
+	h.ARCount = binary.BigEndian.Uint16(msg[10:12])
+	return nil
+}
+
+// String renders the header in dig-like form for debugging and traces.
+func (h *Header) String() string {
+	qr := "query"
+	if h.Response {
+		qr = "response"
+	}
+	return fmt.Sprintf("id=%d %s op=%s rcode=%s rd=%t ra=%t qd=%d an=%d ns=%d ar=%d",
+		h.ID, qr, h.Opcode, h.RCode, h.RecursionDesired, h.RecursionAvailable,
+		h.QDCount, h.ANCount, h.NSCount, h.ARCount)
+}

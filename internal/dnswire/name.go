@@ -1,0 +1,172 @@
+package dnswire
+
+import (
+	"strings"
+)
+
+// maxNameWire is the maximum length of an encoded name (RFC 1035 §3.1).
+const maxNameWire = 255
+
+// maxLabel is the maximum length of a single label.
+const maxLabel = 63
+
+// Name is a fully-qualified domain name in presentation format without a
+// trailing dot (the root name is the empty string). Comparison is
+// case-insensitive per RFC 1035 §2.3.3; use Canonical for map keys.
+type Name string
+
+// Canonical lower-cases the name for case-insensitive comparison.
+func (n Name) Canonical() Name { return Name(strings.ToLower(string(n))) }
+
+// Equal reports whether two names are equal under DNS case-folding.
+func (n Name) Equal(m Name) bool { return strings.EqualFold(string(n), string(m)) }
+
+// Labels splits the name into its labels, most-specific first.
+// The root name yields no labels.
+func (n Name) Labels() []string {
+	if n == "" || n == "." {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(string(n), "."), ".")
+}
+
+// Parent returns the name with its leftmost label removed, and true if a
+// label was removed. The root name returns itself and false.
+func (n Name) Parent() (Name, bool) {
+	s := strings.TrimSuffix(string(n), ".")
+	if s == "" {
+		return "", false
+	}
+	i := strings.IndexByte(s, '.')
+	if i < 0 {
+		return "", true
+	}
+	return Name(s[i+1:]), true
+}
+
+// IsSubdomainOf reports whether n is equal to or underneath zone.
+func (n Name) IsSubdomainOf(zone Name) bool {
+	nn := strings.ToLower(strings.TrimSuffix(string(n), "."))
+	zz := strings.ToLower(strings.TrimSuffix(string(zone), "."))
+	if zz == "" {
+		return true
+	}
+	if nn == zz {
+		return true
+	}
+	return strings.HasSuffix(nn, "."+zz)
+}
+
+// validateName checks presentation-format constraints before encoding.
+func validateName(n Name) error {
+	s := strings.TrimSuffix(string(n), ".")
+	if s == "" {
+		return nil // root
+	}
+	wire := 1 // terminal root byte
+	for _, label := range strings.Split(s, ".") {
+		if label == "" {
+			return ErrEmptyName
+		}
+		if len(label) > maxLabel {
+			return ErrLabelTooLong
+		}
+		wire += 1 + len(label)
+	}
+	if wire > maxNameWire {
+		return ErrNameTooLong
+	}
+	return nil
+}
+
+// compressionMap tracks name suffixes already emitted into a message so
+// later occurrences can be replaced by 14-bit pointers (RFC 1035 §4.1.4).
+type compressionMap map[string]int
+
+// packName appends the wire encoding of n to buf, using and updating cmp
+// for compression. Pass a nil cmp to disable compression (required inside
+// RDATA of types whose RDATA must not be compressed, e.g. in TXT there are
+// no names, but SOA/NS/CNAME historically compress; modern practice for
+// unknown types forbids it).
+func packName(buf []byte, n Name, cmp compressionMap) ([]byte, error) {
+	if err := validateName(n); err != nil {
+		return buf, err
+	}
+	s := strings.TrimSuffix(string(n), ".")
+	if s == "" {
+		return append(buf, 0), nil
+	}
+	labels := strings.Split(s, ".")
+	for i := range labels {
+		suffix := strings.ToLower(strings.Join(labels[i:], "."))
+		if cmp != nil {
+			if off, ok := cmp[suffix]; ok && off < 0x4000 {
+				return append(buf, byte(0xC0|off>>8), byte(off)), nil
+			}
+			if len(buf) < 0x4000 {
+				cmp[suffix] = len(buf)
+			}
+		}
+		buf = append(buf, byte(len(labels[i])))
+		buf = append(buf, labels[i]...)
+	}
+	return append(buf, 0), nil
+}
+
+// unpackName decodes a possibly-compressed name starting at off within
+// msg. It returns the name and the offset of the first byte after the
+// name's encoding at its original position (i.e. after the pointer if one
+// was followed).
+func unpackName(msg []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	seen := 0      // decoded octets, to bound the loop
+	ptrBudget := 0 // pointers followed, to detect loops cheaply
+	end := -1      // resume offset after the first pointer
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrShortMessage
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			return Name(sb.String()), end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrShortMessage
+			}
+			target := int(b&0x3F)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if target >= off {
+				// Forward or self pointers are malformed and would loop.
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget++
+			if ptrBudget > 127 {
+				return "", 0, ErrCompressionLoop
+			}
+			off = target
+		case b&0xC0 != 0:
+			// 0x40 and 0x80 label types were never standardized.
+			return "", 0, ErrBadRData
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, ErrShortMessage
+			}
+			seen += l + 1
+			if seen > maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			off += 1 + l
+		}
+	}
+}

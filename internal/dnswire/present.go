@@ -1,0 +1,168 @@
+package dnswire
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ParseRecord parses one zone-file-style resource record line:
+//
+//	www.example.com. 300 IN A 192.0.2.80
+//	example.com.     300 IN TXT "hello world" "second string"
+//	alias.example.com. 60 IN CNAME www.example.com.
+//
+// Supported types: A, AAAA, TXT, CNAME, NS, PTR, MX, SOA. The trailing
+// dot on names is optional. Quotes group TXT strings; an unquoted TXT
+// body is a single string. This is a pragmatic subset of RFC 1035
+// master-file syntax — enough to express test zones readably — not a
+// full parser ($ directives, parentheses, and escapes are not
+// supported).
+func ParseRecord(line string) (Record, error) {
+	fields, err := splitQuoted(line)
+	if err != nil {
+		return Record{}, err
+	}
+	if len(fields) < 4 {
+		return Record{}, fmt.Errorf("dnswire: record %q needs name, ttl, class, type", line)
+	}
+	name := Name(strings.TrimSuffix(fields[0], "."))
+	ttl64, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("dnswire: bad ttl %q: %v", fields[1], err)
+	}
+	if !strings.EqualFold(fields[2], "IN") {
+		return Record{}, fmt.Errorf("dnswire: only class IN is supported, got %q", fields[2])
+	}
+	typ := strings.ToUpper(fields[3])
+	body := fields[4:]
+
+	rr := Record{Name: name, Class: ClassINET, TTL: uint32(ttl64)}
+	switch typ {
+	case "A", "AAAA":
+		if len(body) != 1 {
+			return Record{}, fmt.Errorf("dnswire: %s needs one address", typ)
+		}
+		a, err := netip.ParseAddr(body[0])
+		if err != nil {
+			return Record{}, fmt.Errorf("dnswire: bad address %q: %v", body[0], err)
+		}
+		if typ == "A" {
+			if !a.Is4() {
+				return Record{}, fmt.Errorf("dnswire: %q is not IPv4", body[0])
+			}
+			rr.Data = ARData{Addr: a}
+		} else {
+			if !a.Is6() || a.Is4In6() {
+				return Record{}, fmt.Errorf("dnswire: %q is not IPv6", body[0])
+			}
+			rr.Data = AAAARData{Addr: a}
+		}
+	case "TXT":
+		if len(body) == 0 {
+			return Record{}, fmt.Errorf("dnswire: TXT needs at least one string")
+		}
+		rr.Data = TXTRData{Strings: body}
+	case "CNAME":
+		if len(body) != 1 {
+			return Record{}, fmt.Errorf("dnswire: CNAME needs one target")
+		}
+		rr.Data = CNAMERData{Target: Name(strings.TrimSuffix(body[0], "."))}
+	case "NS":
+		if len(body) != 1 {
+			return Record{}, fmt.Errorf("dnswire: NS needs one host")
+		}
+		rr.Data = NSRData{Host: Name(strings.TrimSuffix(body[0], "."))}
+	case "PTR":
+		if len(body) != 1 {
+			return Record{}, fmt.Errorf("dnswire: PTR needs one target")
+		}
+		rr.Data = PTRRData{Target: Name(strings.TrimSuffix(body[0], "."))}
+	case "MX":
+		if len(body) != 2 {
+			return Record{}, fmt.Errorf("dnswire: MX needs preference and host")
+		}
+		pref, err := strconv.ParseUint(body[0], 10, 16)
+		if err != nil {
+			return Record{}, fmt.Errorf("dnswire: bad MX preference %q", body[0])
+		}
+		rr.Data = MXRData{Preference: uint16(pref), Host: Name(strings.TrimSuffix(body[1], "."))}
+	case "SOA":
+		if len(body) != 7 {
+			return Record{}, fmt.Errorf("dnswire: SOA needs mname, rname and five numbers")
+		}
+		nums := make([]uint32, 5)
+		for i, f := range body[2:] {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return Record{}, fmt.Errorf("dnswire: bad SOA field %q", f)
+			}
+			nums[i] = uint32(v)
+		}
+		rr.Data = SOARData{
+			MName: Name(strings.TrimSuffix(body[0], ".")), RName: Name(strings.TrimSuffix(body[1], ".")),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4],
+		}
+	default:
+		return Record{}, fmt.Errorf("dnswire: unsupported type %q", typ)
+	}
+	if err := validateName(rr.Name); err != nil {
+		return Record{}, err
+	}
+	return rr, nil
+}
+
+// ParseRecords parses multiple lines, skipping blanks and ';' comments.
+func ParseRecords(text string) ([]Record, error) {
+	var out []Record
+	for i, line := range strings.Split(text, "\n") {
+		if idx := strings.IndexByte(line, ';'); idx >= 0 && !strings.Contains(line[:idx], `"`) {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		rr, err := ParseRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+// splitQuoted splits on whitespace, keeping double-quoted spans intact.
+func splitQuoted(line string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '"':
+			if inQuote {
+				fields = append(fields, cur.String())
+				cur.Reset()
+			} else {
+				flush()
+			}
+			inQuote = !inQuote
+		case !inQuote && (r == ' ' || r == '\t'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("dnswire: unterminated quote in %q", line)
+	}
+	flush()
+	return fields, nil
+}

@@ -1,0 +1,101 @@
+package dnswire
+
+import (
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRecordTypes(t *testing.T) {
+	cases := []struct {
+		line string
+		want RData
+	}{
+		{"www.example.com. 300 IN A 192.0.2.80", ARData{Addr: netip.MustParseAddr("192.0.2.80")}},
+		{"www.example.com 300 IN AAAA 2001:db8::1", AAAARData{Addr: netip.MustParseAddr("2001:db8::1")}},
+		{`t.example.com. 60 IN TXT "hello world" "second"`, TXTRData{Strings: []string{"hello world", "second"}}},
+		{"t.example.com. 60 IN TXT bare", TXTRData{Strings: []string{"bare"}}},
+		{"a.example.com. 60 IN CNAME www.example.com.", CNAMERData{Target: "www.example.com"}},
+		{"example.com. 60 IN NS ns1.example.com.", NSRData{Host: "ns1.example.com"}},
+		{"9.2.0.192.in-addr.arpa. 60 IN PTR host.example.com.", PTRRData{Target: "host.example.com"}},
+		{"example.com. 60 IN MX 10 mx.example.com.", MXRData{Preference: 10, Host: "mx.example.com"}},
+		{"example.com. 60 IN SOA ns1.example.com. hostmaster.example.com. 1 7200 3600 1209600 300",
+			SOARData{MName: "ns1.example.com", RName: "hostmaster.example.com",
+				Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300}},
+	}
+	for _, c := range cases {
+		rr, err := ParseRecord(c.line)
+		if err != nil {
+			t.Errorf("ParseRecord(%q): %v", c.line, err)
+			continue
+		}
+		if !reflect.DeepEqual(rr.Data, c.want) {
+			t.Errorf("ParseRecord(%q) = %#v, want %#v", c.line, rr.Data, c.want)
+		}
+		if rr.TTL != 300 && rr.TTL != 60 {
+			t.Errorf("ParseRecord(%q) ttl = %d", c.line, rr.TTL)
+		}
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"www.example.com. 300 IN",
+		"www.example.com. x IN A 192.0.2.1",
+		"www.example.com. 300 CH A 192.0.2.1",
+		"www.example.com. 300 IN A not-an-ip",
+		"www.example.com. 300 IN A 2001:db8::1",    // v6 addr in A
+		"www.example.com. 300 IN AAAA 192.0.2.1",   // v4 addr in AAAA
+		"www.example.com. 300 IN SRV 0 0 443 x.y.", // unsupported type
+		"www.example.com. 300 IN MX ten mx.example.com.",
+		`t.example.com. 60 IN TXT "unterminated`,
+		"bad..name. 300 IN A 192.0.2.1",
+	} {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("ParseRecord(%q) succeeded", line)
+		}
+	}
+}
+
+func TestParseRecordsSkipsCommentsAndBlanks(t *testing.T) {
+	rrs, err := ParseRecords(`
+; the zone for testing
+www.example.com. 300 IN A 192.0.2.80   ; web server
+
+mail.example.com. 300 IN A 192.0.2.25
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 2 {
+		t.Fatalf("records = %d, want 2", len(rrs))
+	}
+	if !rrs[0].Name.Equal("www.example.com") || !rrs[1].Name.Equal("mail.example.com") {
+		t.Errorf("names = %s, %s", rrs[0].Name, rrs[1].Name)
+	}
+}
+
+func TestParseRecordsReportsLineNumbers(t *testing.T) {
+	_, err := ParseRecords("www.example.com. 300 IN A 192.0.2.80\nbroken line here\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 context", err)
+	}
+}
+
+func TestParsedRecordsRoundTripWire(t *testing.T) {
+	rrs, err := ParseRecords(`www.example.com. 300 IN A 192.0.2.80
+t.example.com. 60 IN TXT "hello"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Message{Header: Header{ID: 1, Response: true}, Answers: rrs}
+	got, err := Unpack(MustPack(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 2 {
+		t.Errorf("answers = %d", len(got.Answers))
+	}
+}

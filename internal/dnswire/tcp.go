@@ -1,0 +1,103 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DNS over TCP frames each message with a 2-octet big-endian length
+// prefix (RFC 1035 §4.2.2). Real resolvers fall back to TCP when a UDP
+// answer arrives truncated; the real-network client in the root package
+// does the same.
+
+// maxTCPMessage bounds a framed message.
+const maxTCPMessage = 0xFFFF
+
+// PackTCP encodes a message with its TCP length prefix.
+func PackTCP(m *Message) ([]byte, error) {
+	body, err := m.packUnbounded()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxTCPMessage {
+		return nil, fmt.Errorf("dnswire: message is %d bytes, exceeds TCP frame limit", len(body))
+	}
+	out := make([]byte, 2+len(body))
+	binary.BigEndian.PutUint16(out[:2], uint16(len(body)))
+	copy(out[2:], body)
+	return out, nil
+}
+
+// WriteTCP frames and writes one message.
+func WriteTCP(w io.Writer, m *Message) error {
+	buf, err := PackTCP(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadTCP reads one framed message.
+func ReadTCP(r io.Reader) (*Message, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Unpack(body)
+}
+
+// packUnbounded packs without the UDP size ceiling; TCP has its own
+// 64 KiB frame limit, checked by the callers.
+func (m *Message) packUnbounded() ([]byte, error) {
+	h := m.Header
+	h.QDCount = uint16(len(m.Questions))
+	h.ANCount = uint16(len(m.Answers))
+	h.NSCount = uint16(len(m.Authority))
+	h.ARCount = uint16(len(m.Additional))
+	buf := make([]byte, 0, 512)
+	buf = h.pack(buf)
+	cmp := compressionMap{}
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = packName(buf, q.Name, cmp); err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, section := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if buf, err = packRecord(buf, rr, cmp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// PackWithTruncation packs for UDP; if the full message does not fit in
+// maxSize octets it returns a truncated response (TC set, answer
+// sections dropped), as a real server would, prompting the client to
+// retry over TCP.
+func PackWithTruncation(m *Message, maxSize int) ([]byte, error) {
+	if maxSize <= 0 || maxSize > maxUDPPayload {
+		maxSize = maxUDPPayload
+	}
+	full, err := m.packUnbounded()
+	if err != nil {
+		return nil, err
+	}
+	if len(full) <= maxSize {
+		return full, nil
+	}
+	tr := &Message{Header: m.Header, Questions: m.Questions}
+	tr.Header.Truncated = true
+	return tr.packUnbounded()
+}

@@ -1,0 +1,112 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func bigMessage() *Message {
+	m := &Message{Header: Header{ID: 9, Response: true}}
+	m.Questions = []Question{{Name: "big.example.com", Type: TypeTXT, Class: ClassINET}}
+	for i := 0; i < 8; i++ {
+		m.Answers = append(m.Answers, Record{
+			Name: "big.example.com", Class: ClassINET, TTL: 60,
+			Data: TXTRData{Strings: []string{strings.Repeat("x", 200)}},
+		})
+	}
+	return m
+}
+
+func TestTCPFrameRoundTrip(t *testing.T) {
+	m := bigMessage() // too big for UDP, fine for TCP
+	var buf bytes.Buffer
+	if err := WriteTCP(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTCP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != len(m.Answers) {
+		t.Errorf("answers = %d, want %d", len(got.Answers), len(m.Answers))
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d bytes left after one frame", buf.Len())
+	}
+}
+
+func TestTCPMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	q1 := NewQuery(1, "a.example", TypeA, ClassINET)
+	q2 := NewQuery(2, "b.example", TypeA, ClassINET)
+	if err := WriteTCP(&buf, q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTCP(&buf, q2); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := ReadTCP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadTCP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Header.ID != 1 || m2.Header.ID != 2 {
+		t.Errorf("ids = %d, %d", m1.Header.ID, m2.Header.ID)
+	}
+}
+
+func TestReadTCPTruncatedStream(t *testing.T) {
+	buf, err := PackTCP(NewQuery(3, "c.example", TypeA, ClassINET))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := ReadTCP(bytes.NewReader(buf[:cut])); err == nil {
+			t.Errorf("cut at %d: no error", cut)
+		}
+	}
+}
+
+func TestPackWithTruncationSetsTC(t *testing.T) {
+	m := bigMessage()
+	wire, err := PackWithTruncation(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) > 512 {
+		t.Fatalf("truncated encoding is %d bytes", len(wire))
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Header.Truncated {
+		t.Error("TC not set")
+	}
+	if len(got.Answers) != 0 {
+		t.Errorf("truncated message kept %d answers", len(got.Answers))
+	}
+	if got.Question().Name != "big.example.com" {
+		t.Error("question missing from truncated message")
+	}
+}
+
+func TestPackWithTruncationPassesSmall(t *testing.T) {
+	m := NewAddrResponse(NewQuery(4, "s.example", TypeA, ClassINET), 60, netip.MustParseAddr("192.0.2.1"))
+	wire, err := PackWithTruncation(m, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Truncated || len(got.Answers) != 1 {
+		t.Errorf("small message altered: %s", got)
+	}
+}

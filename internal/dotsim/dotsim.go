@@ -1,0 +1,127 @@
+// Package dotsim models DNS-over-TLS interception, the evaluation the
+// paper leaves as future work (§6). It is a deliberately small channel
+// model, not a TLS implementation: what matters for the technique is
+// the authentication decision, not the cryptography.
+//
+// The paper's observation: DoH and strictly-authenticated DoT prevent
+// transparent interception outright, but RFC 7858's "opportunistic
+// privacy profile" skips certificate validation — an on-path
+// interceptor can terminate the session with its own certificate and
+// the client never notices. Under that profile the location-query
+// technique still works, because the alternate resolver still cannot
+// forge the operator's distinctive answers.
+package dotsim
+
+import (
+	"errors"
+	"net/netip"
+)
+
+// Profile is the client's DoT authentication policy (RFC 7858 §4).
+type Profile int
+
+// Profiles.
+const (
+	// Opportunistic encrypts but does not authenticate: any certificate
+	// is accepted.
+	Opportunistic Profile = iota
+	// Strict requires the certificate to authenticate the target
+	// resolver; a mismatch aborts the session.
+	Strict
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	if p == Strict {
+		return "strict"
+	}
+	return "opportunistic"
+}
+
+// Certificate is the model's stand-in for an X.509 server certificate:
+// who it names, and whether a validating client would accept the chain.
+type Certificate struct {
+	// Subject is the resolver address the certificate authenticates.
+	Subject netip.Addr
+	// Trusted reports whether the chain verifies against the client's
+	// roots (an interceptor's self-signed cert does not).
+	Trusted bool
+}
+
+// Server is a DoT resolver endpoint.
+type Server struct {
+	Addr netip.Addr
+	Cert Certificate
+	// Identity is the answer to the operator's location query — the
+	// distinctive string an interceptor cannot forge.
+	Identity string
+}
+
+// Interceptor is an on-path middlebox that can terminate DoT sessions.
+type Interceptor struct {
+	// Cert is what the interceptor presents — self-signed, naming
+	// whatever it likes, but never trusted.
+	Cert Certificate
+	// Backend answers the queries the interceptor captures.
+	Backend *Server
+}
+
+// Path is a client-to-resolver channel with an optional interceptor.
+type Path struct {
+	Target      *Server
+	Interceptor *Interceptor
+}
+
+// Session is an established DoT channel.
+type Session struct {
+	// PeerCert is the certificate the client saw.
+	PeerCert Certificate
+	// answering is who really answers queries.
+	answering *Server
+	// MITM reports whether the session terminates at an interceptor.
+	MITM bool
+}
+
+// ErrAuthFailed is the strict profile rejecting an unauthenticated peer.
+var ErrAuthFailed = errors.New("dotsim: certificate does not authenticate the target resolver")
+
+// Dial establishes a DoT session over the path under a profile.
+func Dial(p Path, profile Profile) (*Session, error) {
+	s := &Session{}
+	if p.Interceptor != nil {
+		// The interceptor terminates TLS and presents its own cert.
+		s.PeerCert = p.Interceptor.Cert
+		s.answering = p.Interceptor.Backend
+		s.MITM = true
+	} else {
+		s.PeerCert = p.Target.Cert
+		s.answering = p.Target
+		s.MITM = false
+	}
+	if profile == Strict {
+		if !s.PeerCert.Trusted || s.PeerCert.Subject != p.Target.Addr {
+			return nil, ErrAuthFailed
+		}
+	}
+	return s, nil
+}
+
+// QueryIdentity asks the session's resolver for its location-query
+// identity — the DoT transposition of §3.1.
+func (s *Session) QueryIdentity() string {
+	return s.answering.Identity
+}
+
+// DetectInterception runs the location-query check over DoT: dial,
+// query the identity, and compare against the operator's expected
+// answer. It returns whether interception was detected, and whether the
+// session could be established at all.
+func DetectInterception(p Path, profile Profile, validate func(string) bool) (detected, connected bool) {
+	sess, err := Dial(p, profile)
+	if err != nil {
+		// Strict profile: interception cannot even begin; the client
+		// knows the channel is broken but learns nothing about where.
+		return false, false
+	}
+	return !validate(sess.QueryIdentity()), true
+}

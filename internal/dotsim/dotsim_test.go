@@ -1,0 +1,108 @@
+package dotsim
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+func world() (target *Server, mitm *Interceptor) {
+	target = &Server{
+		Addr:     netip.MustParseAddr("1.1.1.1"),
+		Cert:     Certificate{Subject: netip.MustParseAddr("1.1.1.1"), Trusted: true},
+		Identity: "IAD",
+	}
+	mitm = &Interceptor{
+		Cert: Certificate{Subject: netip.MustParseAddr("1.1.1.1"), Trusted: false},
+		Backend: &Server{
+			Addr:     netip.MustParseAddr("96.120.0.53"),
+			Cert:     Certificate{Subject: netip.MustParseAddr("96.120.0.53"), Trusted: true},
+			Identity: "unbound",
+		},
+	}
+	return target, mitm
+}
+
+// validate is Cloudflare's three-letter-code check, simplified.
+func validate(s string) bool { return len(s) == 3 }
+
+func TestCleanPathBothProfiles(t *testing.T) {
+	target, _ := world()
+	for _, p := range []Profile{Opportunistic, Strict} {
+		sess, err := Dial(Path{Target: target}, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if sess.MITM {
+			t.Errorf("%s: clean path reported MITM", p)
+		}
+		if id := sess.QueryIdentity(); id != "IAD" {
+			t.Errorf("%s: identity = %q", p, id)
+		}
+	}
+}
+
+func TestStrictProfileBlocksInterception(t *testing.T) {
+	target, mitm := world()
+	_, err := Dial(Path{Target: target, Interceptor: mitm}, Strict)
+	if !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("err = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestOpportunisticProfileAllowsInterception(t *testing.T) {
+	target, mitm := world()
+	sess, err := Dial(Path{Target: target, Interceptor: mitm}, Opportunistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.MITM {
+		t.Error("MITM = false")
+	}
+	// The session works — the user sees nothing wrong — but the
+	// location query gives the interceptor away (§6).
+	if id := sess.QueryIdentity(); id != "unbound" {
+		t.Errorf("identity = %q", id)
+	}
+}
+
+func TestDetectInterceptionMatrix(t *testing.T) {
+	target, mitm := world()
+	cases := []struct {
+		name          string
+		path          Path
+		profile       Profile
+		wantDetected  bool
+		wantConnected bool
+	}{
+		{"clean-opportunistic", Path{Target: target}, Opportunistic, false, true},
+		{"clean-strict", Path{Target: target}, Strict, false, true},
+		{"mitm-opportunistic", Path{Target: target, Interceptor: mitm}, Opportunistic, true, true},
+		{"mitm-strict", Path{Target: target, Interceptor: mitm}, Strict, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			detected, connected := DetectInterception(c.path, c.profile, validate)
+			if detected != c.wantDetected || connected != c.wantConnected {
+				t.Errorf("= %t,%t want %t,%t", detected, connected, c.wantDetected, c.wantConnected)
+			}
+		})
+	}
+}
+
+func TestInterceptorCannotForgeTrustedCert(t *testing.T) {
+	// Even an interceptor that copies the subject cannot present a
+	// trusted chain: strict clients always catch it. (This is the model
+	// invariant that makes strict DoT interception-proof.)
+	target, mitm := world()
+	mitm.Cert.Subject = target.Addr
+	if _, err := Dial(Path{Target: target, Interceptor: mitm}, Strict); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("err = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if Opportunistic.String() != "opportunistic" || Strict.String() != "strict" {
+		t.Error("Profile.String misbehaves")
+	}
+}

@@ -1,0 +1,81 @@
+package geo
+
+import "testing"
+
+func TestCountriesSortedAndNonEmpty(t *testing.T) {
+	cs := Countries()
+	if len(cs) < 20 {
+		t.Fatalf("only %d countries", len(cs))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Weight > cs[i-1].Weight {
+			t.Fatalf("countries not sorted at %d", i)
+		}
+	}
+	if cs[0].Code != "US" {
+		t.Errorf("heaviest country = %s, want US (Atlas NA bias)", cs[0].Code)
+	}
+}
+
+func TestEveryOrgHasAKnownCountry(t *testing.T) {
+	for _, o := range Orgs() {
+		if _, ok := CountryByCode(o.Country); !ok {
+			t.Errorf("org %s references unknown country %q", o.Name, o.Country)
+		}
+	}
+}
+
+func TestEveryCountryHasAnOrg(t *testing.T) {
+	for _, c := range Countries() {
+		if len(OrgsIn(c.Code)) == 0 {
+			t.Errorf("country %s has no orgs", c.Code)
+		}
+	}
+}
+
+func TestComcastPresent(t *testing.T) {
+	o, ok := OrgByASN(7922)
+	if !ok || o.Name != "Comcast" || o.Country != "US" {
+		t.Fatalf("OrgByASN(7922) = %+v, %t", o, ok)
+	}
+	// Comcast must be the single heaviest org: Figure 3's top bar.
+	if Orgs()[0].ASN != 7922 {
+		t.Errorf("heaviest org = %+v, want Comcast", Orgs()[0])
+	}
+}
+
+func TestASNsUnique(t *testing.T) {
+	seen := map[int]string{}
+	for _, o := range Orgs() {
+		if prev, dup := seen[o.ASN]; dup {
+			t.Errorf("ASN %d used by both %q and %q", o.ASN, prev, o.Name)
+		}
+		seen[o.ASN] = o.Name
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	if _, ok := CountryByCode("XX"); ok {
+		t.Error("CountryByCode(XX) found")
+	}
+	if _, ok := OrgByASN(1); ok {
+		t.Error("OrgByASN(1) found")
+	}
+}
+
+func TestTotalWeightPositive(t *testing.T) {
+	if TotalWeight() <= 0 {
+		t.Error("TotalWeight <= 0")
+	}
+}
+
+func TestReturnedSlicesAreCopies(t *testing.T) {
+	Countries()[0].Weight = -1
+	if Countries()[0].Weight == -1 {
+		t.Error("Countries() aliases internal storage")
+	}
+	Orgs()[0].Weight = -1
+	if Orgs()[0].Weight == -1 {
+		t.Error("Orgs() aliases internal storage")
+	}
+}

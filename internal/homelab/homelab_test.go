@@ -1,0 +1,71 @@
+package homelab
+
+import (
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+)
+
+func TestAllScenariosBuild(t *testing.T) {
+	for _, s := range AllScenarios {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			lab := New(s)
+			if lab.Probe == nil || lab.CPE == nil || lab.ISP == nil || lab.Backbone == nil {
+				t.Fatal("lab incompletely wired")
+			}
+			if lab.Scenario != s {
+				t.Errorf("scenario = %s", lab.Scenario)
+			}
+			if !lab.Home.WANv4.IsValid() {
+				t.Error("home has no WAN address")
+			}
+			// Every lab home is dual-stack.
+			if !lab.Probe.Addr6.IsValid() {
+				t.Error("probe has no v6 address")
+			}
+		})
+	}
+}
+
+func TestExpectedVerdictCoversAllScenarios(t *testing.T) {
+	for _, s := range AllScenarios {
+		v := ExpectedVerdict(s)
+		switch v {
+		case core.VerdictNotIntercepted, core.VerdictCPE, core.VerdictISP, core.VerdictUnknown:
+		default:
+			t.Errorf("scenario %s has unexpected verdict %q", s, v)
+		}
+	}
+}
+
+func TestExpectedVerdictPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown scenario")
+		}
+	}()
+	ExpectedVerdict(Scenario("nonsense"))
+}
+
+func TestDetectorUsesPlatformMetadata(t *testing.T) {
+	lab := New(Clean)
+	det := lab.Detector()
+	if det.CPEPublicV4 != lab.Home.WANv4 {
+		t.Errorf("detector CPE address = %s, want %s", det.CPEPublicV4, lab.Home.WANv4)
+	}
+	if !det.QueryV6 {
+		t.Error("lab detector should query v6 (homes are dual-stack)")
+	}
+}
+
+func TestLabsAreIndependent(t *testing.T) {
+	// Two labs never share state: running one must not affect the other.
+	a := New(XB6)
+	b := New(Clean)
+	ra := a.Detector().Run()
+	rb := b.Detector().Run()
+	if ra.Verdict != core.VerdictCPE || rb.Verdict != core.VerdictNotIntercepted {
+		t.Errorf("verdicts = %s / %s", ra.Verdict, rb.Verdict)
+	}
+}

@@ -1,0 +1,38 @@
+package homelab_test
+
+import (
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+)
+
+// TestReplacingTheCPEStopsInterception reproduces §7's remediation:
+// the same home, ISP, and addressing, with the XB6 swapped for a
+// well-behaved router, goes from "intercepted by CPE" to clean.
+func TestReplacingTheCPEStopsInterception(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	before := lab.Detector().Run()
+	if before.Verdict != core.VerdictCPE {
+		t.Fatalf("before swap: %s", before.Verdict)
+	}
+
+	lab.ReplaceCPE()
+	after := lab.Detector().Run()
+	if after.Verdict != core.VerdictNotIntercepted {
+		t.Fatalf("after swap: %s\n%s", after.Verdict, after)
+	}
+}
+
+// TestReplacingTheCPEDoesNotHelpAgainstTheISP is the counterpart: when
+// the interceptor is a middlebox, a new router changes nothing.
+func TestReplacingTheCPEDoesNotHelpAgainstTheISP(t *testing.T) {
+	lab := homelab.New(homelab.ISPMiddlebox)
+	if v := lab.Detector().Run().Verdict; v != core.VerdictISP {
+		t.Fatalf("before swap: %s", v)
+	}
+	lab.ReplaceCPE()
+	if v := lab.Detector().Run().Verdict; v != core.VerdictISP {
+		t.Fatalf("after swap: %s, the middlebox should still intercept", v)
+	}
+}

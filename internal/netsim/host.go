@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// ErrTimeout is what a host observes when no response arrives: either
+// the query or the answer was dropped somewhere. The paper treats
+// timeouts conservatively — never as evidence of interception.
+var ErrTimeout = errors.New("netsim: query timed out (no response)")
+
+// ErrNoAddress means the host has no address of the family the
+// destination requires (e.g. a v4-only probe asked to query a v6
+// resolver).
+var ErrNoAddress = errors.New("netsim: host has no address in destination family")
+
+// Host is an endpoint device: the measurement probe, or any LAN client.
+// It can send datagrams through its gateway and collect the responses.
+type Host struct {
+	Name    string
+	Addr4   netip.Addr // zero if the host is v6-only
+	Addr6   netip.Addr // zero if the host is v4-only
+	Gateway Device
+
+	// Delay is the host's LAN link latency (zero = network default).
+	Delay time.Duration
+
+	nextPort uint16
+	inbox    map[uint16][]Packet
+}
+
+// NewHost creates a host. Either address may be the zero Addr.
+func NewHost(name string, addr4, addr6 netip.Addr, gw Device) *Host {
+	return &Host{
+		Name:     name,
+		Addr4:    addr4,
+		Addr6:    addr6,
+		Gateway:  gw,
+		nextPort: 49152,
+		inbox:    make(map[uint16][]Packet),
+	}
+}
+
+// DeviceName implements Device.
+func (h *Host) DeviceName() string { return h.Name }
+
+// EgressDelay implements EgressDelayer.
+func (h *Host) EgressDelay() time.Duration { return h.Delay }
+
+// Receive implements Device: packets addressed to the host land in its
+// per-port inbox with an arrival timestamp; anything else is ignored
+// (hosts do not forward).
+func (h *Host) Receive(ctx *Ctx, pkt Packet) {
+	if pkt.Dst.Addr() != h.Addr4 && pkt.Dst.Addr() != h.Addr6 {
+		ctx.Drop(pkt, "not for this host")
+		return
+	}
+	pkt.ArrivedAt = ctx.Now()
+	if pkt.Proto == ICMP {
+		// Time Exceeded: file it under the original flow's source port
+		// so the waiting Exchange sees it.
+		if srcPort, _, ok := ParseTimeExceeded(pkt); ok {
+			ctx.Trace(TraceDeliver, pkt, "host inbox (icmp)")
+			h.inbox[srcPort] = append(h.inbox[srcPort], pkt)
+			return
+		}
+		ctx.Drop(pkt, "unparseable icmp")
+		return
+	}
+	ctx.Trace(TraceDeliver, pkt, "host inbox")
+	h.inbox[pkt.Dst.Port()] = append(h.inbox[pkt.Dst.Port()], pkt)
+}
+
+// srcFor picks the host address matching the destination family.
+func (h *Host) srcFor(dst netip.Addr) (netip.Addr, error) {
+	if dst.Is6() && !dst.Is4In6() {
+		if !h.Addr6.IsValid() {
+			return netip.Addr{}, fmt.Errorf("%w: %s is IPv6", ErrNoAddress, dst)
+		}
+		return h.Addr6, nil
+	}
+	if !h.Addr4.IsValid() {
+		return netip.Addr{}, fmt.Errorf("%w: %s is IPv4", ErrNoAddress, dst)
+	}
+	return h.Addr4, nil
+}
+
+// ephemeralPort hands out a fresh source port per flow; uniqueness per
+// outstanding query is what lets conntrack (and therefore interceptors)
+// disambiguate flows, exactly as real stub resolvers behave.
+func (h *Host) ephemeralPort() uint16 {
+	p := h.nextPort
+	h.nextPort++
+	if h.nextPort < 49152 {
+		h.nextPort = 49152
+	}
+	return p
+}
+
+// ExchangeOptions tune one Exchange call.
+type ExchangeOptions struct {
+	// TTL overrides the initial hop limit; 0 means DefaultTTL. The
+	// TTL-ladder localization extension uses small values here.
+	TTL int
+}
+
+// Exchange sends one datagram to dst and drains every response that
+// arrives on the flow's source port after the network settles. Multiple
+// responses occur under query replication. No response returns
+// ErrTimeout.
+func (h *Host) Exchange(n *Network, dst netip.AddrPort, payload []byte, opts ExchangeOptions) ([]Packet, error) {
+	if h.Gateway == nil {
+		return nil, errors.New("netsim: host has no gateway")
+	}
+	src, err := h.srcFor(dst.Addr())
+	if err != nil {
+		return nil, err
+	}
+	ttl := opts.TTL
+	if ttl == 0 {
+		ttl = DefaultTTL
+	}
+	port := h.ephemeralPort()
+	pkt := Packet{
+		Src:     netip.AddrPortFrom(src, port),
+		Dst:     dst,
+		Proto:   UDP,
+		TTL:     ttl,
+		Payload: payload,
+		SentAt:  n.Now(),
+	}
+	n.Inject(h.Gateway, pkt)
+	if _, err := n.Run(); err != nil {
+		return nil, err
+	}
+	got := h.inbox[port]
+	delete(h.inbox, port)
+	if len(got) == 0 {
+		return nil, ErrTimeout
+	}
+	return got, nil
+}
+
+// PublicAddr4 returns the host's own idea of its IPv4 address; behind a
+// NAT CPE this is a private address, and the *probe platform* (not the
+// host) knows the WAN address, as RIPE Atlas metadata does.
+func (h *Host) PublicAddr4() netip.Addr { return h.Addr4 }

@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// refRoute is the obviously-correct longest-prefix match: linear scan.
+func refRoute(routes []Route, dst netip.Addr) *Route {
+	var best *Route
+	for i := range routes {
+		if routes[i].Prefix.Contains(dst.Unmap()) {
+			if best == nil || routes[i].Prefix.Bits() > best.Prefix.Bits() {
+				best = &routes[i]
+			}
+		}
+	}
+	return best
+}
+
+// namedDev is a throwaway device distinguishable by name.
+type namedDev string
+
+func (d namedDev) DeviceName() string         { return string(d) }
+func (d namedDev) Receive(ctx *Ctx, p Packet) {}
+
+// TestPropertyLPMMatchesLinearReference drives the hash-based
+// longest-prefix-match against a linear reference on random tables.
+func TestPropertyLPMMatchesLinearReference(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func() bool {
+		router := NewRouter("lpm")
+		var routes []Route
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			var p netip.Prefix
+			if r.Intn(2) == 0 {
+				var b [4]byte
+				r.Read(b[:])
+				p = netip.PrefixFrom(netip.AddrFrom4(b), r.Intn(33)).Masked()
+			} else {
+				var b [16]byte
+				r.Read(b[:])
+				p = netip.PrefixFrom(netip.AddrFrom16(b), r.Intn(129)).Masked()
+			}
+			dev := namedDev(p.String())
+			router.AddRoute(p, dev)
+			// Mirror the replace-on-duplicate semantics of insertRoute.
+			replaced := false
+			for j := range routes {
+				if routes[j].Prefix == p {
+					routes[j].Next = dev
+					replaced = true
+				}
+			}
+			if !replaced {
+				routes = append(routes, Route{Prefix: p, Next: dev})
+			}
+		}
+		// Probe with random addresses plus every route's own base.
+		probes := make([]netip.Addr, 0, 60)
+		for i := 0; i < 20; i++ {
+			var b [4]byte
+			r.Read(b[:])
+			probes = append(probes, netip.AddrFrom4(b))
+			var b6 [16]byte
+			r.Read(b6[:])
+			probes = append(probes, netip.AddrFrom16(b6))
+		}
+		for _, rt := range routes {
+			probes = append(probes, rt.Prefix.Addr())
+		}
+		for _, dst := range probes {
+			got := router.lookupRoute(dst)
+			want := refRoute(routes, dst)
+			switch {
+			case got == nil && want == nil:
+			case got == nil || want == nil:
+				return false
+			case got.Prefix != want.Prefix:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLPMPrefersLongestAndReplacesDuplicates(t *testing.T) {
+	router := NewRouter("x")
+	a := namedDev("a")
+	b := namedDev("b")
+	c := namedDev("c")
+	router.AddRoute(netip.MustParsePrefix("10.0.0.0/8"), a)
+	router.AddRoute(netip.MustParsePrefix("10.1.0.0/16"), b)
+	rt := router.lookupRoute(netip.MustParseAddr("10.1.2.3"))
+	if rt == nil || rt.Next != Device(b) {
+		t.Fatalf("lookup = %v, want /16 route", rt)
+	}
+	rt = router.lookupRoute(netip.MustParseAddr("10.2.2.3"))
+	if rt == nil || rt.Next != Device(a) {
+		t.Fatalf("lookup = %v, want /8 route", rt)
+	}
+	// Replacing the /16.
+	router.AddRoute(netip.MustParsePrefix("10.1.0.0/16"), c)
+	rt = router.lookupRoute(netip.MustParseAddr("10.1.2.3"))
+	if rt == nil || rt.Next != Device(c) {
+		t.Fatalf("lookup after replace = %v, want c", rt)
+	}
+}

@@ -1,0 +1,247 @@
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Device is anything that can receive a packet: a host, a router, a
+// middlebox. Devices are wired to each other explicitly (a CPE knows its
+// WAN gateway, a router has a routing table of next hops), mirroring
+// physical topology rather than a global delivery shortcut — interception
+// is a property of the path, so the path must be real.
+type Device interface {
+	// DeviceName identifies the device in traces.
+	DeviceName() string
+	// Receive handles one inbound packet. Implementations use ctx to
+	// forward, deliver, or drop.
+	Receive(ctx *Ctx, pkt Packet)
+}
+
+// EgressDelayer lets a device declare the one-way delay of its uplinks.
+// Devices without it get the network's default. Delays make the
+// simulation run on a virtual clock, so response times are meaningful:
+// an interceptor near the client answers measurably faster than a
+// distant anycast site — itself a known interception signal.
+type EgressDelayer interface {
+	EgressDelay() time.Duration
+}
+
+// Ctx gives a device controlled access to the network during packet
+// handling.
+type Ctx struct {
+	net *Network
+	dev Device
+}
+
+// Now returns the virtual time of the event being processed.
+func (c *Ctx) Now() time.Duration { return c.net.now }
+
+// Forward hands the packet to the next device after this device's link
+// delay. The TTL is decremented here — every inter-device handoff is a
+// routed hop. Packets whose TTL reaches zero are dropped; when
+// EmitTimeExceeded is enabled, identified routers announce the expiry
+// with ICMP, enabling traceroute.
+func (c *Ctx) Forward(next Device, pkt Packet) {
+	if next == nil {
+		c.Drop(pkt, "no route")
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		c.net.trace(c.dev, TraceDrop, pkt, "ttl exceeded")
+		// Routers announce the expiry (never for ICMP itself: no
+		// ICMP-about-ICMP cascades).
+		if c.net.EmitTimeExceeded && pkt.Proto != ICMP {
+			if r, ok := c.dev.(*Router); ok {
+				r.sendTimeExceeded(c, pkt)
+			}
+		}
+		return
+	}
+	if c.net.lose() {
+		c.net.trace(c.dev, TraceDrop, pkt, "packet loss")
+		return
+	}
+	c.net.trace(c.dev, TraceForward, pkt, "to "+next.DeviceName())
+	c.net.enqueue(next, pkt, c.net.now+c.net.delayFrom(c.dev))
+}
+
+// Emit originates a packet at this device without a TTL decrement —
+// the device is the packet's first hop, as when a local service answers.
+func (c *Ctx) Emit(next Device, pkt Packet) {
+	if next == nil {
+		c.Drop(pkt, "no route for emitted packet")
+		return
+	}
+	c.net.trace(c.dev, TraceEmit, pkt, "via "+next.DeviceName())
+	c.net.enqueue(next, pkt, c.net.now+c.net.delayFrom(c.dev))
+}
+
+// Loopback re-enqueues a packet at this same device, used after a DNAT
+// rewrite makes the device itself the destination.
+func (c *Ctx) Loopback(pkt Packet) {
+	c.net.enqueue(c.dev, pkt, c.net.now)
+}
+
+// Drop discards the packet, recording why.
+func (c *Ctx) Drop(pkt Packet, why string) {
+	c.net.trace(c.dev, TraceDrop, pkt, why)
+}
+
+// Trace records a custom event (NAT rewrites etc.).
+func (c *Ctx) Trace(kind TraceKind, pkt Packet, note string) {
+	c.net.trace(c.dev, kind, pkt, note)
+}
+
+// event is one scheduled delivery.
+type event struct {
+	at  time.Duration
+	seq int // FIFO tiebreak for equal timestamps
+	dev Device
+	pkt Packet
+}
+
+// eventHeap orders events by time, then arrival order.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Network is the virtual-time event loop tying devices together.
+type Network struct {
+	queue    eventHeap
+	seq      int // trace sequence
+	eventSeq int // event tiebreak sequence
+	now      time.Duration
+	taps     []func(TraceEvent)
+
+	// DefaultEgressDelay applies to devices that do not implement
+	// EgressDelayer. One millisecond keeps virtual RTTs in a realistic
+	// range without any configuration.
+	DefaultEgressDelay time.Duration
+
+	// MaxEvents bounds one Run to defend against forwarding loops.
+	MaxEvents int
+
+	// EmitTimeExceeded makes routers with a RouterID answer TTL expiry
+	// with ICMP Time Exceeded — traceroute support.
+	EmitTimeExceeded bool
+
+	lossRate float64
+	lossRng  *rand.Rand
+}
+
+// SetLoss installs a deterministic random-loss model: every forwarded
+// hop independently drops the packet with the given probability.
+// Locally-delivered and emitted packets are not affected — loss is a
+// property of links. A zero rate disables the model.
+func (n *Network) SetLoss(rate float64, seed int64) {
+	if rate <= 0 {
+		n.lossRate, n.lossRng = 0, nil
+		return
+	}
+	n.lossRate = rate
+	n.lossRng = rand.New(rand.NewSource(seed))
+}
+
+// lose samples the loss model for one hop.
+func (n *Network) lose() bool {
+	return n.lossRng != nil && n.lossRng.Float64() < n.lossRate
+}
+
+// NewNetwork returns an empty network with a generous event budget.
+func NewNetwork() *Network {
+	return &Network{
+		MaxEvents:          1 << 20,
+		DefaultEgressDelay: time.Millisecond,
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// delayFrom resolves a device's egress link delay.
+func (n *Network) delayFrom(dev Device) time.Duration {
+	if d, ok := dev.(EgressDelayer); ok {
+		if delay := d.EgressDelay(); delay > 0 {
+			return delay
+		}
+	}
+	return n.DefaultEgressDelay
+}
+
+// Tap registers a capture callback invoked for every trace event.
+// Taps observe the whole network; per-device filtering is the callback's
+// business.
+func (n *Network) Tap(fn func(TraceEvent)) {
+	n.taps = append(n.taps, fn)
+}
+
+// trace dispatches one event to the taps.
+func (n *Network) trace(dev Device, kind TraceKind, pkt Packet, note string) {
+	if len(n.taps) == 0 {
+		return
+	}
+	n.seq++
+	ev := TraceEvent{Seq: n.seq, At: n.now, Device: dev.DeviceName(), Kind: kind, Packet: pkt, Note: note}
+	for _, t := range n.taps {
+		t(ev)
+	}
+}
+
+// enqueue schedules a delivery.
+func (n *Network) enqueue(dev Device, pkt Packet, at time.Duration) {
+	n.eventSeq++
+	heap.Push(&n.queue, event{at: at, seq: n.eventSeq, dev: dev, pkt: pkt})
+}
+
+// Inject introduces a packet at a device from outside (e.g. a host
+// handing its own datagram to its gateway) at the current virtual time.
+func (n *Network) Inject(dev Device, pkt Packet) {
+	if pkt.SentAt == 0 {
+		pkt.SentAt = n.now
+	}
+	n.enqueue(dev, pkt, n.now)
+}
+
+// ErrEventBudget is returned by Run when the event budget is exhausted,
+// which in a correct topology means a forwarding loop.
+var ErrEventBudget = errors.New("netsim: event budget exhausted (forwarding loop?)")
+
+// Run drains the event queue in virtual-time order. It returns the
+// number of events processed.
+func (n *Network) Run() (int, error) {
+	processed := 0
+	for n.queue.Len() > 0 {
+		if processed >= n.MaxEvents {
+			return processed, fmt.Errorf("%w after %d events", ErrEventBudget, processed)
+		}
+		ev := heap.Pop(&n.queue).(event)
+		if ev.at > n.now {
+			n.now = ev.at
+		}
+		processed++
+		ctx := &Ctx{net: n, dev: ev.dev}
+		n.trace(ev.dev, TraceRecv, ev.pkt, "")
+		ev.dev.Receive(ctx, ev.pkt)
+	}
+	return processed, nil
+}

@@ -1,0 +1,200 @@
+package publicdns
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+)
+
+// Region is a coarse geographic region used to pick the anycast site a
+// client reaches.
+type Region string
+
+// Regions.
+const (
+	RegionNA Region = "NA"
+	RegionEU Region = "EU"
+	RegionAS Region = "AS"
+	RegionOC Region = "OC"
+	RegionSA Region = "SA"
+	RegionAF Region = "AF"
+)
+
+// Regions lists all regions in deterministic order.
+var Regions = []Region{RegionNA, RegionEU, RegionAS, RegionOC, RegionSA, RegionAF}
+
+// regionCity maps each region to the airport code of its anycast site.
+var regionCity = map[Region]string{
+	RegionNA: "iad",
+	RegionEU: "fra",
+	RegionAS: "sin",
+	RegionOC: "syd",
+	RegionSA: "gru",
+	RegionAF: "jnb",
+}
+
+// CityOf returns the airport code of a region's site.
+func CityOf(r Region) string { return regionCity[r] }
+
+// RegionForCountry maps a country code to its region. Unknown countries
+// land in Europe, the platform's center of mass.
+func RegionForCountry(cc string) Region {
+	switch cc {
+	case "US", "CA", "MX":
+		return RegionNA
+	case "JP", "IN", "ID", "TR", "RU", "CN", "KR", "SG":
+		return RegionAS
+	case "AU", "NZ":
+		return RegionOC
+	case "BR", "AR", "CL":
+		return RegionSA
+	case "ZA", "NG", "KE", "EG":
+		return RegionAF
+	default:
+		return RegionEU
+	}
+}
+
+// Site is one anycast point of presence of one operator.
+type Site struct {
+	Operator ID
+	Region   Region
+	City     string // lowercase airport code
+	Index    int
+
+	EgressV4 netip.Addr
+	EgressV6 netip.Addr
+}
+
+// Sites enumerates an operator's deployment: one site per region.
+func Sites(id ID) []Site {
+	c := Lookup(id)
+	out := make([]Site, 0, len(Regions))
+	for i, r := range Regions {
+		out = append(out, Site{
+			Operator: id,
+			Region:   r,
+			City:     regionCity[r],
+			Index:    i,
+			EgressV4: egressV4(c, i),
+			EgressV6: egressV6(c, i),
+		})
+	}
+	return out
+}
+
+// egressV4 derives the site's v4 egress address: host .53 of the i-th
+// /24 inside the operator's egress prefix.
+func egressV4(c *Config, i int) netip.Addr {
+	base := c.EgressPrefixV4.Addr().As4()
+	base[2] += byte(i + 1) // stays inside any prefix of /21 or wider
+	base[3] = 53
+	return netip.AddrFrom4(base)
+}
+
+// egressV6 derives the site's v6 egress address.
+func egressV6(c *Config, i int) netip.Addr {
+	base := c.EgressPrefixV6.Addr().As16()
+	base[7] += byte(i + 1)
+	base[15] = 53
+	return netip.AddrFrom16(base)
+}
+
+// EgressPrefixV4 returns the /24 the site's v4 egress lives in, for
+// routing back to the site.
+func (s Site) EgressPrefixV4() netip.Prefix {
+	return netip.PrefixFrom(s.EgressV4, 24).Masked()
+}
+
+// EgressPrefixV6 returns the /64 the site's v6 egress lives in.
+func (s Site) EgressPrefixV6() netip.Prefix {
+	return netip.PrefixFrom(s.EgressV6, 64).Masked()
+}
+
+// persona builds the site's CHAOS persona: the answers Table 1 and §3.2
+// document. Only Quad9 implements version.bind.
+func (s Site) persona() dnsserver.ChaosPersona {
+	switch s.Operator {
+	case Cloudflare:
+		return dnsserver.ChaosPersona{Identity: strings.ToUpper(s.City)}
+	case Quad9:
+		return dnsserver.ChaosPersona{
+			Identity: fmt.Sprintf("res%d.%s.rrdns.pch.net", 100+s.Index, s.City),
+			Version:  "Q9-P-7.5",
+		}
+	default:
+		return dnsserver.ChaosPersona{}
+	}
+}
+
+// hook builds the front-door special cases: Google's myaddr answer and
+// OpenDNS's debug answer are synthesized by the resolver itself.
+func (s Site) hook() func(*dnswire.Message, netip.AddrPort) *dnswire.Message {
+	switch s.Operator {
+	case Google:
+		return func(q *dnswire.Message, src netip.AddrPort) *dnswire.Message {
+			question := q.Question()
+			if !question.Name.Equal("o-o.myaddr.l.google.com") || question.Type != dnswire.TypeTXT {
+				return nil
+			}
+			egress := s.EgressV4
+			if src.Addr().Is6() && !src.Addr().Is4In6() {
+				egress = s.EgressV6
+			}
+			resp := dnswire.NewTXTResponse(q, egress.String())
+			// The real o-o.myaddr echoes a client-subnet option back as a
+			// second TXT string (RFC 7871 diagnostics).
+			if ecs, ok := q.ClientSubnet(); ok {
+				resp.Answers = append(resp.Answers, dnswire.Record{
+					Name: question.Name, Class: question.Class, TTL: 0,
+					Data: dnswire.TXTRData{Strings: []string{"edns0-client-subnet " + ecs.String()}},
+				})
+			}
+			return resp
+		}
+	case OpenDNS:
+		return func(q *dnswire.Message, src netip.AddrPort) *dnswire.Message {
+			question := q.Question()
+			if !question.Name.Equal("debug.opendns.com") || question.Type != dnswire.TypeTXT {
+				return nil
+			}
+			resp := dnswire.NewTXTResponse(q, fmt.Sprintf("server m%d.%s", 80+s.Index, s.City))
+			resp.Answers = append(resp.Answers, dnswire.Record{
+				Name: question.Name, Class: question.Class, TTL: 0,
+				Data: dnswire.TXTRData{Strings: []string{"flags 20 0 2F"}},
+			})
+			return resp
+		}
+	default:
+		return nil
+	}
+}
+
+// Build creates the site's router and resolver service, wired but not
+// yet attached to a topology: the caller routes the operator's service
+// prefixes (anycast) and the site's egress prefixes to the returned
+// router, and gives it a default route.
+func (s Site) Build(rootHints ...netip.Addr) (*netsim.Router, *dnsserver.RecursiveResolver) {
+	c := Lookup(s.Operator)
+	name := fmt.Sprintf("%s-%s", c.ID, s.City)
+	router := netsim.NewRouter(name)
+	for _, a := range c.V4 {
+		router.AddAddr(a)
+	}
+	for _, a := range c.V6 {
+		router.AddAddr(a)
+	}
+	router.AddAddr(s.EgressV4)
+	router.AddAddr(s.EgressV6)
+
+	res := dnsserver.NewRecursiveResolver(s.EgressV4, rootHints...)
+	res.Egress6 = s.EgressV6
+	res.Persona = s.persona()
+	res.Hook = s.hook()
+	router.Bind(53, res)
+	return router, res
+}

@@ -1,0 +1,82 @@
+package publicdns
+
+import (
+	"net/netip"
+
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// WhoamiDomain is the name the transparency check resolves (§4.1.2): its
+// authoritative server answers with the address of whoever asked — so
+// the client learns which resolver's egress really resolved the query.
+const WhoamiDomain = dnswire.Name("whoami.akamai.com")
+
+// CanaryDomain is the "generic domain we control" (§3.3) that bogon
+// queries ask for.
+const CanaryDomain = dnswire.Name("canary.dnsloc.com")
+
+// CanaryAnswer is the fixed A record the canary domain resolves to.
+var CanaryAnswer = netip.MustParseAddr("45.33.7.7")
+
+// AkamaiZone builds the akamai.com zone with the dynamic whoami name.
+func AkamaiZone() *dnsserver.Zone {
+	z := dnsserver.NewZone("akamai.com")
+	z.AddAddr("akamai.com", 300, netip.MustParseAddr("45.33.1.10"))
+	z.SetDynamic(WhoamiDomain, func(q dnswire.Question, src netip.AddrPort) []dnswire.Record {
+		a := src.Addr()
+		switch {
+		case q.Type == dnswire.TypeA && a.Is4():
+			return []dnswire.Record{{
+				Name: q.Name, Class: dnswire.ClassINET, TTL: 0,
+				Data: dnswire.ARData{Addr: a},
+			}}
+		case q.Type == dnswire.TypeAAAA && a.Is6() && !a.Is4In6():
+			return []dnswire.Record{{
+				Name: q.Name, Class: dnswire.ClassINET, TTL: 0,
+				Data: dnswire.AAAARData{Addr: a},
+			}}
+		default:
+			return nil
+		}
+	})
+	return z
+}
+
+// GoogleAuthZone builds the google.com zone including the dynamic
+// o-o.myaddr.l.google.com TXT echo. Alternate resolvers that really
+// recurse will reach this zone and have their own egress echoed back —
+// which is exactly how intercepted Google location queries end up with
+// non-Google addresses in them (Table 2, probes 11992 and 21823).
+func GoogleAuthZone() *dnsserver.Zone {
+	z := dnsserver.NewZone("google.com")
+	z.AddAddr("google.com", 300, netip.MustParseAddr("142.250.72.14"))
+	z.AddAddr("www.google.com", 300, netip.MustParseAddr("142.250.72.4"))
+	z.SetDynamic("o-o.myaddr.l.google.com", func(q dnswire.Question, src netip.AddrPort) []dnswire.Record {
+		if q.Type != dnswire.TypeTXT {
+			return nil
+		}
+		return []dnswire.Record{{
+			Name: q.Name, Class: dnswire.ClassINET, TTL: 0,
+			Data: dnswire.TXTRData{Strings: []string{src.Addr().String()}},
+		}}
+	})
+	return z
+}
+
+// OpenDNSAuthZone builds the opendns.com zone. The debug.opendns.com
+// name deliberately does not exist in the authoritative zone — only
+// OpenDNS's own resolvers synthesize it — so an alternate resolver
+// recursing for it gets NXDOMAIN, a non-standard answer.
+func OpenDNSAuthZone() *dnsserver.Zone {
+	z := dnsserver.NewZone("opendns.com")
+	z.AddAddr("opendns.com", 300, netip.MustParseAddr("146.112.62.105"))
+	return z
+}
+
+// CanaryZone builds the measurement domain's zone.
+func CanaryZone() *dnsserver.Zone {
+	z := dnsserver.NewZone("dnsloc.com")
+	z.AddAddr(CanaryDomain, 300, CanaryAnswer)
+	return z
+}

@@ -1,0 +1,117 @@
+// Package redirect detects DNS *redirection* — specifically NXDOMAIN
+// wildcarding, where a resolver rewrites "no such domain" errors into A
+// records pointing at an ad server (Kreibich et al.'s Netalyzr
+// findings; §2 and §7 of the paper).
+//
+// Redirection is the phenomenon the paper distinguishes interception
+// from: the *target resolver itself* alters answers, rather than a
+// middlebox diverting queries to an alternate resolver. The two are
+// independent — a path can be intercepted, redirected, both, or neither
+// — and this detector complements internal/core by covering the other
+// axis: query names that cannot exist and therefore must return
+// NXDOMAIN from any honest resolver.
+package redirect
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// Exchanger is the transport (structurally identical to core.Client).
+type Exchanger interface {
+	Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error)
+}
+
+// DefaultProbeNames are nonexistent names under a real TLD: random
+// enough that no honest zone resolves them, plausible enough that a
+// wildcarding resolver monetizes them.
+var DefaultProbeNames = []dnswire.Name{
+	"www.zx9qv7-canary-1.com",
+	"mail.k3jw8p-canary-2.com",
+	"shop.q8xm2r-canary-3.com",
+}
+
+// Outcome classifies one probe name's result.
+type Outcome string
+
+// Outcomes.
+const (
+	// OutcomeNXDomain: the honest answer.
+	OutcomeNXDomain Outcome = "nxdomain"
+	// OutcomeWildcarded: an A record came back for a name that cannot
+	// exist.
+	OutcomeWildcarded Outcome = "wildcarded"
+	// OutcomeOther: a different error or a timeout.
+	OutcomeOther Outcome = "other"
+)
+
+// ProbeResult is one name's observation.
+type ProbeResult struct {
+	Name    dnswire.Name
+	Outcome Outcome
+	// Answer is the substituted address when wildcarded.
+	Answer netip.Addr
+}
+
+// Result is a full detection run.
+type Result struct {
+	Resolver netip.AddrPort
+	Probes   []ProbeResult
+	// Wildcarded reports that every resolvable probe name came back
+	// with an A record — systematic NXDOMAIN rewriting.
+	Wildcarded bool
+	// AdServers collects the distinct substituted addresses.
+	AdServers []netip.Addr
+}
+
+// Detector probes one resolver for NXDOMAIN wildcarding.
+type Detector struct {
+	Client   Exchanger
+	Resolver netip.AddrPort
+	// Names overrides DefaultProbeNames.
+	Names []dnswire.Name
+
+	nextID uint16
+}
+
+// Run performs the detection.
+func (d *Detector) Run() (Result, error) {
+	names := d.Names
+	if len(names) == 0 {
+		names = DefaultProbeNames
+	}
+	res := Result{Resolver: d.Resolver}
+	wildcarded, answered := 0, 0
+	seen := map[netip.Addr]bool{}
+	for _, name := range names {
+		d.nextID++
+		q := dnswire.NewQuery(0x5000+d.nextID, name, dnswire.TypeA, dnswire.ClassINET)
+		pr := ProbeResult{Name: name, Outcome: OutcomeOther}
+		resps, err := d.Client.Exchange(d.Resolver, q)
+		if err == nil {
+			m := resps[0]
+			switch {
+			case m.Header.RCode == dnswire.RCodeNameError:
+				pr.Outcome = OutcomeNXDomain
+				answered++
+			case m.Header.RCode == dnswire.RCodeSuccess && len(m.AnswerAddrs()) > 0:
+				pr.Outcome = OutcomeWildcarded
+				pr.Answer, _ = netip.ParseAddr(m.AnswerAddrs()[0])
+				if pr.Answer.IsValid() && !seen[pr.Answer] {
+					seen[pr.Answer] = true
+					res.AdServers = append(res.AdServers, pr.Answer)
+				}
+				wildcarded++
+				answered++
+			}
+		}
+		res.Probes = append(res.Probes, pr)
+	}
+	if answered == 0 {
+		return res, fmt.Errorf("redirect: no probe name received a usable answer from %s", d.Resolver)
+	}
+	res.Wildcarded = wildcarded == answered && wildcarded > 0
+	return res, nil
+}

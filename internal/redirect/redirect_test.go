@@ -1,0 +1,107 @@
+package redirect_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+	"github.com/dnswatch/dnsloc/internal/redirect"
+)
+
+func TestHonestResolverIsNotWildcarded(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	det := &redirect.Detector{
+		Client:   lab.Client(),
+		Resolver: lab.ISP.ResolverAddrPort(),
+	}
+	res, err := det.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wildcarded {
+		t.Fatalf("honest resolver flagged: %+v", res)
+	}
+	for _, p := range res.Probes {
+		if p.Outcome != redirect.OutcomeNXDomain {
+			t.Errorf("%s outcome = %s, want nxdomain", p.Name, p.Outcome)
+		}
+	}
+}
+
+func TestWildcardingResolverDetected(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	adServer := netip.MustParseAddr("96.120.0.80")
+	lab.ISP.Resolver.NXDomainWildcard = adServer
+	det := &redirect.Detector{
+		Client:   lab.Client(),
+		Resolver: lab.ISP.ResolverAddrPort(),
+	}
+	res, err := det.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Wildcarded {
+		t.Fatalf("wildcarding not detected: %+v", res)
+	}
+	if len(res.AdServers) != 1 || res.AdServers[0] != adServer {
+		t.Errorf("ad servers = %v", res.AdServers)
+	}
+}
+
+func TestPublicResolversAreHonest(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	for _, id := range publicdns.All {
+		det := &redirect.Detector{
+			Client:   lab.Client(),
+			Resolver: netip.AddrPortFrom(publicdns.Lookup(id).V4[0], 53),
+		}
+		res, err := det.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res.Wildcarded {
+			t.Errorf("%s flagged as wildcarding", id)
+		}
+	}
+}
+
+func TestRedirectionAndInterceptionAreIndependent(t *testing.T) {
+	// §2: redirection is performed by the target resolver, interception
+	// by a middlebox. A home can suffer both: the XB6 diverts everything
+	// to the ISP resolver, and the ISP resolver wildcards NXDOMAINs.
+	lab := homelab.New(homelab.XB6)
+	lab.ISP.Resolver.NXDomainWildcard = netip.MustParseAddr("96.120.0.80")
+
+	// Interception localized as before.
+	report := lab.Detector().Run()
+	if report.Verdict != homelab.ExpectedVerdict(homelab.XB6) {
+		t.Errorf("verdict = %s", report.Verdict)
+	}
+
+	// And the redirection detector sees wildcarding even when probing a
+	// public resolver: the interceptor hands those queries to the
+	// wildcarding ISP resolver too.
+	det := &redirect.Detector{
+		Client:   lab.Client(),
+		Resolver: netip.AddrPortFrom(publicdns.Lookup(publicdns.Cloudflare).V4[0], 53),
+	}
+	res, err := det.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Wildcarded {
+		t.Error("wildcarding through the interceptor not detected")
+	}
+}
+
+func TestNoUsableAnswersErrors(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	det := &redirect.Detector{
+		Client:   lab.Client(),
+		Resolver: netip.MustParseAddrPort("203.0.113.99:53"), // unrouted
+	}
+	if _, err := det.Run(); err == nil {
+		t.Fatal("expected an error when nothing answers")
+	}
+}

@@ -1,0 +1,86 @@
+package study
+
+import (
+	"encoding/json"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// ProbeExport is the machine-readable per-probe record: what a real
+// measurement campaign would publish alongside its paper.
+type ProbeExport struct {
+	ProbeID   int    `json:"probe_id"`
+	Country   string `json:"country"`
+	ASN       int    `json:"asn"`
+	Org       string `json:"org"`
+	HasIPv6   bool   `json:"has_ipv6"`
+	Responded bool   `json:"responded"`
+
+	// Detection results (absent when the probe never responded).
+	Verdict        string   `json:"verdict,omitempty"`
+	Transparency   string   `json:"transparency,omitempty"`
+	InterceptedV4  []string `json:"intercepted_v4,omitempty"`
+	InterceptedV6  []string `json:"intercepted_v6,omitempty"`
+	CPEFingerprint string   `json:"cpe_fingerprint,omitempty"`
+
+	// Ground truth, for reproducibility studies on the simulator.
+	TruthLocation string `json:"truth_location"`
+	TruthPersona  string `json:"truth_persona,omitempty"`
+}
+
+// Export flattens the results for JSON serialization.
+func (r *Results) Export() []ProbeExport {
+	out := make([]ProbeExport, 0, len(r.Records))
+	for _, rec := range r.Records {
+		e := ProbeExport{
+			ProbeID:       rec.Probe.ID,
+			Country:       rec.Probe.Country,
+			ASN:           rec.Probe.ASN,
+			Org:           rec.Probe.Org,
+			HasIPv6:       rec.Probe.HasIPv6,
+			Responded:     rec.Report != nil,
+			TruthLocation: rec.Probe.Truth.Location,
+			TruthPersona:  rec.Probe.Truth.Persona,
+		}
+		if rec.Report != nil {
+			e.Verdict = string(rec.Report.Verdict)
+			e.Transparency = string(rec.Report.Transparency)
+			e.InterceptedV4 = idsToStrings(rec.Report.InterceptedV4)
+			e.InterceptedV6 = idsToStrings(rec.Report.InterceptedV6)
+			e.CPEFingerprint = rec.Report.CPEString
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// MarshalJSON renders the whole run: spec echo plus per-probe records.
+func (r *Results) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Seed        int64         `json:"seed"`
+		TotalProbes int           `json:"total_probes"`
+		Seats       int           `json:"interception_seats"`
+		Probes      []ProbeExport `json:"probes"`
+	}{
+		Seed:        r.World.Spec.Seed,
+		TotalProbes: r.World.Spec.TotalProbes,
+		Seats:       r.World.Spec.TotalSeats(),
+		Probes:      r.Export(),
+	})
+}
+
+// VerdictOf is a test helper mapping core verdicts to export strings.
+func VerdictOf(v core.Verdict) string { return string(v) }
+
+// idsToStrings converts operator IDs.
+func idsToStrings(ids []publicdns.ID) []string {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package study_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+func TestExportRoundTripsThroughJSON(t *testing.T) {
+	res := study.Run(study.BuildWorld(study.PaperSpec().Scale(0.02)))
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Seed        int64               `json:"seed"`
+		TotalProbes int                 `json:"total_probes"`
+		Seats       int                 `json:"interception_seats"`
+		Probes      []study.ProbeExport `json:"probes"`
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.TotalProbes != res.World.Spec.TotalProbes || len(decoded.Probes) != decoded.TotalProbes {
+		t.Errorf("probes = %d/%d", len(decoded.Probes), decoded.TotalProbes)
+	}
+	intercepted, truthSeats := 0, 0
+	for _, p := range decoded.Probes {
+		if len(p.InterceptedV4)+len(p.InterceptedV6) > 0 {
+			intercepted++
+		}
+		if p.TruthLocation != "none" {
+			truthSeats++
+		}
+		if p.TruthLocation == "cpe" && p.Responded && p.CPEFingerprint == "" {
+			t.Errorf("probe %d: CPE seat with no fingerprint", p.ProbeID)
+		}
+	}
+	if intercepted == 0 || truthSeats == 0 {
+		t.Errorf("intercepted=%d truthSeats=%d", intercepted, truthSeats)
+	}
+	if intercepted != truthSeats {
+		t.Errorf("detected %d != installed %d", intercepted, truthSeats)
+	}
+}

@@ -1,0 +1,73 @@
+package study_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/bogon"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+	"github.com/dnswatch/dnsloc/internal/study"
+	"github.com/dnswatch/dnsloc/internal/trace"
+)
+
+// TestWorldInvariants runs a small study with a full packet capture and
+// checks properties that must hold for the methodology to be sound.
+func TestWorldInvariants(t *testing.T) {
+	spec := study.PaperSpec().Scale(0.03)
+	w := study.BuildWorld(spec)
+
+	// Capture every forward at a transit router and every bogon drop.
+	transitForwards := trace.New(w.Net, trace.And(
+		trace.Kind(netsim.TraceForward),
+		trace.Device("transit-"),
+	), 1<<18)
+	bogonDrops := trace.New(w.Net, trace.And(
+		trace.Kind(netsim.TraceDrop),
+		func(e netsim.TraceEvent) bool { return strings.Contains(e.Note, "bogon") },
+	), 1<<18)
+
+	res := study.Run(w)
+
+	// Invariant 1: no packet addressed to a bogon destination is ever
+	// forwarded by a transit router — bogon queries cannot leave any AS.
+	// (The §3.3 technique is sound only if this holds.)
+	for _, e := range transitForwards.Events() {
+		if bogon.Is(e.Packet.Dst.Addr()) {
+			t.Fatalf("bogon-addressed packet crossed transit: %s", e)
+		}
+	}
+	if transitForwards.Len() == 0 {
+		t.Error("capture saw no transit traffic; filter broken?")
+	}
+
+	// Invariant 2: borders actually drop bogon queries (the probes that
+	// are not intercepted in-AS send them and they must die somewhere).
+	if bogonDrops.Len() == 0 {
+		t.Error("no bogon drops recorded — egress filtering inactive?")
+	}
+	for _, e := range bogonDrops.Events() {
+		if !strings.Contains(e.Device, "border") {
+			t.Errorf("bogon dropped at %s, want an AS border", e.Device)
+		}
+	}
+
+	// Invariant 3: every responding probe produced a report and every
+	// intercepted report carries at least one non-standard observation.
+	for _, rec := range res.Records {
+		if rec.Report == nil {
+			continue
+		}
+		if !rec.Report.Intercepted() {
+			continue
+		}
+		bad := 0
+		for _, p := range rec.Report.Location {
+			if (p.Outcome == "answer" && !p.Standard) || p.Outcome == "error" {
+				bad++
+			}
+		}
+		if bad == 0 {
+			t.Errorf("probe %d intercepted without non-standard evidence", rec.Probe.ID)
+		}
+	}
+}

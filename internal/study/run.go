@@ -1,0 +1,108 @@
+package study
+
+import (
+	"github.com/dnswatch/dnsloc/internal/atlas"
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// ExpKey identifies one of the eight location-query experiments: one
+// operator over one address family, the granularity RIPE Atlas schedules
+// measurements at (and the granularity of Table 4's "Total" columns).
+type ExpKey struct {
+	Resolver publicdns.ID
+	Family   core.Family
+}
+
+// ProbeRecord is one probe's contribution to the study.
+type ProbeRecord struct {
+	Probe *atlas.Probe
+	// Report is the detector output; nil when the probe never responded
+	// to the platform at all.
+	Report *core.Report
+	// Responded marks which location experiments the probe was online
+	// for; experiments it missed do not count it in that experiment's
+	// totals.
+	Responded map[ExpKey]bool
+}
+
+// RespondedAll4 reports whether the probe was online for all four
+// operators' experiments in a family.
+func (pr *ProbeRecord) RespondedAll4(f core.Family) bool {
+	if pr.Report == nil {
+		return false
+	}
+	for _, id := range publicdns.All {
+		if !pr.Responded[ExpKey{id, f}] {
+			return false
+		}
+	}
+	return true
+}
+
+// InterceptedFor reports whether the report flags the operator as
+// intercepted in the family.
+func (pr *ProbeRecord) InterceptedFor(id publicdns.ID, f core.Family) bool {
+	if pr.Report == nil {
+		return false
+	}
+	set := pr.Report.InterceptedV4
+	if f == core.V6 {
+		set = pr.Report.InterceptedV6
+	}
+	for _, got := range set {
+		if got == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Results is a completed study run.
+type Results struct {
+	World   *World
+	Records []*ProbeRecord
+}
+
+// Run executes the pilot study: the full detection technique from every
+// responding probe, with platform availability deciding which probes
+// appear in which experiment's totals.
+func Run(w *World) *Results {
+	res := &Results{World: w}
+	for _, probe := range w.Platform.Probes() {
+		rec := &ProbeRecord{Probe: probe, Responded: make(map[ExpKey]bool)}
+		res.Records = append(res.Records, rec)
+		if probe.Availability == atlas.Dead {
+			continue
+		}
+		// Sample per-experiment availability (deterministic order).
+		online := false
+		for _, id := range publicdns.All {
+			if w.Platform.Responds(probe) {
+				rec.Responded[ExpKey{id, core.V4}] = true
+				online = true
+			}
+			if probe.HasIPv6 && w.Platform.Responds(probe) {
+				rec.Responded[ExpKey{id, core.V6}] = true
+				online = true
+			}
+		}
+		if !online {
+			continue
+		}
+		rec.Report = w.Platform.Detector(probe).Run()
+	}
+	return res
+}
+
+// Intercepted returns the records whose probes the technique flagged as
+// intercepted in any family (the paper's 220).
+func (r *Results) Intercepted() []*ProbeRecord {
+	var out []*ProbeRecord
+	for _, rec := range r.Records {
+		if rec.Report != nil && rec.Report.Intercepted() {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+// Package study builds and runs the pilot study of §4: a synthetic
+// RIPE-Atlas-like fleet of ~10,000 probes across the ISPs and countries
+// of internal/geo, with transparent interceptors installed according to
+// a calibrated specification, and the detection technique of
+// internal/core executed from every responding probe.
+//
+// The specification's quotas are set so the study's aggregate outputs
+// reproduce the shape of the paper's Tables 4–5 and Figures 3–4:
+// 220 intercepted probes, 108 intercepted for all four resolvers,
+// 49 CPE interceptors with Table 5's version.bind strings, Comcast at
+// the top of the per-organization ranking, and far less interception
+// over IPv6 than IPv4.
+package study
+
+import (
+	"math"
+
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// Location is the ground-truth interceptor placement of a seat.
+type Location string
+
+// Seat locations.
+const (
+	// LocCPE: the home's own CPE intercepts.
+	LocCPE Location = "cpe"
+	// LocISP: an in-AS middlebox intercepts, including bogon-addressed
+	// queries, so step 3 localizes it.
+	LocISP Location = "isp"
+	// LocISPHidden: an in-AS middlebox that ignores bogon destinations;
+	// the technique can only say "unknown".
+	LocISPHidden Location = "isp-hidden"
+	// LocTransit: an interceptor beyond the AS.
+	LocTransit Location = "transit"
+)
+
+// Refusal describes whether the alternate resolver blocks queries.
+type Refusal string
+
+// Refusal modes.
+const (
+	// RefuseNone: the alternate resolver resolves everything (the
+	// interception is fully transparent).
+	RefuseNone Refusal = ""
+	// RefuseAll: every intercepted resolver's queries are REFUSED
+	// ("status modified" in Figure 3).
+	RefuseAll Refusal = "all"
+	// RefuseSubset: Quad9 and OpenDNS queries are REFUSED, the others
+	// resolve ("both" in Figure 3). Only meaningful for all-four seats.
+	RefuseSubset Refusal = "subset"
+)
+
+// Pattern is the set of intercepted resolvers; nil means all four.
+type Pattern []publicdns.ID
+
+// SeatGroup is one row of the interception quota table.
+type SeatGroup struct {
+	Count int
+	Loc   Location
+	// Pattern is the intercepted v4 resolver set; nil means all four
+	// (unless V4None is set).
+	Pattern Pattern
+	// V4None marks a v6-only seat: no IPv4 interception at all.
+	V4None bool
+	// V6 is the intercepted v6 resolver set for this group (usually nil:
+	// v6 interception is rare, Table 4).
+	V6     Pattern
+	Refuse Refusal
+}
+
+// Spec parameterizes a pilot study world.
+type Spec struct {
+	Seed        int64
+	TotalProbes int
+
+	// Availability model (see atlas.Availability).
+	FullShare    float64
+	PartialShare float64
+	PartialP     float64
+
+	// V6Share is the fraction of homes with routed IPv6.
+	V6Share float64
+
+	// Seats is the interception quota table.
+	Seats []SeatGroup
+
+	// V6Patterns are dealt to all-four transparent LocISP seats, giving
+	// those probes additional IPv6 interception (Table 4's v6 rows).
+	V6Patterns []Pattern
+
+	// CPEPersonas are the version.bind strings of the LocCPE seats, in
+	// dealing order (Table 5).
+	CPEPersonas []string
+
+	// OrgSeatWeights biases which organizations host the seats
+	// (Figure 3/4's per-org ranking); ASN → weight. Organizations absent
+	// from the map share a weight of 1.
+	OrgSeatWeights map[int]int
+}
+
+// Shorthands for patterns.
+var (
+	cf = publicdns.Cloudflare
+	gg = publicdns.Google
+	q9 = publicdns.Quad9
+	od = publicdns.OpenDNS
+)
+
+// PaperSpec reproduces the paper's pilot study.
+func PaperSpec() Spec {
+	return Spec{
+		Seed:         20211102, // the conference's opening day
+		TotalProbes:  10000,
+		FullShare:    0.954,
+		PartialShare: 0.016,
+		PartialP:     0.75,
+		V6Share:      0.387,
+		Seats: []SeatGroup{
+			// All-four patterns: 108 probes (Table 4's "All Intercepted").
+			{Count: 40, Loc: LocCPE},
+			{Count: 45, Loc: LocISP},
+			{Count: 10, Loc: LocISP, Refuse: RefuseAll},
+			{Count: 5, Loc: LocISP, Refuse: RefuseSubset},
+			{Count: 5, Loc: LocISPHidden},
+			{Count: 3, Loc: LocTransit},
+			// Single-resolver patterns: Cloudflare and Google are
+			// intercepted alone more often than Quad9/OpenDNS (§4.1.1).
+			{Count: 3, Loc: LocCPE, Pattern: Pattern{cf}},
+			{Count: 9, Loc: LocISP, Pattern: Pattern{cf}},
+			{Count: 4, Loc: LocISPHidden, Pattern: Pattern{cf}},
+			{Count: 2, Loc: LocTransit, Pattern: Pattern{cf}},
+			{Count: 3, Loc: LocCPE, Pattern: Pattern{gg}},
+			{Count: 6, Loc: LocISP, Pattern: Pattern{gg}},
+			{Count: 2, Loc: LocISPHidden, Pattern: Pattern{gg}},
+			{Count: 2, Loc: LocTransit, Pattern: Pattern{gg}},
+			{Count: 2, Loc: LocISP, Pattern: Pattern{q9}},
+			{Count: 1, Loc: LocISPHidden, Pattern: Pattern{q9}},
+			{Count: 1, Loc: LocTransit, Pattern: Pattern{q9}},
+			{Count: 2, Loc: LocISP, Pattern: Pattern{od}},
+			{Count: 1, Loc: LocISPHidden, Pattern: Pattern{od}},
+			{Count: 1, Loc: LocTransit, Pattern: Pattern{od}},
+			// One-resolver-allowed patterns (§4.1.1's second family).
+			{Count: 6, Loc: LocISP, Pattern: Pattern{gg, q9, od}},
+			{Count: 2, Loc: LocISPHidden, Pattern: Pattern{gg, q9, od}},
+			{Count: 2, Loc: LocTransit, Pattern: Pattern{gg, q9, od}},
+			{Count: 6, Loc: LocISP, Pattern: Pattern{cf, q9, od}},
+			{Count: 2, Loc: LocISPHidden, Pattern: Pattern{cf, q9, od}},
+			{Count: 2, Loc: LocTransit, Pattern: Pattern{cf, q9, od}},
+			{Count: 4, Loc: LocISP, Pattern: Pattern{cf, gg, od}},
+			{Count: 2, Loc: LocISPHidden, Pattern: Pattern{cf, gg, od}},
+			{Count: 1, Loc: LocTransit, Pattern: Pattern{cf, gg, od}},
+			{Count: 4, Loc: LocISP, Pattern: Pattern{cf, gg, q9}},
+			{Count: 2, Loc: LocISPHidden, Pattern: Pattern{cf, gg, q9}},
+			{Count: 1, Loc: LocTransit, Pattern: Pattern{cf, gg, q9}},
+			// Pair patterns.
+			{Count: 3, Loc: LocCPE, Pattern: Pattern{cf, gg}},
+			{Count: 4, Loc: LocISP, Pattern: Pattern{cf, gg}},
+			{Count: 3, Loc: LocISP, Pattern: Pattern{cf, gg}, Refuse: RefuseAll},
+			{Count: 3, Loc: LocISPHidden, Pattern: Pattern{cf, gg}},
+			{Count: 2, Loc: LocTransit, Pattern: Pattern{cf, gg}},
+			{Count: 8, Loc: LocISP, Pattern: Pattern{q9, od}},
+			{Count: 5, Loc: LocISPHidden, Pattern: Pattern{q9, od}},
+			{Count: 4, Loc: LocTransit, Pattern: Pattern{q9, od}},
+			// v6-only seats: interception that touches no IPv4 address at
+			// all — the 7 probes that make the distinct total 220.
+			{Count: 4, Loc: LocISP, V4None: true, V6: Pattern{gg}},
+			{Count: 3, Loc: LocISP, V4None: true, V6: Pattern{cf, gg}},
+		},
+		V6Patterns: expandPatterns([]struct {
+			n   int
+			pat Pattern
+		}{
+			{11, Pattern{q9, od}},
+			{5, Pattern{cf, gg}},
+			{3, Pattern{gg}},
+			{3, Pattern{cf}},
+		}),
+		CPEPersonas: expandStrings([]struct {
+			n int
+			s string
+		}{
+			{8, "dnsmasq-2.78"}, // the XB6's XDNS build
+			{10, "dnsmasq-2.85"},
+			{5, "dnsmasq-2.80"},
+			{8, "dnsmasq-pi-hole-2.87"},
+			{4, "unbound 1.9.0"},
+			{2, "unbound 1.13.1"},
+			{2, "9.11.4-RedHat"},
+			{1, "PowerDNS Recursor 4.1.11"},
+			{1, "Q9-P-7.5"},
+			{1, "9.16.15"},
+			{1, "9.16.1-Debian"},
+			{1, "Windows NS"},
+			{1, "Microsoft"},
+			{1, "new"},
+			{1, "unknown"},
+			{1, "none"},
+			{1, "huuh?"},
+		}),
+		OrgSeatWeights: map[int]int{
+			7922:  32, // Comcast — the top organization of Figure 3
+			12389: 15, // Rostelecom
+			9121:  12, // Turk Telekom
+			3209:  11, // Vodafone DE
+			12322: 10, // Free SAS
+			3352:  9,  // Telefonica
+			6830:  9,  // Liberty Global (DE)
+			6327:  8,  // Shaw — §5 names it an XB6 deployer
+			24560: 8,  // Airtel
+			7713:  7,  // Telkom Indonesia
+			8402:  7,  // Vimpelcom
+			28573: 6,  // Claro BR
+			1241:  6,  // OTE
+			8708:  6,  // RCS & RDS
+			25513: 6,  // MGTS
+			17488: 5,  // Hathway
+			8151:  5,  // Telmex
+			3320:  4,  // Deutsche Telekom
+			3215:  4,  // Orange
+			2856:  3,  // BT
+			3269:  3,  // Telecom Italia
+			3301:  3,  // Telia
+			1136:  3,  // KPN
+			33915: 3,  // Ziggo
+		},
+	}
+}
+
+// TotalSeats sums the quota table.
+func (s Spec) TotalSeats() int {
+	t := 0
+	for _, g := range s.Seats {
+		t += g.Count
+	}
+	return t
+}
+
+// Scale returns a proportionally smaller (or larger) spec: probe count
+// and every quota are scaled by f using round-half-up, keeping at least
+// one seat per nonempty group. Tests use small scales for speed.
+func (s Spec) Scale(f float64) Spec {
+	out := s
+	out.TotalProbes = int(math.Round(float64(s.TotalProbes) * f))
+	out.Seats = make([]SeatGroup, 0, len(s.Seats))
+	for _, g := range s.Seats {
+		n := int(math.Round(float64(g.Count) * f))
+		if n == 0 && g.Count > 0 {
+			n = 1
+		}
+		g.Count = n
+		out.Seats = append(out.Seats, g)
+	}
+	scaleList := func(n int) int {
+		m := int(math.Round(float64(n) * f))
+		if m == 0 && n > 0 {
+			m = 1
+		}
+		return m
+	}
+	out.V6Patterns = s.V6Patterns[:min(len(s.V6Patterns), scaleList(len(s.V6Patterns)))]
+	// Personas must cover the scaled CPE seat count; repeat if short.
+	cpeSeats := 0
+	for _, g := range out.Seats {
+		if g.Loc == LocCPE {
+			cpeSeats += g.Count
+		}
+	}
+	personas := make([]string, 0, cpeSeats)
+	for i := 0; i < cpeSeats; i++ {
+		personas = append(personas, s.CPEPersonas[i%len(s.CPEPersonas)])
+	}
+	out.CPEPersonas = personas
+	return out
+}
+
+// expandPatterns flattens {n, pattern} rows.
+func expandPatterns(rows []struct {
+	n   int
+	pat Pattern
+}) []Pattern {
+	var out []Pattern
+	for _, r := range rows {
+		for i := 0; i < r.n; i++ {
+			out = append(out, r.pat)
+		}
+	}
+	return out
+}
+
+// expandStrings flattens {n, string} rows.
+func expandStrings(rows []struct {
+	n int
+	s string
+}) []string {
+	var out []string
+	for _, r := range rows {
+		for i := 0; i < r.n; i++ {
+			out = append(out, r.s)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

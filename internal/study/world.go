@@ -1,0 +1,552 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"github.com/dnswatch/dnsloc/internal/atlas"
+	"github.com/dnswatch/dnsloc/internal/backbone"
+	"github.com/dnswatch/dnsloc/internal/cpe"
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/geo"
+	"github.com/dnswatch/dnsloc/internal/isp"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// maxHomesPerSegment bounds one access segment.
+const maxHomesPerSegment = 200
+
+// seat is one expanded interception assignment.
+type seat struct {
+	Loc       Location
+	PatternV4 Pattern // nil = all four, unless v4None
+	v4None    bool
+	PatternV6 Pattern
+	Refuse    Refusal
+	Persona   string // CPE seats only
+	OrgASN    int
+}
+
+// World is a built pilot-study universe.
+type World struct {
+	Spec     Spec
+	Net      *netsim.Network
+	Backbone *backbone.Backbone
+	Platform *atlas.Platform
+	ISPs     map[int]*isp.Network
+
+	transitSeatPatterns map[publicdns.Region]map[netip.Addr]Pattern
+}
+
+// ispResolverPersonas rotate across ISPs for variety in intercepted
+// version.bind strings.
+var ispResolverPersonas = []dnsserver.ChaosPersona{
+	dnsserver.PersonaUnbound,
+	dnsserver.PersonaPowerDNS,
+	dnsserver.PersonaBindBare,
+	dnsserver.PersonaWindows,
+	dnsserver.PersonaSilent,
+	dnsserver.PersonaNXDomain,
+}
+
+// BuildWorld constructs the study world from a spec.
+func BuildWorld(spec Spec) *World {
+	w := &World{
+		Spec:                spec,
+		Net:                 netsim.NewNetwork(),
+		ISPs:                make(map[int]*isp.Network),
+		transitSeatPatterns: make(map[publicdns.Region]map[netip.Addr]Pattern),
+	}
+	w.Backbone = backbone.Build(w.Net)
+	w.Platform = atlas.NewPlatform(w.Net, spec.Seed)
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+
+	orgs := geo.Orgs() // descending weight, deterministic
+	w.buildISPs(orgs)
+	w.buildTransitInterceptors()
+
+	probesPerOrg := probeQuota(spec.TotalProbes, orgs)
+	seats := w.dealSeats(orgs, probesPerOrg)
+
+	probeID := 1000
+	for _, org := range orgs {
+		n := probesPerOrg[org.ASN]
+		if n == 0 {
+			continue
+		}
+		w.populateOrg(org, n, seats[org.ASN], &probeID, rng)
+	}
+	return w
+}
+
+// buildISPs attaches one AS per organization.
+func (w *World) buildISPs(orgs []geo.Org) {
+	for i, org := range orgs {
+		country, _ := geo.CountryByCode(org.Country)
+		cfg := isp.Config{
+			ASN:             org.ASN,
+			Name:            org.Name,
+			Country:         country.Code,
+			Region:          publicdns.RegionForCountry(org.Country),
+			PrefixV4:        netip.PrefixFrom(netip.AddrFrom4([4]byte{33, byte(i), 0, 0}), 16),
+			PrefixV6:        netip.PrefixFrom(netip.AddrFrom16([16]byte{0x2a, 0x00, 0x00, byte(i + 1)}), 48),
+			ResolverPersona: ispResolverPersonas[i%len(ispResolverPersonas)],
+		}
+		w.ISPs[org.ASN] = w.Backbone.AttachISP(cfg)
+	}
+}
+
+// buildTransitInterceptors plants one interceptor per region in the
+// transit network, outside every AS. Its DNAT matches only the WAN
+// addresses of transit-seat probes, recorded later during population.
+func (w *World) buildTransitInterceptors() {
+	for i, region := range publicdns.Regions {
+		region := region
+		w.transitSeatPatterns[region] = make(map[netip.Addr]Pattern)
+		resolverAddr := netip.AddrFrom4([4]byte{64, 86, byte(i), 53})
+		rtr := netsim.NewRouter(fmt.Sprintf("transit-resolver-%s", region), resolverAddr)
+		res := dnsserver.NewRecursiveResolver(resolverAddr, backbone.RootAddr)
+		res.Persona = ispResolverPersonas[(i+1)%len(ispResolverPersonas)]
+		rtr.Bind(53, res)
+		regional := w.Backbone.Regional[region]
+		rtr.AddDefaultRoute(regional)
+		prefix := netip.PrefixFrom(resolverAddr, 24).Masked()
+		regional.AddRoute(prefix, rtr)
+		w.Backbone.Core.AddRoute(prefix, regional)
+
+		regional.NAT = netsim.NewNAT()
+		seatSet := w.transitSeatPatterns[region]
+		regional.NAT.AddDNAT(netsim.DNATRule{
+			Name: fmt.Sprintf("transit-interceptor-%s", region),
+			Match: func(pkt netsim.Packet) bool {
+				if pkt.Proto != netsim.UDP || pkt.Dst.Port() != 53 || pkt.IsIPv6() {
+					return false
+				}
+				if pkt.Dst.Addr() == resolverAddr {
+					return false
+				}
+				pat, ok := seatSet[pkt.Src.Addr()]
+				if !ok {
+					return false
+				}
+				return pat.matchesV4(pkt.Dst.Addr())
+			},
+			To: netip.AddrPortFrom(resolverAddr, 53),
+		})
+	}
+}
+
+// matchesV4 reports whether a destination is in the pattern (nil = all
+// four operators' v4 addresses).
+func (p Pattern) matchesV4(dst netip.Addr) bool {
+	ids := p
+	if ids == nil {
+		ids = Pattern(publicdns.All)
+	}
+	for _, id := range ids {
+		for _, a := range publicdns.Lookup(id).V4 {
+			if a == dst {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// addrsV4 collects the v4 service addresses of a pattern.
+func (p Pattern) addrsV4() []netip.Addr {
+	var out []netip.Addr
+	for _, id := range p {
+		out = append(out, publicdns.Lookup(id).V4...)
+	}
+	return out
+}
+
+// addrsV6 collects the v6 service addresses of a pattern.
+func (p Pattern) addrsV6() []netip.Addr {
+	var out []netip.Addr
+	for _, id := range p {
+		out = append(out, publicdns.Lookup(id).V6...)
+	}
+	return out
+}
+
+// ids returns the pattern's operator set (nil = all four).
+func (p Pattern) ids() []publicdns.ID {
+	if p == nil {
+		return publicdns.All
+	}
+	return p
+}
+
+// key renders a stable grouping key.
+func (p Pattern) key() string {
+	if p == nil {
+		return "all4"
+	}
+	ss := make([]string, len(p))
+	for i, id := range p {
+		ss[i] = string(id)
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, "+")
+}
+
+// probeQuota distributes the probe population over organizations using
+// country weights (largest remainder), then org weights within country.
+func probeQuota(total int, orgs []geo.Org) map[int]int {
+	countries := geo.Countries()
+	countryProbes := largestRemainder(total, weightsOf(countries))
+	out := make(map[int]int)
+	for i, c := range countries {
+		in := geo.OrgsIn(c.Code)
+		if len(in) == 0 {
+			continue
+		}
+		ws := make([]int, len(in))
+		for j, o := range in {
+			ws[j] = o.Weight
+		}
+		split := largestRemainder(countryProbes[i], ws)
+		for j, o := range in {
+			out[o.ASN] = split[j]
+		}
+	}
+	return out
+}
+
+// weightsOf extracts country weights.
+func weightsOf(cs []geo.Country) []int {
+	ws := make([]int, len(cs))
+	for i, c := range cs {
+		ws[i] = c.Weight
+	}
+	return ws
+}
+
+// largestRemainder apportions total into len(weights) integer parts.
+func largestRemainder(total int, weights []int) []int {
+	sum := 0
+	for _, w := range weights {
+		sum += w
+	}
+	out := make([]int, len(weights))
+	if sum == 0 || total == 0 {
+		return out
+	}
+	type frac struct {
+		idx int
+		rem int
+	}
+	used := 0
+	fracs := make([]frac, len(weights))
+	for i, w := range weights {
+		out[i] = total * w / sum
+		used += out[i]
+		fracs[i] = frac{idx: i, rem: total * w % sum}
+	}
+	sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].rem > fracs[b].rem })
+	for i := 0; i < total-used; i++ {
+		out[fracs[i%len(fracs)].idx]++
+	}
+	return out
+}
+
+// dealSeats expands the quota table, attaches v6 patterns and personas,
+// and distributes seats over organizations.
+func (w *World) dealSeats(orgs []geo.Org, probesPerOrg map[int]int) map[int][]*seat {
+	var seats []*seat
+	for _, g := range w.Spec.Seats {
+		for i := 0; i < g.Count; i++ {
+			seats = append(seats, &seat{
+				Loc:       g.Loc,
+				PatternV4: g.Pattern,
+				v4None:    g.V4None,
+				PatternV6: g.V6,
+				Refuse:    g.Refuse,
+			})
+		}
+	}
+	// Attach the overlap v6 patterns to transparent all-four ISP seats.
+	v6 := w.Spec.V6Patterns
+	for _, s := range seats {
+		if len(v6) == 0 {
+			break
+		}
+		if s.Loc == LocISP && s.PatternV4 == nil && !s.v4None && s.Refuse == RefuseNone && s.PatternV6 == nil {
+			s.PatternV6 = v6[0]
+			v6 = v6[1:]
+		}
+	}
+	// Attach personas to CPE seats.
+	personas := w.Spec.CPEPersonas
+	for _, s := range seats {
+		if s.Loc != LocCPE {
+			continue
+		}
+		if len(personas) == 0 {
+			s.Persona = "dnsmasq-2.85"
+			continue
+		}
+		s.Persona = personas[0]
+		personas = personas[1:]
+	}
+
+	// Per-org quotas from the seat weights, capped by population.
+	weights := make([]int, len(orgs))
+	for i, o := range orgs {
+		wgt := w.Spec.OrgSeatWeights[o.ASN]
+		if wgt == 0 {
+			wgt = 1
+		}
+		weights[i] = wgt
+	}
+	quota := largestRemainder(len(seats), weights)
+	quotaByASN := make(map[int]int, len(orgs))
+	for i, o := range orgs {
+		q := quota[i]
+		if maxSeats := probesPerOrg[o.ASN] - 1; q > maxSeats {
+			q = maxSeats
+		}
+		if q < 0 {
+			q = 0
+		}
+		quotaByASN[o.ASN] = q
+	}
+
+	out := make(map[int][]*seat)
+	take := func(s *seat, asn int) {
+		s.OrgASN = asn
+		out[asn] = append(out[asn], s)
+		quotaByASN[asn]--
+	}
+
+	// The XB6/XDNS seats (persona dnsmasq-2.78) go preferentially to the
+	// RDK-B deployers §5 names: Comcast, Shaw, Vodafone, Liberty Global —
+	// this is what puts Comcast's CPE share at the top of Figure 4.
+	rdkbDeployers := []int{7922, 7922, 7922, 7922, 7922, 6327, 3209, 6830}
+	rest := seats[:0:0]
+	di := 0
+	for _, s := range seats {
+		if s.Loc == LocCPE && s.Persona == "dnsmasq-2.78" && di < len(rdkbDeployers) &&
+			quotaByASN[rdkbDeployers[di]] > 0 {
+			take(s, rdkbDeployers[di])
+			di++
+			continue
+		}
+		rest = append(rest, s)
+	}
+	seats = rest
+
+	// Shuffle deterministically so each organization receives a mix of
+	// locations and patterns proportional to its quota, then deal
+	// round-robin over the orgs with quota left.
+	shuffleRng := rand.New(rand.NewSource(w.Spec.Seed + 2))
+	shuffleRng.Shuffle(len(seats), func(i, j int) { seats[i], seats[j] = seats[j], seats[i] })
+	for len(seats) > 0 {
+		assigned := false
+		for _, o := range orgs {
+			if len(seats) == 0 {
+				break
+			}
+			if quotaByASN[o.ASN] <= 0 {
+				continue
+			}
+			take(seats[0], o.ASN)
+			seats = seats[1:]
+			assigned = true
+		}
+		if !assigned {
+			break // quotas exhausted; drop any remainder (tiny worlds)
+		}
+	}
+	return out
+}
+
+// populateOrg creates the org's probes: seat probes first, then clean
+// homes, spread over access segments.
+func (w *World) populateOrg(org geo.Org, probes int, seats []*seat, probeID *int, rng *rand.Rand) {
+	network := w.ISPs[org.ASN]
+	region := publicdns.RegionForCountry(org.Country)
+
+	// Group middlebox seats by identical interception config; each group
+	// becomes one access segment.
+	mbGroups := make(map[string][]*seat)
+	var plainSeats []*seat // CPE + transit seats live on clean segments
+	for _, s := range seats {
+		switch s.Loc {
+		case LocISP, LocISPHidden:
+			k := string(s.Loc) + "|" + s.PatternV4.key() + "|" + s.PatternV6.key() +
+				"|" + string(s.Refuse) + "|" + fmt.Sprint(s.v4None)
+			mbGroups[k] = append(mbGroups[k], s)
+		default:
+			plainSeats = append(plainSeats, s)
+		}
+	}
+	keys := make([]string, 0, len(mbGroups))
+	for k := range mbGroups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	created := 0
+	for _, k := range keys {
+		group := mbGroups[k]
+		seg := network.AddSegment(w.middleboxSpec(group[0]))
+		for _, s := range group {
+			w.addProbe(network, seg, org, region, s, probeID, rng)
+			created++
+		}
+	}
+
+	// Clean segments host everything else.
+	var seg *isp.Segment
+	inSeg := 0
+	nextSeg := func() {
+		seg = network.AddSegment(nil)
+		inSeg = 0
+	}
+	nextSeg()
+	for _, s := range plainSeats {
+		if inSeg >= maxHomesPerSegment {
+			nextSeg()
+		}
+		w.addProbe(network, seg, org, region, s, probeID, rng)
+		inSeg++
+		created++
+	}
+	for created < probes {
+		if inSeg >= maxHomesPerSegment {
+			nextSeg()
+		}
+		w.addProbe(network, seg, org, region, nil, probeID, rng)
+		inSeg++
+		created++
+	}
+}
+
+// middleboxSpec compiles a seat's interception into middlebox rules.
+func (w *World) middleboxSpec(s *seat) *isp.MiddleboxSpec {
+	mb := &isp.MiddleboxSpec{InterceptBogons: s.Loc == LocISP}
+	if !s.v4None {
+		switch {
+		case s.Refuse == RefuseSubset:
+			// Quad9 + OpenDNS blocked, the rest transparently diverted.
+			mb.Rules = append(mb.Rules,
+				isp.MiddleboxRule{Targets: Pattern{q9, od}.addrsV4(), UseRefusing: true},
+				isp.MiddleboxRule{All: true})
+		case s.PatternV4 == nil:
+			mb.Rules = append(mb.Rules, isp.MiddleboxRule{All: true, UseRefusing: s.Refuse == RefuseAll})
+		default:
+			mb.Rules = append(mb.Rules, isp.MiddleboxRule{
+				Targets:     s.PatternV4.addrsV4(),
+				UseRefusing: s.Refuse == RefuseAll,
+			})
+		}
+	}
+	if len(s.PatternV6) > 0 {
+		mb.Rules = append(mb.Rules, isp.MiddleboxRule{
+			Targets: s.PatternV6.addrsV6(),
+			V6:      true,
+		})
+	}
+	return mb
+}
+
+// addProbe creates one home (CPE + probe host) on a segment. A nil seat
+// is a clean probe.
+func (w *World) addProbe(network *isp.Network, seg *isp.Segment, org geo.Org, region publicdns.Region, s *seat, probeID *int, rng *rand.Rand) {
+	id := *probeID
+	*probeID++
+
+	hasV6 := rng.Float64() < w.Spec.V6Share
+	if s != nil && len(s.PatternV6) > 0 {
+		hasV6 = true
+	}
+	avail := atlas.Full
+	if s == nil {
+		switch r := rng.Float64(); {
+		case r < w.Spec.FullShare:
+			avail = atlas.Full
+		case r < w.Spec.FullShare+w.Spec.PartialShare:
+			avail = atlas.Partial
+		default:
+			avail = atlas.Dead
+		}
+	}
+
+	home := network.AllocHome(seg, hasV6)
+	cfg := cpe.NewPlain(fmt.Sprintf("cpe-%d", id), home.LANPrefix4, home.WANv4, network.ResolverAddrPort())
+	if hasV6 {
+		cfg.LANAddr6 = firstHost6(home.LANPrefix6)
+		cfg.LANPrefix6 = home.LANPrefix6
+		cfg.WANAddr6 = home.WANv6
+	}
+
+	truth := atlas.GroundTruth{Location: "none"}
+	if s != nil {
+		truth.Location = string(s.Loc)
+		if !s.v4None {
+			truth.PatternV4 = s.PatternV4.ids()
+		}
+		truth.PatternV6 = s.PatternV6.ids()
+		if s.PatternV6 == nil {
+			truth.PatternV6 = nil
+		}
+		switch s.Refuse {
+		case RefuseAll:
+			truth.RefusedV4 = truth.PatternV4
+		case RefuseSubset:
+			truth.RefusedV4 = []publicdns.ID{q9, od}
+		}
+		if s.Loc == LocCPE {
+			truth.Persona = s.Persona
+			cfg.Persona = dnsserver.ChaosPersona{Version: s.Persona}
+			if s.PatternV4 == nil {
+				cfg.Intercept.AllV4 = true
+			} else {
+				cfg.Intercept.TargetsV4 = s.PatternV4.addrsV4()
+				// Selective DNAT misses the CPE's own address; the
+				// forwarder itself answers there (see homelab).
+				cfg.WANPort53Open = true
+			}
+			if len(s.PatternV6) > 0 && hasV6 {
+				cfg.Intercept.TargetsV6 = s.PatternV6.addrsV6()
+			}
+		} else {
+			truth.Persona = string(network.Resolver.Persona.Version)
+		}
+	}
+
+	device := cpe.Build(cfg)
+	network.AttachCPE(seg, device, home)
+	host := device.AttachHost(fmt.Sprintf("probe-%d", id), 0)
+
+	if s != nil && s.Loc == LocTransit {
+		w.transitSeatPatterns[region][home.WANv4] = s.PatternV4
+	}
+
+	w.Platform.Add(&atlas.Probe{
+		ID:           id,
+		Country:      org.Country,
+		ASN:          org.ASN,
+		Org:          org.Name,
+		Region:       region,
+		HasIPv6:      hasV6,
+		WANv4:        home.WANv4,
+		Host:         host,
+		Availability: avail,
+		Truth:        truth,
+	})
+}
+
+// firstHost6 returns the ::1 of a /64.
+func firstHost6(p netip.Prefix) netip.Addr {
+	a := p.Addr().As16()
+	a[15] |= 1
+	return netip.AddrFrom16(a)
+}

@@ -1,0 +1,160 @@
+// Package trace is the simulator's tcpdump: a capture buffer that taps
+// a netsim.Network, with composable filters, a bounded ring buffer, and
+// text rendering. The XB6 case study uses it to show the DNAT rewrite
+// and the spoofed response; tests use it to assert path properties.
+package trace
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"github.com/dnswatch/dnsloc/internal/netsim"
+)
+
+// Filter decides whether an event is captured.
+type Filter func(netsim.TraceEvent) bool
+
+// All captures everything.
+func All(netsim.TraceEvent) bool { return true }
+
+// Kind captures only the given event kinds.
+func Kind(kinds ...netsim.TraceKind) Filter {
+	set := make(map[netsim.TraceKind]bool, len(kinds))
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return func(e netsim.TraceEvent) bool { return set[e.Kind] }
+}
+
+// Device captures events at devices whose name contains substr.
+func Device(substr string) Filter {
+	return func(e netsim.TraceEvent) bool { return strings.Contains(e.Device, substr) }
+}
+
+// Port captures packets with the given source or destination port.
+func Port(port uint16) Filter {
+	return func(e netsim.TraceEvent) bool {
+		return e.Packet.Src.Port() == port || e.Packet.Dst.Port() == port
+	}
+}
+
+// Addr captures packets touching the address.
+func Addr(a netip.Addr) Filter {
+	return func(e netsim.TraceEvent) bool {
+		return e.Packet.Src.Addr() == a || e.Packet.Dst.Addr() == a
+	}
+}
+
+// NATEvents captures the interception-relevant rewrites.
+func NATEvents(e netsim.TraceEvent) bool {
+	switch e.Kind {
+	case netsim.TraceDNAT, netsim.TraceUnDNAT, netsim.TraceSNAT, netsim.TraceUnSNAT:
+		return true
+	}
+	return false
+}
+
+// And requires every filter to match.
+func And(filters ...Filter) Filter {
+	return func(e netsim.TraceEvent) bool {
+		for _, f := range filters {
+			if !f(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or requires any filter to match.
+func Or(filters ...Filter) Filter {
+	return func(e netsim.TraceEvent) bool {
+		for _, f := range filters {
+			if f(e) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Capture is a bounded buffer of matching events.
+type Capture struct {
+	filter Filter
+	max    int
+	events []netsim.TraceEvent
+	// Dropped counts events evicted after the buffer filled.
+	Dropped int
+}
+
+// New attaches a capture to a network. A nil filter captures all; max
+// bounds the buffer (0 = 4096), older events are dropped first.
+func New(n *netsim.Network, filter Filter, max int) *Capture {
+	if filter == nil {
+		filter = All
+	}
+	if max <= 0 {
+		max = 4096
+	}
+	c := &Capture{filter: filter, max: max}
+	n.Tap(func(e netsim.TraceEvent) {
+		if !c.filter(e) {
+			return
+		}
+		if len(c.events) >= c.max {
+			c.events = c.events[1:]
+			c.Dropped++
+		}
+		c.events = append(c.events, e)
+	})
+	return c
+}
+
+// Events returns the captured events in order.
+func (c *Capture) Events() []netsim.TraceEvent {
+	return append([]netsim.TraceEvent(nil), c.events...)
+}
+
+// Len returns the number of buffered events.
+func (c *Capture) Len() int { return len(c.events) }
+
+// Reset clears the buffer.
+func (c *Capture) Reset() {
+	c.events = c.events[:0]
+	c.Dropped = 0
+}
+
+// Count returns how many buffered events match an additional filter.
+func (c *Capture) Count(f Filter) int {
+	n := 0
+	for _, e := range c.events {
+		if f(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// First returns the first event matching f, if any.
+func (c *Capture) First(f Filter) (netsim.TraceEvent, bool) {
+	for _, e := range c.events {
+		if f(e) {
+			return e, true
+		}
+	}
+	return netsim.TraceEvent{}, false
+}
+
+// String renders the capture log.
+func (c *Capture) String() string {
+	var sb strings.Builder
+	for _, e := range c.events {
+		sb.WriteString(e.String())
+		sb.WriteString("\n")
+	}
+	if c.Dropped > 0 {
+		fmt.Fprintf(&sb, "(%d earlier events dropped)\n", c.Dropped)
+	}
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package trace_test
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+	"github.com/dnswatch/dnsloc/internal/trace"
+)
+
+// runOneQuery drives one intercepted exchange through an XB6 lab with a
+// capture attached.
+func runOneQuery(t *testing.T, filter trace.Filter, max int) *trace.Capture {
+	t.Helper()
+	lab := homelab.New(homelab.XB6)
+	cap := trace.New(lab.Net, filter, max)
+	q := dnswire.NewQuery(77, "google.com", dnswire.TypeA, dnswire.ClassINET)
+	_, err := lab.Probe.Exchange(lab.Net,
+		netip.MustParseAddrPort("8.8.8.8:53"),
+		dnswire.MustPack(q), netsim.ExchangeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cap
+}
+
+func TestCaptureNATEvents(t *testing.T) {
+	cap := runOneQuery(t, trace.NATEvents, 0)
+	if cap.Count(trace.Kind(netsim.TraceDNAT)) != 1 {
+		t.Errorf("dnat events = %d, want 1", cap.Count(trace.Kind(netsim.TraceDNAT)))
+	}
+	if cap.Count(trace.Kind(netsim.TraceUnDNAT)) != 1 {
+		t.Errorf("undnat events = %d, want 1", cap.Count(trace.Kind(netsim.TraceUnDNAT)))
+	}
+	ev, ok := cap.First(trace.Kind(netsim.TraceUnDNAT))
+	if !ok || !strings.Contains(ev.Note, "spoof") {
+		t.Errorf("first undnat = %+v", ev)
+	}
+}
+
+func TestCaptureFilterComposition(t *testing.T) {
+	cap := runOneQuery(t, trace.And(
+		trace.Device("xb6"),
+		trace.Or(trace.Kind(netsim.TraceDNAT), trace.Kind(netsim.TraceDeliver)),
+	), 0)
+	if cap.Len() == 0 {
+		t.Fatal("composed filter captured nothing")
+	}
+	for _, e := range cap.Events() {
+		if !strings.Contains(e.Device, "xb6") {
+			t.Errorf("captured foreign device %s", e.Device)
+		}
+	}
+}
+
+func TestCaptureAddrAndPortFilters(t *testing.T) {
+	cap := runOneQuery(t, trace.And(
+		trace.Addr(netip.MustParseAddr("8.8.8.8")),
+		trace.Port(53),
+	), 0)
+	if cap.Len() == 0 {
+		t.Fatal("addr+port filter captured nothing")
+	}
+}
+
+func TestCaptureRingBufferBounds(t *testing.T) {
+	cap := runOneQuery(t, trace.All, 5)
+	if cap.Len() != 5 {
+		t.Errorf("buffer = %d, want 5", cap.Len())
+	}
+	if cap.Dropped == 0 {
+		t.Error("no drops recorded despite tiny buffer")
+	}
+	if !strings.Contains(cap.String(), "earlier events dropped") {
+		t.Error("drop note missing from rendering")
+	}
+	cap.Reset()
+	if cap.Len() != 0 || cap.Dropped != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestCaptureRendering(t *testing.T) {
+	cap := runOneQuery(t, trace.NATEvents, 0)
+	s := cap.String()
+	for _, want := range []string{"dnat", "intercepted", "spoofing"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package ttlprobe
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+)
+
+// Hop is one rung of a DNS traceroute.
+type Hop struct {
+	TTL int
+	// Router is who sent ICMP Time Exceeded at this TTL (invalid Addr =
+	// an anonymous hop, rendered "*").
+	Router netip.Addr
+	// Answered reports that the DNS query itself was answered at this
+	// TTL — the ladder's terminal rung. Whoever answered is at most
+	// this many hops away.
+	Answered bool
+	// AnswerSource is the (possibly spoofed) source of the DNS answer.
+	AnswerSource netip.Addr
+}
+
+// String renders the hop traceroute-style.
+func (h Hop) String() string {
+	switch {
+	case h.Answered:
+		return fmt.Sprintf("%2d  %s  [DNS answer]", h.TTL, h.AnswerSource)
+	case h.Router.IsValid():
+		return fmt.Sprintf("%2d  %s", h.TTL, h.Router)
+	default:
+		return fmt.Sprintf("%2d  *", h.TTL)
+	}
+}
+
+// Trace is a full DNS traceroute run.
+type Trace struct {
+	Server netip.AddrPort
+	Hops   []Hop
+}
+
+// String renders the whole trace.
+func (t Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dns traceroute to %s\n", t.Server)
+	for _, h := range t.Hops {
+		sb.WriteString(h.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// AnsweredAt returns the TTL of the answering rung (0 = never answered).
+func (t Trace) AnsweredAt() int {
+	for _, h := range t.Hops {
+		if h.Answered {
+			return h.TTL
+		}
+	}
+	return 0
+}
+
+// Traceroute walks TTL 1..maxTTL sending the same DNS query, recording
+// the ICMP Time Exceeded source at each rung until the query is
+// answered. It requires a simulated vantage (real traceroute needs raw
+// sockets — exactly the restriction §6 notes; the simulator is where
+// this extension can actually run).
+func Traceroute(c *SimTTLClient, server netip.AddrPort, name dnswire.Name, maxTTL int) (Trace, error) {
+	if maxTTL <= 0 {
+		maxTTL = 16
+	}
+	tr := Trace{Server: server}
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		q := dnswire.NewQuery(uint16(0x7100+ttl), name, dnswire.TypeA, dnswire.ClassINET)
+		payload, err := q.Pack()
+		if err != nil {
+			return tr, err
+		}
+		pkts, err := c.Host.Exchange(c.Net, server, payload, netsim.ExchangeOptions{TTL: ttl})
+		hop := Hop{TTL: ttl}
+		if err == nil {
+			for _, p := range pkts {
+				switch p.Proto {
+				case netsim.UDP:
+					hop.Answered = true
+					hop.AnswerSource = p.Src.Addr()
+				case netsim.ICMP:
+					hop.Router = p.Src.Addr()
+				}
+			}
+		}
+		tr.Hops = append(tr.Hops, hop)
+		if hop.Answered {
+			return tr, nil
+		}
+	}
+	return tr, ErrNoAnswer
+}

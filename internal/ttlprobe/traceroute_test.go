@@ -1,0 +1,93 @@
+package ttlprobe_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+	"github.com/dnswatch/dnsloc/internal/ttlprobe"
+)
+
+func traceTo(t *testing.T, s homelab.Scenario) (ttlprobe.Trace, *homelab.Lab) {
+	t.Helper()
+	lab := homelab.New(s)
+	c := &ttlprobe.SimTTLClient{Net: lab.Net, Host: lab.Probe}
+	tr, err := ttlprobe.Traceroute(c, googleV4(), publicdns.CanaryDomain, 10)
+	if err != nil {
+		t.Fatalf("traceroute: %v", err)
+	}
+	return tr, lab
+}
+
+func TestTracerouteCleanPathNamesEveryHop(t *testing.T) {
+	tr, lab := traceTo(t, homelab.Clean)
+	if got := tr.AnsweredAt(); got != 5 {
+		t.Fatalf("answered at %d, want 5\n%s", got, tr)
+	}
+	// Hop 1: the CPE's LAN address, as in real home traceroutes.
+	if tr.Hops[0].Router != lab.CPE.Config.LANAddr {
+		t.Errorf("hop 1 = %s, want CPE %s", tr.Hops[0].Router, lab.CPE.Config.LANAddr)
+	}
+	// Hops 2 and 3: the ISP's segment and border router IDs.
+	for i, hop := range tr.Hops[1:3] {
+		if !hop.Router.IsValid() {
+			t.Errorf("hop %d anonymous, want an ISP router ID", i+2)
+			continue
+		}
+		if !lab.ISP.Config.PrefixV4.Contains(hop.Router) {
+			t.Errorf("hop %d = %s, outside the ISP", i+2, hop.Router)
+		}
+	}
+	// Hop 4: the regional transit's CGN-space ID.
+	if r := tr.Hops[3].Router; !r.IsValid() || r.As4()[0] != 100 {
+		t.Errorf("hop 4 = %s, want a 100.65/16 transit ID", r)
+	}
+	// The terminal rung's answer claims to come from the query target.
+	last := tr.Hops[len(tr.Hops)-1]
+	if last.AnswerSource != googleV4().Addr() {
+		t.Errorf("answer source = %s", last.AnswerSource)
+	}
+}
+
+func TestTracerouteXB6TerminatesAtHop1(t *testing.T) {
+	tr, _ := traceTo(t, homelab.XB6)
+	if got := tr.AnsweredAt(); got != 1 {
+		t.Fatalf("answered at %d, want 1\n%s", got, tr)
+	}
+	// The answer still claims to be Google — the spoof is visible right
+	// next to the 1-hop distance, which is the tell.
+	if tr.Hops[0].AnswerSource != googleV4().Addr() {
+		t.Errorf("answer source = %s", tr.Hops[0].AnswerSource)
+	}
+}
+
+func TestTracerouteMiddleboxShowsISPInterior(t *testing.T) {
+	tr, lab := traceTo(t, homelab.ISPMiddlebox)
+	at := tr.AnsweredAt()
+	if at <= 1 || at >= 5 {
+		t.Fatalf("answered at %d, want inside the ISP\n%s", at, tr)
+	}
+	// Every hop before the answer is named (ICMP conntrack fixes up the
+	// DNATed flow) and inside the client's home or ISP — the "Google"
+	// answering four hops in is the giveaway.
+	for i, hop := range tr.Hops[:at-1] {
+		if !hop.Router.IsValid() {
+			t.Errorf("hop %d anonymous", i+1)
+			continue
+		}
+		if !lab.ISP.Config.PrefixV4.Contains(hop.Router) && hop.Router != lab.CPE.Config.LANAddr {
+			t.Errorf("pre-answer hop %s outside the ISP", hop.Router)
+		}
+	}
+}
+
+func TestTracerouteRendering(t *testing.T) {
+	tr, _ := traceTo(t, homelab.Clean)
+	s := tr.String()
+	for _, want := range []string{"dns traceroute to", "[DNS answer]", "192.168.1.1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package ttlprobe_test
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+	"github.com/dnswatch/dnsloc/internal/ttlprobe"
+)
+
+func googleV4() netip.AddrPort {
+	return netip.AddrPortFrom(publicdns.Lookup(publicdns.Google).V4[0], 53)
+}
+
+// cleanPathHops is the hop count from a lab probe to a public resolver
+// site: cpe, segment, border, regional transit, site router.
+const cleanPathHops = 5
+
+func ladder(t *testing.T, s homelab.Scenario) ttlprobe.Result {
+	t.Helper()
+	lab := homelab.New(s)
+	c := &ttlprobe.SimTTLClient{Net: lab.Net, Host: lab.Probe}
+	res, err := ttlprobe.Ladder(c, googleV4(), publicdns.CanaryDomain, 10)
+	if err != nil {
+		t.Fatalf("ladder: %v", err)
+	}
+	return res
+}
+
+func TestLadderCleanPath(t *testing.T) {
+	res := ladder(t, homelab.Clean)
+	if res.FirstTTL != cleanPathHops {
+		t.Errorf("clean path FirstTTL = %d, want %d", res.FirstTTL, cleanPathHops)
+	}
+	if got := ttlprobe.Classify(res, cleanPathHops); !strings.Contains(got, "no interception") {
+		t.Errorf("classify = %q", got)
+	}
+}
+
+func TestLadderCPEInterceptorAnswersAtHop1(t *testing.T) {
+	res := ladder(t, homelab.XB6)
+	if res.FirstTTL != ttlprobe.HopCPE {
+		t.Errorf("XB6 FirstTTL = %d, want 1", res.FirstTTL)
+	}
+	if got := ttlprobe.Classify(res, cleanPathHops); !strings.Contains(got, "CPE") {
+		t.Errorf("classify = %q", got)
+	}
+}
+
+func TestLadderISPMiddleboxAnswersMidPath(t *testing.T) {
+	res := ladder(t, homelab.ISPMiddlebox)
+	if res.FirstTTL <= ttlprobe.HopCPE || res.FirstTTL >= cleanPathHops {
+		t.Errorf("middlebox FirstTTL = %d, want between 2 and 4", res.FirstTTL)
+	}
+	if got := ttlprobe.Classify(res, cleanPathHops); !strings.Contains(got, "on-path interceptor") {
+		t.Errorf("classify = %q", got)
+	}
+}
+
+func TestLadderTransitInterceptor(t *testing.T) {
+	res := ladder(t, homelab.BeyondISP)
+	// The transit interceptor sits past the border: farther than the
+	// ISP, nearer than (or at) the resolver site.
+	if res.FirstTTL <= 2 || res.FirstTTL > cleanPathHops {
+		t.Errorf("transit FirstTTL = %d", res.FirstTTL)
+	}
+}
+
+func TestLadderOrdering(t *testing.T) {
+	// The three interceptor locations are strictly ordered by hop count:
+	// CPE < ISP < transit <= clean path. This is the extension's whole
+	// point: TTLs give finer placement than the three-step technique.
+	xb6 := ladder(t, homelab.XB6)
+	mb := ladder(t, homelab.ISPMiddlebox)
+	transit := ladder(t, homelab.BeyondISP)
+	clean := ladder(t, homelab.Clean)
+	if !(xb6.FirstTTL < mb.FirstTTL && mb.FirstTTL < transit.FirstTTL && transit.FirstTTL <= clean.FirstTTL) {
+		t.Errorf("ordering: cpe=%d isp=%d transit=%d clean=%d",
+			xb6.FirstTTL, mb.FirstTTL, transit.FirstTTL, clean.FirstTTL)
+	}
+}
+
+func TestLadderNoAnswer(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	c := &ttlprobe.SimTTLClient{Net: lab.Net, Host: lab.Probe}
+	// An unrouted destination never answers at any TTL.
+	dead := netip.MustParseAddrPort("203.0.113.77:53")
+	res, err := ttlprobe.Ladder(c, dead, publicdns.CanaryDomain, 6)
+	if !errors.Is(err, ttlprobe.ErrNoAnswer) {
+		t.Fatalf("err = %v, want ErrNoAnswer", err)
+	}
+	if res.FirstTTL != 0 {
+		t.Errorf("FirstTTL = %d, want 0", res.FirstTTL)
+	}
+	if got := ttlprobe.Classify(res, cleanPathHops); !strings.Contains(got, "no answer") {
+		t.Errorf("classify = %q", got)
+	}
+}

@@ -1,0 +1,66 @@
+package dnsloc_test
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// loopbackDNS is a minimal real UDP DNS server for transport tests.
+type loopbackDNS struct {
+	conn     *net.UDPConn
+	addrPort netip.AddrPort
+	done     chan struct{}
+}
+
+func mustAddrPort(s string) netip.AddrPort { return netip.MustParseAddrPort(s) }
+
+// startLoopbackDNS serves CHAOS version.bind on an ephemeral loopback
+// port until closed.
+func startLoopbackDNS(t *testing.T) *loopbackDNS {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &loopbackDNS{
+		conn:     conn,
+		addrPort: conn.LocalAddr().(*net.UDPAddr).AddrPort(),
+		done:     make(chan struct{}),
+	}
+	go s.serve()
+	return s
+}
+
+func (s *loopbackDNS) serve() {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil || query.Header.Response {
+			continue
+		}
+		var resp *dnswire.Message
+		if q := query.Question(); q.Class == dnswire.ClassCHAOS && q.Name.Equal("version.bind") {
+			resp = dnswire.NewTXTResponse(query, "loopback-test-server")
+		} else {
+			resp = dnswire.NewErrorResponse(query, dnswire.RCodeRefused)
+		}
+		payload, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		s.conn.WriteToUDP(payload, from) //nolint:errcheck
+	}
+}
+
+func (s *loopbackDNS) close() {
+	s.conn.Close()
+	<-s.done
+}

@@ -1,0 +1,65 @@
+package dnsloc_test
+
+import (
+	"testing"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+)
+
+// TestParallelDetectorOverRealSockets exercises Detector.Parallel with
+// the real UDP transport against a loopback server: all 16 location
+// queries run concurrently. (Run with -race; the transport must be
+// state-free per exchange.)
+func TestParallelDetectorOverRealSockets(t *testing.T) {
+	srv := startLoopbackDNS(t)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(500 * time.Millisecond)
+	c.Window = 0
+	det := &dnsloc.Detector{
+		Client:   c,
+		Parallel: true,
+		QueryV6:  false,
+	}
+	// The queries go to the real anycast addresses; what answers (or
+	// doesn't) depends on the build environment — some sandboxes run
+	// their own transparent DNS proxy, which this detector correctly
+	// flags. The test therefore asserts only structure and concurrency
+	// safety, not the verdict.
+	report := det.Run()
+	if len(report.Location) != 8 {
+		t.Errorf("location probes = %d, want 8", len(report.Location))
+	}
+	for _, p := range report.Location {
+		if p.Family != dnsloc.FamilyV4 {
+			t.Errorf("unexpected family %s", p.Family)
+		}
+	}
+}
+
+// TestParallelUDPExchangesConcurrently hammers the loopback server from
+// many goroutines through one shared client.
+func TestParallelUDPExchangesConcurrently(t *testing.T) {
+	srv := startLoopbackDNS(t)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(2 * time.Second)
+	c.Window = 0
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		go func(id uint16) {
+			q := dnsloc.NewVersionBindQuery(id)
+			resps, _, err := c.ExchangeRTT(srv.addrPort, q)
+			if err == nil && len(resps) == 0 {
+				err = dnsloc.ErrTimeout
+			}
+			errs <- err
+		}(uint16(100 + i))
+	}
+	for i := 0; i < 32; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent exchange: %v", err)
+		}
+	}
+}

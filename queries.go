@@ -1,0 +1,40 @@
+package dnsloc
+
+import (
+	"net/netip"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// Message is a DNS message; the Client interface exchanges them.
+type Message = dnswire.Message
+
+// NewVersionBindQuery builds the CHAOS TXT version.bind query of the
+// CPE test (§3.2).
+func NewVersionBindQuery(id uint16) *Message {
+	return dnswire.NewChaosTXTQuery(id, "version.bind")
+}
+
+// NewLocationQuery builds an operator's location query (Table 1).
+func NewLocationQuery(r ResolverID, id uint16) *Message {
+	return publicdns.Lookup(r).Location.Message(id)
+}
+
+// NewAQuery builds an ordinary recursive A query.
+func NewAQuery(id uint16, name string) *Message {
+	return dnswire.NewQuery(id, dnswire.Name(name), dnswire.TypeA, dnswire.ClassINET)
+}
+
+// ResolverAddrs returns an operator's anycast service addresses,
+// primary first, IPv4 then IPv6.
+func ResolverAddrs(r ResolverID) (v4, v6 []netip.Addr) {
+	c := publicdns.Lookup(r)
+	return append([]netip.Addr(nil), c.V4...), append([]netip.Addr(nil), c.V6...)
+}
+
+// ValidateLocationAnswer reports whether an answer matches the
+// operator's standard location-query format (§3.1).
+func ValidateLocationAnswer(r ResolverID, answer string) bool {
+	return publicdns.Lookup(r).ValidateLocationAnswer(answer)
+}

@@ -1,0 +1,94 @@
+package dnsloc_test
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// replicatingDNS answers every query twice with different TXT bodies —
+// the query-replication behaviour prior work observed on real paths.
+type replicatingDNS struct {
+	conn     *net.UDPConn
+	addrPort netip.AddrPort
+	done     chan struct{}
+}
+
+func startReplicatingDNS(t *testing.T) *replicatingDNS {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &replicatingDNS{
+		conn:     conn,
+		addrPort: conn.LocalAddr().(*net.UDPAddr).AddrPort(),
+		done:     make(chan struct{}),
+	}
+	go s.serve()
+	return s
+}
+
+func (s *replicatingDNS) serve() {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue
+		}
+		first := dnswire.MustPack(dnswire.NewTXTResponse(query, "interceptor"))
+		second := dnswire.MustPack(dnswire.NewTXTResponse(query, "genuine"))
+		s.conn.WriteToUDP(first, from)  //nolint:errcheck
+		s.conn.WriteToUDP(second, from) //nolint:errcheck
+	}
+}
+
+func (s *replicatingDNS) close() {
+	s.conn.Close()
+	<-s.done
+}
+
+func TestUDPClientObservesReplication(t *testing.T) {
+	srv := startReplicatingDNS(t)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(2 * time.Second)
+	c.Window = 200 * time.Millisecond
+	q := dnsloc.NewVersionBindQuery(61)
+	resps, err := c.Exchange(srv.addrPort, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("responses = %d, want 2 (replication window)", len(resps))
+	}
+	a, _ := resps[0].FirstTXT()
+	b, _ := resps[1].FirstTXT()
+	if a != "interceptor" || b != "genuine" {
+		t.Errorf("answers = %q, %q — first response must win", a, b)
+	}
+}
+
+func TestUDPClientWithoutWindowTakesFirstOnly(t *testing.T) {
+	srv := startReplicatingDNS(t)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(2 * time.Second)
+	c.Window = 0
+	resps, err := c.Exchange(srv.addrPort, dnsloc.NewVersionBindQuery(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 1 {
+		t.Fatalf("responses = %d, want 1", len(resps))
+	}
+}

@@ -1,0 +1,74 @@
+package dnsloc
+
+import (
+	"net"
+	"net/netip"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// TCPClient exchanges DNS messages over TCP with RFC 1035 framing.
+// It exists for completeness (identity answers are tiny and never need
+// it) and as the fallback FallbackClient switches to on truncation.
+type TCPClient struct {
+	Timeout time.Duration
+}
+
+// Exchange implements Client over one TCP connection per query.
+func (c *TCPClient) Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", server.String(), timeout)
+	if err != nil {
+		return nil, core.ErrTimeout
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := dnswire.WriteTCP(conn, query); err != nil {
+		return nil, err
+	}
+	m, err := dnswire.ReadTCP(conn)
+	if err != nil {
+		return nil, core.ErrTimeout
+	}
+	if m.Header.ID != query.Header.ID {
+		return nil, core.ErrTimeout
+	}
+	return []*dnswire.Message{m}, nil
+}
+
+// FallbackClient queries over UDP and retries over TCP when the answer
+// arrives truncated (TC bit set) — standard stub-resolver behaviour.
+type FallbackClient struct {
+	UDP *UDPClient
+	TCP *TCPClient
+}
+
+// NewFallbackClient builds the standard UDP-with-TCP-fallback transport.
+func NewFallbackClient(timeout time.Duration) *FallbackClient {
+	return &FallbackClient{
+		UDP: NewUDPClient(timeout),
+		TCP: &TCPClient{Timeout: timeout},
+	}
+}
+
+// Exchange implements Client.
+func (c *FallbackClient) Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error) {
+	resps, err := c.UDP.Exchange(server, query)
+	if err != nil {
+		return nil, err
+	}
+	if len(resps) > 0 && resps[0].Header.Truncated {
+		if tcp, err := c.TCP.Exchange(server, query); err == nil {
+			return tcp, nil
+		}
+		// TCP failed: return the truncated UDP answer, as stubs do.
+	}
+	return resps, nil
+}

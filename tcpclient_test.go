@@ -1,0 +1,137 @@
+package dnsloc_test
+
+import (
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// loopbackTCPDNS answers over TCP; its UDP sibling truncates.
+type loopbackTCPDNS struct {
+	udp      *net.UDPConn
+	tcp      *net.TCPListener
+	addrPort netip.AddrPort
+	done     chan struct{}
+	tcpDone  chan struct{}
+}
+
+// bigTXT is deliberately larger than one UDP payload.
+func bigTXT(query *dnswire.Message) *dnswire.Message {
+	resp := dnswire.NewResponse(query, dnswire.RCodeSuccess)
+	for i := 0; i < 5; i++ {
+		resp.Answers = append(resp.Answers, dnswire.Record{
+			Name: query.Question().Name, Class: dnswire.ClassINET, TTL: 0,
+			Data: dnswire.TXTRData{Strings: []string{strings.Repeat("y", 200)}},
+		})
+	}
+	return resp
+}
+
+func startTruncatingDNS(t *testing.T) *loopbackTCPDNS {
+	t.Helper()
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := udp.LocalAddr().(*net.UDPAddr).Port
+	tcp, err := net.ListenTCP("tcp", &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port})
+	if err != nil {
+		udp.Close()
+		t.Skipf("tcp listen on same port: %v", err)
+	}
+	s := &loopbackTCPDNS{
+		udp: udp, tcp: tcp,
+		addrPort: netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), uint16(port)),
+		done:     make(chan struct{}), tcpDone: make(chan struct{}),
+	}
+	go s.serveUDP()
+	go s.serveTCP()
+	return s
+}
+
+func (s *loopbackTCPDNS) serveUDP() {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue
+		}
+		wire, err := dnswire.PackWithTruncation(bigTXT(query), 512)
+		if err != nil {
+			continue
+		}
+		s.udp.WriteToUDP(wire, from) //nolint:errcheck
+	}
+}
+
+func (s *loopbackTCPDNS) serveTCP() {
+	defer close(s.tcpDone)
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+			query, err := dnswire.ReadTCP(conn)
+			if err != nil {
+				return
+			}
+			dnswire.WriteTCP(conn, bigTXT(query)) //nolint:errcheck
+		}()
+	}
+}
+
+func (s *loopbackTCPDNS) close() {
+	s.udp.Close()
+	s.tcp.Close()
+	<-s.done
+	<-s.tcpDone
+}
+
+func TestFallbackClientRetriesTruncationOverTCP(t *testing.T) {
+	srv := startTruncatingDNS(t)
+	defer srv.close()
+
+	c := dnsloc.NewFallbackClient(2 * time.Second)
+	c.UDP.Window = 0
+	q := dnsloc.NewAQuery(21, "big.example.com")
+	resps, err := c.Exchange(srv.addrPort, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := resps[0]
+	if m.Header.Truncated {
+		t.Error("fallback returned the truncated UDP answer")
+	}
+	if len(m.Answers) != 5 {
+		t.Errorf("answers = %d, want 5 (full TCP response)", len(m.Answers))
+	}
+}
+
+func TestUDPAloneSeesTruncation(t *testing.T) {
+	srv := startTruncatingDNS(t)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(2 * time.Second)
+	c.Window = 0
+	q := dnsloc.NewAQuery(22, "big.example.com")
+	resps, err := c.Exchange(srv.addrPort, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resps[0].Header.Truncated {
+		t.Error("expected a truncated UDP answer")
+	}
+}

@@ -1,0 +1,94 @@
+package dnsloc
+
+import (
+	"net"
+	"net/netip"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// UDPClient is a real-network transport for the Detector built on
+// net.DialUDP — no root, no raw sockets, exactly the privilege level
+// the paper's technique requires ("any device that can make DNS
+// queries"). It collects every response that arrives within the window
+// so query replication is observable.
+type UDPClient struct {
+	// Timeout bounds each exchange; responses after it are a timeout.
+	Timeout time.Duration
+	// Window extends listening after the first response to catch
+	// replicated answers. Zero means return after the first response.
+	Window time.Duration
+}
+
+// NewUDPClient builds a client with the given per-query timeout.
+func NewUDPClient(timeout time.Duration) *UDPClient {
+	return &UDPClient{Timeout: timeout, Window: 150 * time.Millisecond}
+}
+
+// Exchange implements Client over a real UDP socket.
+func (c *UDPClient) Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error) {
+	resps, _, err := c.ExchangeRTT(server, query)
+	return resps, err
+}
+
+// ExchangeRTT implements core.RTTExchanger with wall-clock timing. The
+// client keeps no per-exchange state, so it is safe for the detector's
+// Parallel mode.
+func (c *UDPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, time.Duration, error) {
+	payload, err := query.Pack()
+	if err != nil {
+		return nil, 0, err
+	}
+	conn, err := net.DialUDP("udp", nil, net.UDPAddrFromAddrPort(server))
+	if err != nil {
+		// No route / no address in this family.
+		return nil, 0, core.ErrNoRoute
+	}
+	defer conn.Close()
+
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 3 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, 0, err
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return nil, 0, err
+	}
+
+	var out []*dnswire.Message
+	var rtt time.Duration
+	buf := make([]byte, 4096)
+	start := time.Now()
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			if len(out) > 0 {
+				return out, rtt, nil
+			}
+			return nil, 0, core.ErrTimeout
+		}
+		m, err := dnswire.Unpack(buf[:n])
+		if err != nil || m.Header.ID != query.Header.ID {
+			continue // not our answer; keep listening
+		}
+		if len(out) == 0 {
+			rtt = time.Since(start)
+		}
+		out = append(out, m)
+		if c.Window == 0 {
+			return out, rtt, nil
+		}
+		// Shrink the deadline to the replication window.
+		w := time.Now().Add(c.Window)
+		if w.Before(deadline) {
+			if err := conn.SetDeadline(w); err != nil {
+				return out, rtt, nil
+			}
+		}
+	}
+}
