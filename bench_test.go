@@ -12,7 +12,9 @@
 package dnsloc_test
 
 import (
+	"fmt"
 	"net/netip"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -171,6 +173,32 @@ func BenchmarkPilotStudyBuildAndRun(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(spec.TotalProbes), "probes/op")
+}
+
+// BenchmarkPilotParallel measures the sharded study engine at 1, 2, 4,
+// and GOMAXPROCS workers over a 1,000-probe world (build + availability
+// pre-draw + detector sweep + merge per iteration). Output is
+// byte-identical at every worker count; only the wall clock moves. Run
+// with -benchmem and compare against BENCH_pilot.json.
+func BenchmarkPilotParallel(b *testing.B) {
+	spec := study.PaperSpec().Scale(0.1)
+	seen := map[int]bool{}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := study.RunSharded(spec, study.EngineOptions{Workers: workers})
+				if len(res.Intercepted()) == 0 {
+					b.Fatal("no interception found")
+				}
+			}
+			b.ReportMetric(float64(spec.TotalProbes), "probes/op")
+		})
+	}
 }
 
 // --- §5 case study ----------------------------------------------------

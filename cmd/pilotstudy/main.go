@@ -5,6 +5,7 @@
 //	pilotstudy -table 4         # just Table 4
 //	pilotstudy -figure 3        # just Figure 3
 //	pilotstudy -scale 0.1       # a 1,000-probe quick run
+//	pilotstudy -workers 8       # shard the sweep over 8 cores
 //	pilotstudy -csv             # machine-readable Table 4
 //	pilotstudy -accuracy        # ground-truth scoring of the technique
 package main
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/dnswatch/dnsloc/internal/analysis"
 	"github.com/dnswatch/dnsloc/internal/study"
@@ -23,6 +26,7 @@ func main() {
 	var (
 		scale    = flag.Float64("scale", 1.0, "study scale factor (1.0 = ~10,000 probes)")
 		seed     = flag.Int64("seed", 0, "override the spec's deterministic seed")
+		workers  = flag.Int("workers", 0, "parallel study shards (0 = all cores); output is identical at any count")
 		table    = flag.Int("table", 0, "print only this table (1-5)")
 		figure   = flag.Int("figure", 0, "print only this figure (3-4)")
 		csv      = flag.Bool("csv", false, "emit Table 4 as CSV")
@@ -54,11 +58,22 @@ func main() {
 	if *seed != 0 {
 		spec.Seed = *seed
 	}
-	fmt.Fprintf(os.Stderr, "building world: %d probes, %d interception seats...\n",
-		spec.TotalProbes, spec.TotalSeats())
-	world := study.BuildWorld(spec)
-	fmt.Fprintf(os.Stderr, "running the technique from every responding probe...\n")
-	results := study.Run(world)
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "building world: %d probes, %d interception seats, %d worker(s)...\n",
+		spec.TotalProbes, spec.TotalSeats(), nWorkers)
+	start := time.Now()
+	results := study.RunSharded(spec, study.EngineOptions{
+		Workers: nWorkers,
+		Progress: func(shard, workers, probes int, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "shard %d/%d: %d probes measured in %v\n",
+				shard+1, workers, probes, elapsed.Round(time.Millisecond))
+		},
+	})
+	fmt.Fprintf(os.Stderr, "study complete: %d probes in %v\n",
+		len(results.Records), time.Since(start).Round(time.Millisecond))
 
 	if *jsonOut != "" {
 		blob, err := json.MarshalIndent(results, "", "  ")
@@ -74,11 +89,11 @@ func main() {
 	}
 
 	t4 := analysis.BuildTable4(results)
-	if *csv {
-		fmt.Print(analysis.CSVTable4(t4))
-		return
-	}
 	switch {
+	case *csv:
+		// CSV replaces the rendered tables but must not short-circuit
+		// -accuracy or -ext below.
+		fmt.Print(analysis.CSVTable4(t4))
 	case *table == 4:
 		fmt.Println(analysis.FormatTable4(t4))
 	case *table == 5:

@@ -90,6 +90,9 @@ func (c *SimClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 		}
 		out = append(out, m)
 	}
+	// The packets are fully parsed; hand the slice back to the host so
+	// the next flow reuses its capacity.
+	c.Host.Recycle(pkts)
 	if len(out) == 0 {
 		return nil, 0, ErrTimeout
 	}

@@ -30,6 +30,9 @@ type Host struct {
 
 	nextPort uint16
 	inbox    map[uint16][]Packet
+	// spare holds drained inbox slices returned via Recycle, reused for
+	// later flows so steady-state exchanges stop allocating per query.
+	spare [][]Packet
 }
 
 // NewHost creates a host. Either address may be the zero Addr.
@@ -64,14 +67,36 @@ func (h *Host) Receive(ctx *Ctx, pkt Packet) {
 		// so the waiting Exchange sees it.
 		if srcPort, _, ok := ParseTimeExceeded(pkt); ok {
 			ctx.Trace(TraceDeliver, pkt, "host inbox (icmp)")
-			h.inbox[srcPort] = append(h.inbox[srcPort], pkt)
+			h.deliver(srcPort, pkt)
 			return
 		}
 		ctx.Drop(pkt, "unparseable icmp")
 		return
 	}
 	ctx.Trace(TraceDeliver, pkt, "host inbox")
-	h.inbox[pkt.Dst.Port()] = append(h.inbox[pkt.Dst.Port()], pkt)
+	h.deliver(pkt.Dst.Port(), pkt)
+}
+
+// deliver files a packet in the per-port inbox, reusing a recycled slice
+// for the port's first packet when one is available.
+func (h *Host) deliver(port uint16, pkt Packet) {
+	q, ok := h.inbox[port]
+	if !ok && len(h.spare) > 0 {
+		q = h.spare[len(h.spare)-1]
+		h.spare = h.spare[:len(h.spare)-1]
+	}
+	h.inbox[port] = append(q, pkt)
+}
+
+// Recycle returns a response slice obtained from Exchange to the host's
+// inbox freelist. Callers that are done parsing the packets can hand the
+// slice back so the next flow reuses its capacity; the packets' payload
+// bytes are never reused, so parsed messages stay valid.
+func (h *Host) Recycle(pkts []Packet) {
+	if cap(pkts) == 0 || len(h.spare) >= 8 {
+		return
+	}
+	h.spare = append(h.spare, pkts[:0])
 }
 
 // srcFor picks the host address matching the destination family.

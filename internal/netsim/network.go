@@ -170,6 +170,7 @@ func (n *Network) lose() bool {
 // NewNetwork returns an empty network with a generous event budget.
 func NewNetwork() *Network {
 	return &Network{
+		queue:              make(eventHeap, 0, 256),
 		MaxEvents:          1 << 20,
 		DefaultEgressDelay: time.Millisecond,
 	}
@@ -230,6 +231,10 @@ var ErrEventBudget = errors.New("netsim: event budget exhausted (forwarding loop
 // number of events processed.
 func (n *Network) Run() (int, error) {
 	processed := 0
+	// One Ctx serves the whole drain: devices only use it synchronously
+	// inside Receive, so re-pointing dev per event is safe and saves an
+	// allocation per delivery.
+	ctx := Ctx{net: n}
 	for n.queue.Len() > 0 {
 		if processed >= n.MaxEvents {
 			return processed, fmt.Errorf("%w after %d events", ErrEventBudget, processed)
@@ -239,9 +244,9 @@ func (n *Network) Run() (int, error) {
 			n.now = ev.at
 		}
 		processed++
-		ctx := &Ctx{net: n, dev: ev.dev}
+		ctx.dev = ev.dev
 		n.trace(ev.dev, TraceRecv, ev.pkt, "")
-		ev.dev.Receive(ctx, ev.pkt)
+		ev.dev.Receive(&ctx, ev.pkt)
 	}
 	return processed, nil
 }

@@ -1,0 +1,84 @@
+package study
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EngineOptions configure a sharded study run.
+type EngineOptions struct {
+	// Workers is the shard count; <= 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one call per completed shard.
+	// Calls are serialized but arrive in completion order, not shard
+	// order.
+	Progress func(shard, workers, probes int, elapsed time.Duration)
+}
+
+// RunSharded executes the pilot study across Workers independent shards,
+// each owning a round-robin slice of the probe fleet.
+//
+// Determinism contract: every shard builds its own world replica from
+// Spec.Shard(k, K) — the same quotas, seat dealing, and RNG streams as
+// the unsharded build, with only its own probes' homes instantiated —
+// and replays the full platform availability stream before measuring, so
+// no RNG call ever crosses a goroutine. Workers share no mutable state;
+// the only synchronization is the final merge, which reassembles records
+// in probe-ID order. Every table and figure rendered from the merged
+// results is therefore byte-identical at any worker count, and identical
+// to the serial Run. (Per-response virtual-clock RTTs are the one field
+// that may differ between worker counts: resolver cache warmth depends
+// on which probes share a world. No aggregate consumes RTTs.)
+func RunSharded(spec Spec, opts EngineOptions) *Results {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if spec.TotalProbes > 0 && workers > spec.TotalProbes {
+		workers = spec.TotalProbes
+	}
+	if workers == 1 {
+		// The serial path: one world, no stubs, no merge.
+		start := time.Now()
+		res := Run(BuildWorld(spec))
+		if opts.Progress != nil {
+			opts.Progress(0, 1, len(res.Records), time.Since(start))
+		}
+		return res
+	}
+
+	shards := make([][]*ProbeRecord, workers)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			start := time.Now()
+			world := BuildWorld(spec.Shard(k, workers))
+			shards[k] = runRecords(world)
+			if opts.Progress != nil {
+				progressMu.Lock()
+				opts.Progress(k, workers, len(shards[k]), time.Since(start))
+				progressMu.Unlock()
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, recs := range shards {
+		total += len(recs)
+	}
+	merged := make([]*ProbeRecord, 0, total)
+	for _, recs := range shards {
+		merged = append(merged, recs...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Probe.ID < merged[j].Probe.ID })
+
+	// The merged view carries the unsharded spec for exports; per-record
+	// simulation state lives on each record's Net.
+	return &Results{World: &World{Spec: spec}, Records: merged}
+}

@@ -3,6 +3,7 @@ package study
 import (
 	"github.com/dnswatch/dnsloc/internal/atlas"
 	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/netsim"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
 )
 
@@ -24,6 +25,11 @@ type ProbeRecord struct {
 	// for; experiments it missed do not count it in that experiment's
 	// totals.
 	Responded map[ExpKey]bool
+	// Net is the event loop the probe's host is wired into. In a sharded
+	// run each record points at its own shard's network; follow-up
+	// measurements (the TTL extension) must use it rather than a global
+	// one.
+	Net *netsim.Network
 }
 
 // RespondedAll4 reports whether the probe was online for all four
@@ -68,23 +74,57 @@ type Results struct {
 // responding probe, with platform availability deciding which probes
 // appear in which experiment's totals.
 func Run(w *World) *Results {
-	res := &Results{World: w}
+	return &Results{World: w, Records: runRecords(w)}
+}
+
+// availabilityDraws is how many Responds samples one probe consumes in
+// the campaign: one per v4 experiment, plus one per v6 experiment when
+// the probe has routed IPv6. Dead probes are skipped before sampling.
+func availabilityDraws(probe *atlas.Probe) int {
+	if probe.Availability == atlas.Dead {
+		return 0
+	}
+	n := len(publicdns.All)
+	if probe.HasIPv6 {
+		n *= 2
+	}
+	return n
+}
+
+// runRecords pre-draws the availability stream for the whole fleet, then
+// runs the detector from every responding probe the world instantiated.
+// In a shard-filtered world the stream still covers every probe (stubs
+// included), so the Responded outcomes match the unsharded build; only
+// the shard's own probes produce records.
+func runRecords(w *World) []*ProbeRecord {
+	table := w.Platform.PredrawResponses(availabilityDraws)
+	var records []*ProbeRecord
 	for _, probe := range w.Platform.Probes() {
-		rec := &ProbeRecord{Probe: probe, Responded: make(map[ExpKey]bool)}
-		res.Records = append(res.Records, rec)
+		if probe.Host == nil && w.Spec.ShardCount > 1 {
+			continue // foreign stub: its own shard records it
+		}
+		rec := &ProbeRecord{Probe: probe, Responded: make(map[ExpKey]bool), Net: w.Net}
+		records = append(records, rec)
 		if probe.Availability == atlas.Dead {
 			continue
 		}
-		// Sample per-experiment availability (deterministic order).
+		// Per-experiment availability, replayed in the serial draw order:
+		// v4 then (if routed) v6, per operator.
+		draws := table[probe.ID]
 		online := false
+		j := 0
 		for _, id := range publicdns.All {
-			if w.Platform.Responds(probe) {
+			if draws[j] {
 				rec.Responded[ExpKey{id, core.V4}] = true
 				online = true
 			}
-			if probe.HasIPv6 && w.Platform.Responds(probe) {
-				rec.Responded[ExpKey{id, core.V6}] = true
-				online = true
+			j++
+			if probe.HasIPv6 {
+				if draws[j] {
+					rec.Responded[ExpKey{id, core.V6}] = true
+					online = true
+				}
+				j++
 			}
 		}
 		if !online {
@@ -92,7 +132,7 @@ func Run(w *World) *Results {
 		}
 		rec.Report = w.Platform.Detector(probe).Run()
 	}
-	return res
+	return records
 }
 
 // Intercepted returns the records whose probes the technique flagged as

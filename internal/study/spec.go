@@ -74,6 +74,14 @@ type Spec struct {
 	Seed        int64
 	TotalProbes int
 
+	// ShardIndex/ShardCount select a shard-filtered build: the world is
+	// dealt exactly as the unsharded build (same quotas, same seat
+	// dealing, same RNG streams), but only the homes of probes owned by
+	// shard ShardIndex are instantiated; every other probe becomes a
+	// metadata-only stub that keeps the RNG streams aligned. ShardCount
+	// <= 1 means unsharded. Set via Shard.
+	ShardIndex, ShardCount int
+
 	// Availability model (see atlas.Availability).
 	FullShare    float64
 	PartialShare float64
@@ -225,6 +233,24 @@ func PaperSpec() Spec {
 			33915: 3,  // Ziggo
 		},
 	}
+}
+
+// Shard returns the spec restricted to shard k of total. The shard owns
+// every probe whose ID falls on it round-robin, so seat probes (created
+// first within each organization) spread evenly over shards. Building
+// the sharded spec is byte-identical to the unsharded build for the
+// probes the shard owns.
+func (s Spec) Shard(k, total int) Spec {
+	s.ShardIndex, s.ShardCount = k, total
+	return s
+}
+
+// owns reports whether this spec's shard instantiates the probe.
+func (s Spec) owns(probeID int) bool {
+	if s.ShardCount <= 1 {
+		return true
+	}
+	return probeID%s.ShardCount == s.ShardIndex
 }
 
 // TotalSeats sums the quota table.

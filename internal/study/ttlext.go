@@ -38,7 +38,11 @@ func RunTTLExtension(res *Results, cleanSample int, maxTTL int) TTLStats {
 			}
 			cleanSeen++
 		}
-		client := &ttlprobe.SimTTLClient{Net: res.World.Net, Host: rec.Probe.Host}
+		net := rec.Net
+		if net == nil {
+			net = res.World.Net
+		}
+		client := &ttlprobe.SimTTLClient{Net: net, Host: rec.Probe.Host}
 		ladder, err := ttlprobe.Ladder(client, google, publicdns.CanaryDomain, maxTTL)
 		if err != nil {
 			continue

@@ -479,6 +479,24 @@ func (w *World) addProbe(network *isp.Network, seg *isp.Segment, org geo.Org, re
 		}
 	}
 
+	// A shard-filtered build registers foreign probes as metadata-only
+	// stubs (no home, no host): the platform roster and both RNG streams
+	// stay aligned with the unsharded build, but none of the expensive
+	// home construction happens. Stub records never leave their shard —
+	// the owning shard produces the real one.
+	if !w.Spec.owns(id) {
+		w.Platform.Add(&atlas.Probe{
+			ID:           id,
+			Country:      org.Country,
+			ASN:          org.ASN,
+			Org:          org.Name,
+			Region:       region,
+			HasIPv6:      hasV6,
+			Availability: avail,
+		})
+		return
+	}
+
 	home := network.AllocHome(seg, hasV6)
 	cfg := cpe.NewPlain(fmt.Sprintf("cpe-%d", id), home.LANPrefix4, home.WANv4, network.ResolverAddrPort())
 	if hasV6 {

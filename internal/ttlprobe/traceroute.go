@@ -90,6 +90,7 @@ func Traceroute(c *SimTTLClient, server netip.AddrPort, name dnswire.Name, maxTT
 					hop.Router = p.Src.Addr()
 				}
 			}
+			c.Host.Recycle(pkts)
 		}
 		tr.Hops = append(tr.Hops, hop)
 		if hop.Answered {

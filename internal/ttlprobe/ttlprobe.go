@@ -47,6 +47,7 @@ func (c *SimTTLClient) ExchangeTTL(server netip.AddrPort, query *dnswire.Message
 			out = append(out, m)
 		}
 	}
+	c.Host.Recycle(pkts)
 	if len(out) == 0 {
 		return nil, netsim.ErrTimeout
 	}

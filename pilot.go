@@ -11,6 +11,9 @@ type PilotOptions struct {
 	Scale float64
 	// Seed overrides the deterministic default when nonzero.
 	Seed int64
+	// Workers shards the run across this many parallel worlds; 0 means
+	// GOMAXPROCS. Output is byte-identical at any worker count.
+	Workers int
 }
 
 // PilotOutput carries the rendered tables and figures of the paper's
@@ -41,13 +44,12 @@ func RunPilotStudy(opts PilotOptions) PilotOutput {
 	if opts.Seed != 0 {
 		spec.Seed = opts.Seed
 	}
-	world := study.BuildWorld(spec)
-	results := study.Run(world)
+	results := study.RunSharded(spec, study.EngineOptions{Workers: opts.Workers})
 	exampleRows := study.ExampleScenario()
 
 	t4 := analysis.BuildTable4(results)
 	return PilotOutput{
-		Probes:      world.Platform.Len(),
+		Probes:      len(results.Records),
 		Intercepted: t4.DistinctIntercepted,
 		Table1:      analysis.FormatTable1(),
 		Table2:      analysis.FormatTable2(exampleRows),
