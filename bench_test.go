@@ -25,6 +25,7 @@ import (
 	"github.com/dnswatch/dnsloc/internal/dnswire"
 	"github.com/dnswatch/dnsloc/internal/dotsim"
 	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/netsim"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
 	"github.com/dnswatch/dnsloc/internal/study"
 	"github.com/dnswatch/dnsloc/internal/ttlprobe"
@@ -215,6 +216,37 @@ func BenchmarkXB6CaseStudy(b *testing.B) {
 			b.Fatalf("verdict = %s", report.Verdict)
 		}
 	}
+}
+
+// BenchmarkDetectorRetry measures a full detection run against the XB6
+// home through a badly impaired path (PresetFault at level 0.5) with a
+// three-attempt retry policy — the marginal cost of the resilience
+// machinery over BenchmarkXB6CaseStudy's clean path. Fault state (burst
+// chains, rate buckets) persists across iterations, so individual runs
+// differ; the metrics report how often retries and degradation fired.
+func BenchmarkDetectorRetry(b *testing.B) {
+	lab := homelab.New(homelab.XB6)
+	lab.Net.SetDefaultFault(netsim.PresetFault(0.5, 42))
+	det := lab.Detector()
+	det.Retry = &core.RetryPolicy{MaxAttempts: 3}
+	retried, degraded := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report := det.Run()
+		if report.Verdict == core.VerdictISP {
+			b.Fatal("CPE interception misattributed to the ISP under faults")
+		}
+		for _, p := range report.Location {
+			if p.Attempts > 1 {
+				retried++
+			}
+		}
+		if len(report.Faults) > 0 {
+			degraded++
+		}
+	}
+	b.ReportMetric(float64(retried)/float64(b.N), "retried/op")
+	b.ReportMetric(float64(degraded)/float64(b.N), "degraded/op")
 }
 
 // --- Ablations ---------------------------------------------------------

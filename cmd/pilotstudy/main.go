@@ -8,6 +8,7 @@
 //	pilotstudy -workers 8       # shard the sweep over 8 cores
 //	pilotstudy -csv             # machine-readable Table 4
 //	pilotstudy -accuracy        # ground-truth scoring of the technique
+//	pilotstudy -faults          # resilience sweep under injected faults
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"github.com/dnswatch/dnsloc/internal/analysis"
+	"github.com/dnswatch/dnsloc/internal/core"
 	"github.com/dnswatch/dnsloc/internal/study"
 )
 
@@ -33,6 +35,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the full per-probe results as JSON to this file")
 		accuracy = flag.Bool("accuracy", false, "also print ground-truth accuracy scoring")
 		ext      = flag.String("ext", "", "extension experiment: 'ttl' (hop ladders), 'patterns' (§4.1.1 families), or 'population' (platform bias)")
+		faults   = flag.Bool("faults", false, "run the resilience sweep: verdict accuracy vs injected fault level")
 	)
 	flag.Parse()
 
@@ -62,6 +65,19 @@ func main() {
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
+
+	if *faults {
+		levels := []float64{0, 0.25, 0.5, 0.75, 1.0}
+		retry := &core.RetryPolicy{MaxAttempts: 3}
+		fmt.Fprintf(os.Stderr, "resilience sweep: %d probes x %d fault levels, %d worker(s)...\n",
+			spec.TotalProbes, len(levels), nWorkers)
+		start := time.Now()
+		rows := analysis.RunResilienceSweep(spec, study.EngineOptions{Workers: nWorkers}, levels, retry)
+		fmt.Fprintf(os.Stderr, "sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(analysis.FormatResilience(rows))
+		return
+	}
+
 	fmt.Fprintf(os.Stderr, "building world: %d probes, %d interception seats, %d worker(s)...\n",
 		spec.TotalProbes, spec.TotalSeats(), nWorkers)
 	start := time.Now()

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+	"github.com/dnswatch/dnsloc/internal/render"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// ResilienceRow is one fault level of the resilience sweep: the same
+// study world measured through an increasingly hostile path, scored
+// against ground truth. The sweep's claim is the paper's conservative
+// rule under stress — fault-shaped outcomes (timeouts, garbage) must
+// degrade detection toward "not intercepted" or "inconclusive", never
+// toward false interception verdicts.
+type ResilienceRow struct {
+	// Level is the PresetFault severity (0 = clean baseline).
+	Level float64
+	// Responded counts probes that produced a report.
+	Responded int
+	// Detection confusion at this level.
+	TP, FP, FN, TN int
+	// Localized counts true positives whose verdict matched ground
+	// truth (including hidden-as-unknown, which is the right answer).
+	Localized int
+	// Timeouts and Garbage total the fault-shaped final outcomes
+	// recorded across all reports' StepFault entries.
+	Timeouts, Garbage int
+	// Inconclusive counts probes with at least one step degraded to
+	// inconclusive.
+	Inconclusive int
+	// Quarantined counts probes whose measurement panicked and was
+	// contained.
+	Quarantined int
+}
+
+// Accuracy is the detection accuracy (TP+TN over responded).
+func (r ResilienceRow) Accuracy() float64 {
+	if r.Responded == 0 {
+		return 0
+	}
+	return float64(r.TP+r.TN) / float64(r.Responded)
+}
+
+// RunResilienceSweep runs the sharded study once per fault level and
+// scores each run. Level 0 runs with no fault plane at all (the exact
+// baseline world); higher levels install netsim.PresetFault(level) as
+// the default profile on every shard network, with the retry policy on
+// every detector.
+func RunResilienceSweep(spec study.Spec, opts study.EngineOptions, levels []float64, retry *core.RetryPolicy) []ResilienceRow {
+	rows := make([]ResilienceRow, 0, len(levels))
+	for _, lvl := range levels {
+		s := spec
+		if lvl > 0 {
+			fp := netsim.PresetFault(lvl, spec.Seed+9000)
+			s.Fault = &fp
+		}
+		s.Retry = retry
+		res := study.RunSharded(s, opts)
+		rows = append(rows, scoreResilience(lvl, res))
+	}
+	return rows
+}
+
+// scoreResilience reduces one run to its sweep row.
+func scoreResilience(level float64, res *study.Results) ResilienceRow {
+	a := BuildAccuracy(res)
+	row := ResilienceRow{
+		Level:       level,
+		TP:          a.TruePositives,
+		FP:          a.FalsePositives,
+		FN:          a.FalseNegatives,
+		TN:          a.TrueNegatives,
+		Localized:   a.CorrectCPE + a.CorrectISP + a.CorrectUnknown + a.HiddenAsUnknown,
+		Quarantined: len(res.Quarantined()),
+	}
+	for _, rec := range res.Records {
+		if rec.Report == nil {
+			continue
+		}
+		row.Responded++
+		inconclusive := false
+		for _, f := range rec.Report.Faults {
+			row.Timeouts += f.Timeouts
+			row.Garbage += f.Garbage
+			if f.Inconclusive {
+				inconclusive = true
+			}
+		}
+		if inconclusive {
+			row.Inconclusive++
+		}
+	}
+	return row
+}
+
+// FormatResilience renders the sweep as a table.
+func FormatResilience(rows []ResilienceRow) string {
+	out := [][]string{{
+		"Fault Level", "Responded", "TP", "FP", "FN", "TN",
+		"Localized", "Timeouts", "Garbage", "Inconcl.", "Quarantined", "Accuracy",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%.2f", r.Level),
+			fmt.Sprint(r.Responded),
+			fmt.Sprint(r.TP), fmt.Sprint(r.FP), fmt.Sprint(r.FN), fmt.Sprint(r.TN),
+			fmt.Sprint(r.Localized),
+			fmt.Sprint(r.Timeouts), fmt.Sprint(r.Garbage),
+			fmt.Sprint(r.Inconclusive), fmt.Sprint(r.Quarantined),
+			fmt.Sprintf("%.3f", r.Accuracy()),
+		})
+	}
+	return "Resilience sweep: verdict accuracy vs injected fault level\n\n" +
+		render.Table(out)
+}

@@ -80,6 +80,11 @@ type Platform struct {
 	// Partial probes.
 	PartialRespondP float64
 
+	// Retry, when non-nil, is installed on every detector the platform
+	// builds — the study engine sets it when running against a faulted
+	// network.
+	Retry *core.RetryPolicy
+
 	probes []*Probe
 	rng    *rand.Rand
 	net    *netsim.Network
@@ -164,5 +169,6 @@ func (p *Platform) Detector(probe *Probe) *core.Detector {
 		Client:      p.Client(probe),
 		CPEPublicV4: probe.WANv4,
 		QueryV6:     probe.HasIPv6,
+		Retry:       p.Retry,
 	}
 }

@@ -27,6 +27,19 @@ var ErrTimeout = errors.New("core: query timed out")
 // destination's address family (e.g. a v4-only probe asked for v6).
 var ErrNoRoute = errors.New("core: no connectivity in destination address family")
 
+// ErrGarbage reports that something answered but nothing parsed as a
+// response to our query — truncated datagrams, corrupt payloads, or
+// mismatched IDs. Like a timeout it is never interception evidence
+// (there is no answer to validate), but it is a distinct fault signal:
+// the path is damaging responses, not dropping them.
+var ErrGarbage = errors.New("core: only unparseable responses arrived")
+
+// ErrRefused reports that the transport-level connection was refused
+// (ICMP port unreachable / TCP RST) — a transient condition under
+// resolver rate limiting, distinct from a DNS REFUSED rcode, which is
+// an in-band answer the detector classifies itself.
+var ErrRefused = errors.New("core: connection refused")
+
 // Client is the detector's transport: send one DNS query, collect the
 // response(s). Multiple responses occur under query replication; the
 // first is what a stub resolver would consume.
@@ -94,7 +107,9 @@ func (c *SimClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 	// the next flow reuses its capacity.
 	c.Host.Recycle(pkts)
 	if len(out) == 0 {
-		return nil, 0, ErrTimeout
+		// Datagrams arrived (Host.Exchange returned some) but none
+		// parsed as ours: a damaged-response fault, not silence.
+		return nil, 0, ErrGarbage
 	}
 	return out, rtt, nil
 }

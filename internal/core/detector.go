@@ -41,10 +41,18 @@ type Detector struct {
 	// SkipTransparency disables the whoami check (§4.1.2).
 	SkipTransparency bool
 
-	// Retries re-sends a query after a timeout. Zero means one attempt;
-	// on lossy real networks 1-2 retries avoid misreading packet loss.
-	// (Timeouts are never evidence of interception either way.)
+	// Retries re-sends a query after a transient failure. Zero means
+	// one attempt; on lossy real networks 1-2 retries avoid misreading
+	// packet loss. (Timeouts are never evidence of interception either
+	// way.) Kept for compatibility — Retry supersedes it when set.
 	Retries int
+
+	// Retry, when non-nil, replaces Retries with a full policy:
+	// attempt cap, per-attempt timeout, exponential backoff with
+	// deterministic jitter. Transient errors (timeout, garbage,
+	// refused) consume attempts; permanent ones (ErrNoRoute) fail the
+	// query immediately.
+	Retry *RetryPolicy
 
 	// Parallel issues the step-1 location queries concurrently — on a
 	// live network with multi-second timeouts this cuts a full run from
@@ -96,37 +104,60 @@ func (d *Detector) Run() *Report {
 	return r
 }
 
+// policy resolves the effective retry policy, honouring the legacy
+// Retries field when no full policy is installed.
+func (d *Detector) policy() RetryPolicy {
+	if d.Retry != nil {
+		return *d.Retry
+	}
+	return RetryPolicy{MaxAttempts: d.Retries + 1}
+}
+
 // exchangeOne sends a query and reduces the result to a ProbeResult.
 // For TXT-shaped queries the answer is the joined TXT; for address
-// queries it is the first address.
+// queries it is the first address. Transient transport errors consume
+// retry attempts under the policy; permanent ones (no route) fail the
+// query on the spot.
 func (d *Detector) exchangeOne(id publicdns.ID, server netip.AddrPort, q *dnswire.Message) ProbeResult {
 	family := V4
 	if server.Addr().Is6() && !server.Addr().Is4In6() {
 		family = V6
 	}
 	pr := ProbeResult{Resolver: id, Server: server, Family: family}
+	pol := d.policy()
+	maxAttempts := pol.Attempts()
+	salt := QuerySalt(server, q.Header.ID)
 	var resps []*dnswire.Message
 	var rtt time.Duration
 	var err error
 	rttClient, hasRTT := d.Client.(RTTExchanger)
-	for attempt := 0; ; attempt++ {
+	for attempt := 1; ; attempt++ {
 		if hasRTT {
 			resps, rtt, err = rttClient.ExchangeRTT(server, q)
 		} else {
 			resps, err = d.Client.Exchange(server, q)
 		}
-		if !errors.Is(err, ErrTimeout) || attempt >= d.Retries {
+		pr.Attempts = attempt
+		if err == nil || Classify(err) == ClassPermanent || attempt >= maxAttempts {
 			break
+		}
+		if delay := pol.BackoffFor(attempt, salt); delay > 0 {
+			time.Sleep(delay)
 		}
 	}
 	switch {
 	case errors.Is(err, ErrTimeout):
 		pr.Outcome = OutcomeTimeout
 		return pr
+	case errors.Is(err, ErrGarbage):
+		pr.Outcome = OutcomeGarbage
+		return pr
 	case errors.Is(err, ErrNoRoute):
 		pr.Outcome = OutcomeNoRoute
 		return pr
 	case err != nil:
+		// An unclassified transport failure exhausted its retries;
+		// conservatively the same non-evidence as a timeout.
 		pr.Outcome = OutcomeTimeout
 		return pr
 	}
@@ -203,11 +234,12 @@ func (d *Detector) stepLocation(r *Report) {
 		}
 	}
 
+	noteFaults(r, StepLocation, results)
 	intercepted := map[publicdns.ID]map[Family]bool{}
 	for _, pr := range results {
 		r.Location = append(r.Location, pr)
-		// Timeouts are conservatively not interception (§3.1); any
-		// response that fails validation is.
+		// Timeouts (and garbled responses) are conservatively not
+		// interception (§3.1); any response that fails validation is.
 		nonStandard := (pr.Outcome == OutcomeAnswer && !pr.Standard) || pr.Outcome == OutcomeError
 		if nonStandard {
 			if intercepted[pr.Resolver] == nil {
@@ -245,6 +277,7 @@ func (d *Detector) stepCPE(r *Report) bool {
 			r.ResolverVersionBind = append(r.ResolverVersionBind,
 				d.exchangeOne(id, netip.AddrPortFrom(cfg.V4[0], 53), vb()))
 		}
+		noteFaults(r, StepCPE, append([]ProbeResult{r.CPEVersionBind}, r.ResolverVersionBind...))
 		return false
 	}
 	all := true
@@ -256,6 +289,7 @@ func (d *Detector) stepCPE(r *Report) bool {
 			all = false
 		}
 	}
+	noteFaults(r, StepCPE, append([]ProbeResult{r.CPEVersionBind}, r.ResolverVersionBind...))
 	if all {
 		r.CPEString = r.CPEVersionBind.Answer
 	}
@@ -325,6 +359,7 @@ func (d *Detector) stepTransparency(r *Report) {
 		}
 		r.Whoami = append(r.Whoami, pr)
 	}
+	noteFaults(r, StepTransparency, r.Whoami)
 	switch {
 	case transparent > 0 && modified > 0:
 		r.Transparency = TransparencyBoth
@@ -335,6 +370,30 @@ func (d *Detector) stepTransparency(r *Report) {
 	default:
 		r.Transparency = TransparencyNA
 	}
+}
+
+// noteFaults aggregates fault-shaped outcomes (timeouts and garbage)
+// across a step's probe results into a StepFault record. Steps that saw
+// no faults leave nothing behind, so a clean run's report is unchanged.
+// The ISP step never calls this: bogon silence is an expected,
+// informative outcome there (§3.3), not degradation.
+func noteFaults(r *Report, step string, prs []ProbeResult) {
+	f := StepFault{Step: step}
+	for _, pr := range prs {
+		f.Queries++
+		f.Attempts += pr.Attempts
+		switch pr.Outcome {
+		case OutcomeTimeout:
+			f.Timeouts++
+		case OutcomeGarbage:
+			f.Garbage++
+		}
+	}
+	if f.Queries == 0 || f.Timeouts+f.Garbage == 0 {
+		return
+	}
+	f.Inconclusive = f.Timeouts+f.Garbage == f.Queries
+	r.Faults = append(r.Faults, f)
 }
 
 // CPETestWithARecord is the counterfactual of Appendix A: testing the

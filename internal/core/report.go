@@ -29,6 +29,11 @@ const (
 	OutcomeError   Outcome = "error"   // a DNS error rcode arrived
 	OutcomeTimeout Outcome = "timeout" // nothing arrived
 	OutcomeNoRoute Outcome = "noroute" // no connectivity in this family
+	// OutcomeGarbage: responses arrived but none parsed as ours —
+	// truncation or corruption on the path. Treated like a timeout for
+	// verdict purposes (never interception evidence) but recorded
+	// separately as fault evidence.
+	OutcomeGarbage Outcome = "garbage"
 )
 
 // ProbeResult is one raw query observation.
@@ -51,6 +56,9 @@ type ProbeResult struct {
 	// transport can measure it (zero otherwise). Interceptors near the
 	// client answer conspicuously faster than distant anycast sites.
 	RTT time.Duration
+	// Attempts is how many transport attempts the query consumed under
+	// the detector's retry policy (1 = answered first try).
+	Attempts int
 }
 
 // String renders the observation compactly, in the style of Table 2/3
@@ -63,6 +71,8 @@ func (p ProbeResult) String() string {
 		return p.RCode.String()
 	case OutcomeNoRoute:
 		return "-"
+	case OutcomeGarbage:
+		return "garbage"
 	default:
 		return "timeout"
 	}
@@ -126,8 +136,53 @@ type Report struct {
 	// Whoami holds the transparency-check observations (§4.1.2).
 	Whoami []ProbeResult
 
+	// Faults summarizes fault-shaped degradation per step: how many
+	// queries timed out or came back garbled, and whether the step was
+	// left inconclusive (every query exhausted its retries with only
+	// fault-shaped outcomes). A degraded run records what it could not
+	// measure instead of aborting.
+	Faults []StepFault
+
 	Verdict      Verdict
 	Transparency Transparency
+}
+
+// Step names used in StepFault records.
+const (
+	StepLocation     = "location"
+	StepTransparency = "transparency"
+	StepCPE          = "cpe"
+)
+
+// StepFault is the fault evidence for one detector step.
+type StepFault struct {
+	// Step is the step name (StepLocation, StepTransparency, StepCPE).
+	// The ISP step never appears here: a bogon query's silence is a
+	// first-class expected outcome, indistinguishable from loss by
+	// design (§3.3), so it cannot be called inconclusive.
+	Step string
+	// Queries is how many queries the step issued.
+	Queries int
+	// Timeouts and Garbage count the fault-shaped final outcomes.
+	Timeouts int
+	Garbage  int
+	// Attempts is the total transport attempts the step consumed.
+	Attempts int
+	// Inconclusive marks a step whose every query ended fault-shaped:
+	// the step measured nothing, and the verdict's treatment of it is
+	// conservative absence, not evidence.
+	Inconclusive bool
+}
+
+// InconclusiveSteps lists the steps degraded to inconclusive.
+func (r *Report) InconclusiveSteps() []string {
+	var out []string
+	for _, f := range r.Faults {
+		if f.Inconclusive {
+			out = append(out, f.Step)
+		}
+	}
+	return out
 }
 
 // Intercepted reports whether any resolver was intercepted in either
@@ -168,7 +223,7 @@ func (r *Report) String() string {
 		if !p.Standard {
 			mark = "NON-STANDARD"
 		}
-		if p.Outcome == OutcomeTimeout || p.Outcome == OutcomeNoRoute {
+		if p.Outcome == OutcomeTimeout || p.Outcome == OutcomeNoRoute || p.Outcome == OutcomeGarbage {
 			mark = string(p.Outcome)
 		}
 		rtt := ""
@@ -186,6 +241,14 @@ func (r *Report) String() string {
 	}
 	for _, p := range r.BogonResults {
 		fmt.Fprintf(&sb, "bogon query (%s): %s\n", p.Family, p.String())
+	}
+	for _, f := range r.Faults {
+		status := "degraded"
+		if f.Inconclusive {
+			status = "INCONCLUSIVE"
+		}
+		fmt.Fprintf(&sb, "step %s %s: %d/%d queries fault-shaped (%d timeout, %d garbage) over %d attempts\n",
+			f.Step, status, f.Timeouts+f.Garbage, f.Queries, f.Timeouts, f.Garbage, f.Attempts)
 	}
 	return sb.String()
 }

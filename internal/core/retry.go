@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"math"
+	"net/netip"
+	"time"
+)
+
+// RetryPolicy governs how a query is retried when its transport fails.
+// It replaces the detector's bare Retries counter (kept for
+// compatibility) with the pieces a lossy real network needs: an attempt
+// cap, a per-attempt timeout for transports that retransmit in-socket,
+// and exponential backoff with deterministic jitter, so two runs with
+// the same seed pace their retries identically.
+//
+// The zero value means one attempt, no pause — indistinguishable from
+// the old behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first.
+	// Values <= 0 mean one attempt.
+	MaxAttempts int
+
+	// AttemptTimeout bounds one attempt inside a retransmitting
+	// transport (UDPClient). Zero lets the transport divide its overall
+	// deadline evenly across attempts.
+	AttemptTimeout time.Duration
+
+	// Backoff is the base pause before the second attempt; each further
+	// attempt multiplies it by Multiplier (default 2), capped at
+	// BackoffMax when set. Zero disables pausing entirely — the right
+	// setting for simulated transports, where wall-clock sleeps buy
+	// nothing.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	Multiplier float64
+
+	// JitterSeed drives the deterministic jitter: the pause is scaled
+	// into [50%, 100%] of its nominal value by a hash of the seed, the
+	// query salt, and the attempt number. Same seed, same schedule.
+	JitterSeed int64
+}
+
+// Attempts returns the effective attempt cap.
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// BackoffFor returns the pause after the attempt-th failed attempt
+// (1-based). The salt should identify the query (server + query ID) so
+// concurrent queries do not retry in lockstep.
+func (p RetryPolicy) BackoffFor(attempt int, salt uint64) time.Duration {
+	if p.Backoff <= 0 || attempt < 1 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(p.Backoff) * math.Pow(mult, float64(attempt-1))
+	if p.BackoffMax > 0 && d > float64(p.BackoffMax) {
+		d = float64(p.BackoffMax)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.JitterSeed))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], salt)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempt))
+	h.Write(buf[:])
+	frac := float64(h.Sum64()>>11) / (1 << 53)
+	return time.Duration(d * (0.5 + 0.5*frac))
+}
+
+// QuerySalt builds a per-query retry salt from the server address and
+// the DNS query ID.
+func QuerySalt(server netip.AddrPort, id uint16) uint64 {
+	h := fnv.New64a()
+	a := server.Addr().As16()
+	h.Write(a[:])
+	var buf [4]byte
+	binary.LittleEndian.PutUint16(buf[:2], server.Port())
+	binary.LittleEndian.PutUint16(buf[2:], id)
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// ErrClass classifies a transport error for retry purposes.
+type ErrClass int
+
+// Error classes.
+const (
+	// ClassSuccess: no error.
+	ClassSuccess ErrClass = iota
+	// ClassTransient errors (timeout, garbage response, connection
+	// refused, and anything unrecognized) may clear on a retry, so
+	// each one consumes an attempt.
+	ClassTransient
+	// ClassPermanent errors (no route in the destination's address
+	// family) cannot clear on a retry; retrying them only burns time.
+	ClassPermanent
+)
+
+// Classify maps a transport error to its retry class. Unknown errors
+// are conservatively transient: a fault-injected path produces error
+// shapes no one enumerated in advance, and wasting an attempt is
+// cheaper than aborting a step.
+func Classify(err error) ErrClass {
+	switch {
+	case err == nil:
+		return ClassSuccess
+	case errors.Is(err, ErrNoRoute):
+		return ClassPermanent
+	default:
+		return ClassTransient
+	}
+}

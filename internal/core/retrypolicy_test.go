@@ -1,0 +1,186 @@
+package core_test
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want core.ErrClass
+	}{
+		{nil, core.ClassSuccess},
+		{core.ErrTimeout, core.ClassTransient},
+		{core.ErrGarbage, core.ClassTransient},
+		{core.ErrRefused, core.ClassTransient},
+		{errors.New("something novel"), core.ClassTransient},
+		{core.ErrNoRoute, core.ClassPermanent},
+	}
+	for _, c := range cases {
+		if got := core.Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBackoffForDeterministicAndBounded(t *testing.T) {
+	p := core.RetryPolicy{MaxAttempts: 4, Backoff: 100 * time.Millisecond, BackoffMax: 300 * time.Millisecond, JitterSeed: 9}
+	for attempt := 1; attempt <= 3; attempt++ {
+		a := p.BackoffFor(attempt, 42)
+		b := p.BackoffFor(attempt, 42)
+		if a != b {
+			t.Errorf("attempt %d: backoff not deterministic (%v vs %v)", attempt, a, b)
+		}
+		nominal := 100 * time.Millisecond << (attempt - 1)
+		if nominal > p.BackoffMax {
+			nominal = p.BackoffMax
+		}
+		if a < nominal/2 || a > nominal {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, a, nominal/2, nominal)
+		}
+	}
+	if p.BackoffFor(1, 42) == p.BackoffFor(1, 43) {
+		t.Error("different salts produced identical jitter")
+	}
+	if (core.RetryPolicy{}).BackoffFor(1, 42) != 0 {
+		t.Error("zero policy should not pause")
+	}
+	if (core.RetryPolicy{}).Attempts() != 1 {
+		t.Error("zero policy should mean one attempt")
+	}
+}
+
+// refusingClient fails every flow's first attempts with a NON-timeout
+// transient error — the regression case: the old detector treated any
+// non-timeout transport error as terminal and never retried it.
+type refusingClient struct {
+	inner core.Client
+	drop  int
+	tries map[string]int
+}
+
+func (c *refusingClient) Exchange(server netip.AddrPort, q *dnswire.Message) ([]*dnswire.Message, error) {
+	if c.tries == nil {
+		c.tries = make(map[string]int)
+	}
+	key := server.String() + "/" + string(q.Question().Name)
+	c.tries[key]++
+	if c.tries[key] <= c.drop {
+		return nil, core.ErrRefused
+	}
+	return c.inner.Exchange(server, q)
+}
+
+func TestTransientNonTimeoutErrorsConsumeRetries(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	det := lab.Detector()
+	det.Client = &refusingClient{inner: lab.Client(), drop: 1}
+	det.Retry = &core.RetryPolicy{MaxAttempts: 3}
+	r := det.Run()
+	if r.Verdict != core.VerdictCPE {
+		t.Errorf("verdict = %s, want CPE: refused attempts should be retried", r.Verdict)
+	}
+	for _, p := range r.Location {
+		if p.Attempts != 2 {
+			t.Errorf("probe %s/%s used %d attempts, want 2", p.Resolver, p.Server, p.Attempts)
+		}
+	}
+}
+
+// noRouteClient always reports a permanent failure.
+type noRouteClient struct{}
+
+func (noRouteClient) Exchange(netip.AddrPort, *dnswire.Message) ([]*dnswire.Message, error) {
+	return nil, core.ErrNoRoute
+}
+
+func TestPermanentErrorsFailWithoutRetrying(t *testing.T) {
+	det := &core.Detector{Client: noRouteClient{}, Retry: &core.RetryPolicy{MaxAttempts: 5}}
+	r := det.Run()
+	if len(r.Location) == 0 {
+		t.Fatal("no location probes recorded")
+	}
+	for _, p := range r.Location {
+		if p.Outcome != core.OutcomeNoRoute {
+			t.Errorf("outcome = %s, want noroute", p.Outcome)
+		}
+		if p.Attempts != 1 {
+			t.Errorf("permanent failure burned %d attempts, want 1", p.Attempts)
+		}
+	}
+	// No-route is absence of a path, not fault damage: nothing degraded.
+	if len(r.Faults) != 0 {
+		t.Errorf("Faults = %+v, want none for no-route outcomes", r.Faults)
+	}
+}
+
+// garbageClient is a concurrency-safe transport whose every attempt
+// returns damaged responses.
+type garbageClient struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *garbageClient) Exchange(netip.AddrPort, *dnswire.Message) ([]*dnswire.Message, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return nil, core.ErrGarbage
+}
+
+func TestParallelRetryBackoff(t *testing.T) {
+	// Run with -race: concurrent exchangeOne calls sharing one policy,
+	// each pacing its own deterministic backoff.
+	client := &garbageClient{}
+	det := &core.Detector{
+		Client:   client,
+		Parallel: true,
+		Retry:    &core.RetryPolicy{MaxAttempts: 3, Backoff: 10 * time.Microsecond, JitterSeed: 4},
+	}
+	r := det.Run()
+	if r.Verdict != core.VerdictNotIntercepted {
+		t.Errorf("verdict = %s: garbage must never read as interception", r.Verdict)
+	}
+	// 4 operators x 2 v4 addresses, 3 attempts each.
+	if want := 8 * 3; client.calls != want {
+		t.Errorf("transport calls = %d, want %d", client.calls, want)
+	}
+	steps := r.InconclusiveSteps()
+	if len(steps) != 1 || steps[0] != core.StepLocation {
+		t.Errorf("InconclusiveSteps = %v, want [location]", steps)
+	}
+	f := r.Faults[0]
+	if f.Queries != 8 || f.Garbage != 8 || f.Timeouts != 0 || f.Attempts != 24 || !f.Inconclusive {
+		t.Errorf("StepFault = %+v", f)
+	}
+}
+
+// timeoutClient times out every query.
+type timeoutClient struct{}
+
+func (timeoutClient) Exchange(netip.AddrPort, *dnswire.Message) ([]*dnswire.Message, error) {
+	return nil, core.ErrTimeout
+}
+
+func TestAllTimeoutsRecordInconclusiveStep(t *testing.T) {
+	det := &core.Detector{Client: timeoutClient{}}
+	r := det.Run()
+	if r.Verdict != core.VerdictNotIntercepted {
+		t.Errorf("verdict = %s: timeouts must never read as interception", r.Verdict)
+	}
+	if len(r.Faults) != 1 {
+		t.Fatalf("Faults = %+v, want one step", r.Faults)
+	}
+	f := r.Faults[0]
+	if f.Step != core.StepLocation || !f.Inconclusive || f.Timeouts != f.Queries {
+		t.Errorf("StepFault = %+v", f)
+	}
+}

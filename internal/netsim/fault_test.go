@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stressProfile exercises every mechanism at once with rates high
+// enough that a short run shows each of them.
+func stressProfile(seed int64) FaultProfile {
+	return FaultProfile{
+		Seed:          seed,
+		PGoodBad:      0.25,
+		PBadGood:      0.30,
+		LossGood:      0.02,
+		LossBad:       0.80,
+		DupProb:       0.20,
+		ReorderProb:   0.25,
+		ReorderJitter: time.Millisecond,
+		TruncProb:     0.20,
+		TruncBytes:    4,
+	}
+}
+
+// runFaultedTrace builds a fresh world with the profile installed, runs
+// a fixed exchange sequence, and returns the full trace log.
+func runFaultedTrace(t *testing.T, p FaultProfile) []string {
+	t.Helper()
+	w := buildTestWorld(t)
+	w.net.SetDefaultFault(p)
+	var log []string
+	w.net.Tap(func(e TraceEvent) { log = append(log, e.String()) })
+	for i := 0; i < 40; i++ {
+		// Losses are expected; the sequence, not the outcome, is under test.
+		w.host.Exchange(w.net, ap("8.8.8.8:53"), []byte{byte(i), byte(i >> 8), 'q'}, ExchangeOptions{})
+	}
+	return log
+}
+
+func TestFaultTraceDeterministic(t *testing.T) {
+	a := runFaultedTrace(t, stressProfile(7))
+	b := runFaultedTrace(t, stressProfile(7))
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at event %d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	faults := 0
+	for _, line := range a {
+		if strings.Contains(line, "fault:") {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("stress profile injected no faults at all")
+	}
+	// A different seed must actually change the fault pattern.
+	c := runFaultedTrace(t, stressProfile(8))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("changing the profile seed left the trace identical")
+	}
+}
+
+func TestInactiveProfileIsNoOp(t *testing.T) {
+	if PresetFault(0, 1).Active() {
+		t.Fatal("PresetFault(0) is active")
+	}
+	w := buildTestWorld(t)
+	w.net.SetDefaultFault(PresetFault(0, 1))
+	resps, err := w.host.Exchange(w.net, ap("8.8.8.8:53"), []byte("q"), ExchangeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resps[0].Payload) != "google:q" {
+		t.Errorf("payload = %q", resps[0].Payload)
+	}
+}
+
+func TestBurstLossDropsEverythingAtFullRate(t *testing.T) {
+	w := buildTestWorld(t)
+	w.net.SetDefaultFault(FaultProfile{Seed: 1, LossGood: 1, LossBad: 1, PGoodBad: 0.5, PBadGood: 0.5})
+	_, err := w.host.Exchange(w.net, ap("8.8.8.8:53"), []byte("q"), ExchangeOptions{})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout under total loss", err)
+	}
+}
+
+func TestRateLimitExhaustsTokenBucket(t *testing.T) {
+	w := buildTestWorld(t)
+	// Only the resolver rate-limits: 2 tokens, no refill.
+	w.net.SetDeviceFault("resolver-8888", FaultProfile{
+		Seed: 1, RateLimitPort: 53, RateBurst: 2,
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := w.host.Exchange(w.net, ap("8.8.8.8:53"), []byte("q"), ExchangeOptions{}); err != nil {
+			t.Fatalf("query %d within burst: %v", i, err)
+		}
+	}
+	if _, err := w.host.Exchange(w.net, ap("8.8.8.8:53"), []byte("q"), ExchangeOptions{}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout once the bucket is empty", err)
+	}
+}
+
+func TestRateLimitRefillsPerQuery(t *testing.T) {
+	w := buildTestWorld(t)
+	// 1 token, one earned back every 2 queries: the pattern must be
+	// deterministic pass/drop/pass/drop...
+	w.net.SetDeviceFault("resolver-8888", FaultProfile{
+		Seed: 1, RateLimitPort: 53, RateBurst: 1, RateRefillEvery: 2,
+	})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		_, err := w.host.Exchange(w.net, ap("8.8.8.8:53"), []byte("q"), ExchangeOptions{})
+		got = append(got, err == nil)
+	}
+	// Query 1 spends the only token; every even query earns one back
+	// just in time, every odd one after the first finds the bucket dry.
+	want := []bool{true, true, false, true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pass/drop pattern = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDuplicationDeliversCopies(t *testing.T) {
+	w := buildTestWorld(t)
+	w.net.SetDeviceFault("cpe", FaultProfile{Seed: 1, DupProb: 1})
+	resps, err := w.host.Exchange(w.net, ap("8.8.8.8:53"), []byte("q"), ExchangeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query duplicates once leaving the CPE (2 reach the resolver),
+	// and each response duplicates again re-entering the LAN.
+	if len(resps) != 4 {
+		t.Fatalf("got %d responses, want 4 under always-duplicate at the CPE", len(resps))
+	}
+	for _, r := range resps {
+		if string(r.Payload) != "google:q" {
+			t.Errorf("payload = %q", r.Payload)
+		}
+	}
+}
+
+func TestTruncationClipsOnlyResponses(t *testing.T) {
+	w := buildTestWorld(t)
+	w.net.SetDeviceFault("cpe", FaultProfile{Seed: 1, TruncProb: 1, TruncBytes: 4})
+	resps, err := w.host.Exchange(w.net, ap("8.8.8.8:53"), []byte("query-x"), ExchangeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query (src port ephemeral) passes intact — the resolver echoed
+	// the full payload — but the response is clipped at the CPE.
+	if got := string(resps[0].Payload); got != "goog" {
+		t.Errorf("payload = %q, want the first 4 bytes of the response", got)
+	}
+}
+
+func TestReorderJitterDelaysDelivery(t *testing.T) {
+	base := buildTestWorld(t)
+	r0, err := base.host.Exchange(base.net, ap("8.8.8.8:53"), []byte("q"), ExchangeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := buildTestWorld(t)
+	w.net.SetDefaultFault(FaultProfile{Seed: 1, ReorderProb: 1, ReorderJitter: time.Millisecond})
+	r1, err := w.host.Exchange(w.net, ap("8.8.8.8:53"), []byte("q"), ExchangeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0].RTT() <= r0[0].RTT() {
+		t.Errorf("jittered RTT %v not above clean RTT %v", r1[0].RTT(), r0[0].RTT())
+	}
+}

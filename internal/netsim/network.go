@@ -66,8 +66,15 @@ func (c *Ctx) Forward(next Device, pkt Packet) {
 		c.net.trace(c.dev, TraceDrop, pkt, "packet loss")
 		return
 	}
+	at := c.net.now + c.net.delayFrom(c.dev)
+	if pkt.Proto == UDP && c.net.faults != nil {
+		var ok bool
+		if pkt, at, ok = c.net.applyFaults(c.dev, next, pkt, at); !ok {
+			return
+		}
+	}
 	c.net.trace(c.dev, TraceForward, pkt, "to "+next.DeviceName())
-	c.net.enqueue(next, pkt, c.net.now+c.net.delayFrom(c.dev))
+	c.net.enqueue(next, pkt, at)
 }
 
 // Emit originates a packet at this device without a TTL decrement —
@@ -147,6 +154,10 @@ type Network struct {
 
 	lossRate float64
 	lossRng  *rand.Rand
+
+	// faults is the installed fault-injection plane (see fault.go);
+	// nil when no profile has ever been set.
+	faults *faultPlane
 }
 
 // SetLoss installs a deterministic random-loss model: every forwarded

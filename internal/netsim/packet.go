@@ -62,6 +62,10 @@ type Packet struct {
 	// network. Services copy it from request to response so that
 	// ArrivedAt-SentAt is a flow's round-trip time.
 	SentAt time.Duration
+	// FaultSalt distinguishes fault-injected duplicate copies from
+	// their originals, so the copies roll independent fault fates at
+	// later hops. Zero on every originated packet.
+	FaultSalt uint8
 	// ArrivedAt is stamped by the receiving host on final delivery.
 	ArrivedAt time.Duration
 }
@@ -99,6 +103,7 @@ const (
 	TraceUnDNAT  TraceKind = "undnat"  // reply source restored (spoofing point)
 	TraceUnSNAT  TraceKind = "unsnat"  // reply destination restored
 	TraceEmit    TraceKind = "emit"    // packet originated by a local service
+	TraceFault   TraceKind = "fault"   // fault plane rewrote or replicated the packet
 )
 
 // TraceEvent is one packet-level observation, the unit of the simulator's

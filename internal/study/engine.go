@@ -1,6 +1,7 @@
 package study
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -50,12 +51,21 @@ func RunSharded(spec Spec, opts EngineOptions) *Results {
 	}
 
 	shards := make([][]*ProbeRecord, workers)
+	shardErrs := make([]string, workers)
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			// Per-probe panics are quarantined inside runRecords; this
+			// recover is the outer belt, so a shard whose world *build*
+			// blows up costs that shard's records, not the whole run.
+			defer func() {
+				if r := recover(); r != nil {
+					shardErrs[k] = fmt.Sprintf("shard %d/%d panicked: %v", k, workers, r)
+				}
+			}()
 			start := time.Now()
 			world := BuildWorld(spec.Shard(k, workers))
 			shards[k] = runRecords(world)
@@ -78,7 +88,14 @@ func RunSharded(spec Spec, opts EngineOptions) *Results {
 	}
 	sort.Slice(merged, func(i, j int) bool { return merged[i].Probe.ID < merged[j].Probe.ID })
 
+	var errs []string
+	for _, e := range shardErrs {
+		if e != "" {
+			errs = append(errs, e)
+		}
+	}
+
 	// The merged view carries the unsharded spec for exports; per-record
 	// simulation state lives on each record's Net.
-	return &Results{World: &World{Spec: spec}, Records: merged}
+	return &Results{World: &World{Spec: spec}, Records: merged, Errors: errs}
 }

@@ -24,6 +24,13 @@ type ProbeExport struct {
 	InterceptedV6  []string `json:"intercepted_v6,omitempty"`
 	CPEFingerprint string   `json:"cpe_fingerprint,omitempty"`
 
+	// Error is the quarantine record: the probe's measurement panicked
+	// and was contained (detection fields are absent).
+	Error string `json:"error,omitempty"`
+	// InconclusiveSteps lists detector steps degraded to inconclusive by
+	// fault-shaped outcomes (see core.StepFault).
+	InconclusiveSteps []string `json:"inconclusive_steps,omitempty"`
+
 	// Ground truth, for reproducibility studies on the simulator.
 	TruthLocation string `json:"truth_location"`
 	TruthPersona  string `json:"truth_persona,omitempty"`
@@ -49,7 +56,9 @@ func (r *Results) Export() []ProbeExport {
 			e.InterceptedV4 = idsToStrings(rec.Report.InterceptedV4)
 			e.InterceptedV6 = idsToStrings(rec.Report.InterceptedV6)
 			e.CPEFingerprint = rec.Report.CPEString
+			e.InconclusiveSteps = rec.Report.InconclusiveSteps()
 		}
+		e.Error = rec.Err
 		out = append(out, e)
 	}
 	return out

@@ -1,6 +1,8 @@
 package study
 
 import (
+	"fmt"
+
 	"github.com/dnswatch/dnsloc/internal/atlas"
 	"github.com/dnswatch/dnsloc/internal/core"
 	"github.com/dnswatch/dnsloc/internal/netsim"
@@ -30,6 +32,10 @@ type ProbeRecord struct {
 	// measurements (the TTL extension) must use it rather than a global
 	// one.
 	Net *netsim.Network
+	// Err records a quarantined measurement: the probe's detector
+	// panicked, the panic was contained, and the rest of the run
+	// proceeded. Report is nil when Err is set.
+	Err string
 }
 
 // RespondedAll4 reports whether the probe was online for all four
@@ -68,6 +74,10 @@ func (pr *ProbeRecord) InterceptedFor(id publicdns.ID, f core.Family) bool {
 type Results struct {
 	World   *World
 	Records []*ProbeRecord
+	// Errors records shard-level failures a sharded run contained: a
+	// shard whose world build panicked contributes its error here and no
+	// records; the other shards' records are merged as usual.
+	Errors []string
 }
 
 // Run executes the pilot study: the full detection technique from every
@@ -130,9 +140,34 @@ func runRecords(w *World) []*ProbeRecord {
 		if !online {
 			continue
 		}
-		rec.Report = w.Platform.Detector(probe).Run()
+		rec.Report, rec.Err = measure(w, probe)
 	}
 	return records
+}
+
+// measure runs the detector for one probe, containing any panic: a
+// probe whose measurement blows up is quarantined (recorded with the
+// panic message) instead of taking the shard — and with it the run —
+// down. The world's event loop is drained afterwards so a half-finished
+// flow cannot leak packets into the next probe's measurement.
+func measure(w *World, probe *atlas.Probe) (report *core.Report, errMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			report = nil
+			errMsg = fmt.Sprintf("quarantined: %v", r)
+			// Drain in-flight events; a panicking drain would defeat the
+			// quarantine, so contain that too.
+			func() {
+				defer func() { recover() }()
+				w.Net.Run()
+			}()
+		}
+	}()
+	det := w.Platform.Detector(probe)
+	if w.Spec.ClientWrapper != nil {
+		det.Client = w.Spec.ClientWrapper(det.Client, probe)
+	}
+	return det.Run(), ""
 }
 
 // Intercepted returns the records whose probes the technique flagged as
@@ -141,6 +176,18 @@ func (r *Results) Intercepted() []*ProbeRecord {
 	var out []*ProbeRecord
 	for _, rec := range r.Records {
 		if rec.Report != nil && rec.Report.Intercepted() {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Quarantined returns the records whose measurements panicked and were
+// contained.
+func (r *Results) Quarantined() []*ProbeRecord {
+	var out []*ProbeRecord
+	for _, rec := range r.Records {
+		if rec.Err != "" {
 			out = append(out, rec)
 		}
 	}

@@ -15,6 +15,9 @@ package study
 import (
 	"math"
 
+	"github.com/dnswatch/dnsloc/internal/atlas"
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/netsim"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
 )
 
@@ -105,6 +108,24 @@ type Spec struct {
 	// (Figure 3/4's per-org ranking); ASN → weight. Organizations absent
 	// from the map share a weight of 1.
 	OrgSeatWeights map[int]int
+
+	// Fault, when non-nil and active, is installed as every shard
+	// network's default fault profile: the whole fleet measures through a
+	// lossy, duplicating, truncating path. Fault decisions are derived
+	// from per-flow content hashes, so a faulted run stays byte-identical
+	// across worker counts.
+	Fault *netsim.FaultProfile
+
+	// Retry, when non-nil, is the retry policy installed on every
+	// detector the run builds (see core.RetryPolicy). Nil keeps the
+	// legacy single-attempt behaviour.
+	Retry *core.RetryPolicy
+
+	// ClientWrapper, when non-nil, wraps each probe's transport before
+	// the detector runs — a fault/test hook (e.g. to make one probe's
+	// client panic and exercise quarantine). It must be deterministic to
+	// preserve the sharding contract.
+	ClientWrapper func(core.Client, *atlas.Probe) core.Client
 }
 
 // Shorthands for patterns.

@@ -62,7 +62,11 @@ func BuildWorld(spec Spec) *World {
 		transitSeatPatterns: make(map[publicdns.Region]map[netip.Addr]Pattern),
 	}
 	w.Backbone = backbone.Build(w.Net)
+	if spec.Fault != nil && spec.Fault.Active() {
+		w.Net.SetDefaultFault(*spec.Fault)
+	}
 	w.Platform = atlas.NewPlatform(w.Net, spec.Seed)
+	w.Platform.Retry = spec.Retry
 	rng := rand.New(rand.NewSource(spec.Seed + 1))
 
 	orgs := geo.Orgs() // descending weight, deterministic
@@ -479,11 +483,19 @@ func (w *World) addProbe(network *isp.Network, seg *isp.Segment, org geo.Org, re
 		}
 	}
 
+	// Every probe consumes a home allocation, stub or not: AllocHome is
+	// pure address arithmetic, and burning it unconditionally keeps WAN
+	// addresses identical to the unsharded build. The fault plane hashes
+	// client addresses into its drop decisions, so an address that moved
+	// with the shard layout would break byte-identical faulted runs.
+	home := network.AllocHome(seg, hasV6)
+
 	// A shard-filtered build registers foreign probes as metadata-only
-	// stubs (no home, no host): the platform roster and both RNG streams
-	// stay aligned with the unsharded build, but none of the expensive
-	// home construction happens. Stub records never leave their shard —
-	// the owning shard produces the real one.
+	// stubs (no home devices, no host): the platform roster, the RNG
+	// streams, and the address allocators stay aligned with the
+	// unsharded build, but none of the expensive home construction
+	// happens. Stub records never leave their shard — the owning shard
+	// produces the real one.
 	if !w.Spec.owns(id) {
 		w.Platform.Add(&atlas.Probe{
 			ID:           id,
@@ -492,12 +504,11 @@ func (w *World) addProbe(network *isp.Network, seg *isp.Segment, org geo.Org, re
 			Org:          org.Name,
 			Region:       region,
 			HasIPv6:      hasV6,
+			WANv4:        home.WANv4,
 			Availability: avail,
 		})
 		return
 	}
-
-	home := network.AllocHome(seg, hasV6)
 	cfg := cpe.NewPlain(fmt.Sprintf("cpe-%d", id), home.LANPrefix4, home.WANv4, network.ResolverAddrPort())
 	if hasV6 {
 		cfg.LANAddr6 = firstHost6(home.LANPrefix6)

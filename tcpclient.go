@@ -1,8 +1,10 @@
 package dnsloc
 
 import (
+	"errors"
 	"net"
 	"net/netip"
+	"syscall"
 	"time"
 
 	"github.com/dnswatch/dnsloc/internal/core"
@@ -18,29 +20,41 @@ type TCPClient struct {
 
 // Exchange implements Client over one TCP connection per query.
 func (c *TCPClient) Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error) {
+	resps, _, err := c.ExchangeRTT(server, query)
+	return resps, err
+}
+
+// ExchangeRTT implements core.RTTExchanger: the RTT is the wall-clock
+// span from writing the framed query to reading its response (dial and
+// handshake time excluded, so UDP and TCP RTTs are comparable).
+func (c *TCPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, time.Duration, error) {
 	timeout := c.Timeout
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
 	conn, err := net.DialTimeout("tcp", server.String(), timeout)
 	if err != nil {
-		return nil, core.ErrTimeout
+		if errors.Is(err, syscall.ECONNREFUSED) {
+			return nil, 0, core.ErrRefused
+		}
+		return nil, 0, core.ErrTimeout
 	}
 	defer conn.Close()
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	start := time.Now()
 	if err := dnswire.WriteTCP(conn, query); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	m, err := dnswire.ReadTCP(conn)
 	if err != nil {
-		return nil, core.ErrTimeout
+		return nil, 0, core.ErrTimeout
 	}
 	if m.Header.ID != query.Header.ID {
-		return nil, core.ErrTimeout
+		return nil, 0, core.ErrGarbage
 	}
-	return []*dnswire.Message{m}, nil
+	return []*dnswire.Message{m}, time.Since(start), nil
 }
 
 // FallbackClient queries over UDP and retries over TCP when the answer
@@ -60,15 +74,23 @@ func NewFallbackClient(timeout time.Duration) *FallbackClient {
 
 // Exchange implements Client.
 func (c *FallbackClient) Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error) {
-	resps, err := c.UDP.Exchange(server, query)
+	resps, _, err := c.ExchangeRTT(server, query)
+	return resps, err
+}
+
+// ExchangeRTT implements core.RTTExchanger. When the fallback fires,
+// the reported RTT is the TCP exchange's — the answer the stub actually
+// consumed.
+func (c *FallbackClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, time.Duration, error) {
+	resps, rtt, err := c.UDP.ExchangeRTT(server, query)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(resps) > 0 && resps[0].Header.Truncated {
-		if tcp, err := c.TCP.Exchange(server, query); err == nil {
-			return tcp, nil
+		if tcp, trtt, err := c.TCP.ExchangeRTT(server, query); err == nil {
+			return tcp, trtt, nil
 		}
 		// TCP failed: return the truncated UDP answer, as stubs do.
 	}
-	return resps, nil
+	return resps, rtt, nil
 }

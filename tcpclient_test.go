@@ -120,6 +120,43 @@ func TestFallbackClientRetriesTruncationOverTCP(t *testing.T) {
 	}
 }
 
+func TestTCPClientExchangeRTT(t *testing.T) {
+	srv := startTruncatingDNS(t)
+	defer srv.close()
+
+	c := &dnsloc.TCPClient{Timeout: 2 * time.Second}
+	q := dnsloc.NewAQuery(23, "big.example.com")
+	resps, rtt, err := c.ExchangeRTT(srv.addrPort, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 1 || len(resps[0].Answers) != 5 {
+		t.Fatalf("resps = %d, want one full answer", len(resps))
+	}
+	if rtt <= 0 {
+		t.Errorf("rtt = %v, want > 0", rtt)
+	}
+}
+
+func TestFallbackClientExchangeRTT(t *testing.T) {
+	srv := startTruncatingDNS(t)
+	defer srv.close()
+
+	c := dnsloc.NewFallbackClient(2 * time.Second)
+	c.UDP.Window = 0
+	q := dnsloc.NewAQuery(24, "big.example.com")
+	resps, rtt, err := c.ExchangeRTT(srv.addrPort, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Header.Truncated {
+		t.Error("fallback RTT path returned the truncated UDP answer")
+	}
+	if rtt <= 0 {
+		t.Errorf("rtt = %v, want the TCP exchange's timing", rtt)
+	}
+}
+
 func TestUDPAloneSeesTruncation(t *testing.T) {
 	srv := startTruncatingDNS(t)
 	defer srv.close()

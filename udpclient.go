@@ -1,8 +1,10 @@
 package dnsloc
 
 import (
+	"errors"
 	"net"
 	"net/netip"
+	"syscall"
 	"time"
 
 	"github.com/dnswatch/dnsloc/internal/core"
@@ -20,6 +22,12 @@ type UDPClient struct {
 	// Window extends listening after the first response to catch
 	// replicated answers. Zero means return after the first response.
 	Window time.Duration
+	// Retry, when non-nil, enables in-socket retransmission: the overall
+	// Timeout is divided into Retry.Attempts() tries (or AttemptTimeout
+	// each, when set), the query datagram is re-sent at each attempt, and
+	// Retry's backoff paces the re-sends. This is a stub resolver's
+	// standard defence against one-off datagram loss.
+	Retry *core.RetryPolicy
 }
 
 // NewUDPClient builds a client with the given per-query timeout.
@@ -52,43 +60,91 @@ func (c *UDPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 	if timeout == 0 {
 		timeout = 3 * time.Second
 	}
-	deadline := time.Now().Add(timeout)
-	if err := conn.SetDeadline(deadline); err != nil {
-		return nil, 0, err
+	var pol core.RetryPolicy
+	if c.Retry != nil {
+		pol = *c.Retry
 	}
-	if _, err := conn.Write(payload); err != nil {
-		return nil, 0, err
+	attempts := pol.Attempts()
+	perAttempt := pol.AttemptTimeout
+	if perAttempt <= 0 {
+		perAttempt = timeout / time.Duration(attempts)
 	}
+	overall := time.Now().Add(timeout)
+	salt := core.QuerySalt(server, query.Header.ID)
 
 	var out []*dnswire.Message
 	var rtt time.Duration
+	sawGarbage := false
+	sawRefused := false
 	buf := make([]byte, 4096)
-	start := time.Now()
-	for {
-		n, err := conn.Read(buf)
-		if err != nil {
-			if len(out) > 0 {
+	for attempt := 1; attempt <= attempts; attempt++ {
+		attemptEnd := time.Now().Add(perAttempt)
+		if attemptEnd.After(overall) {
+			attemptEnd = overall
+		}
+		if err := conn.SetDeadline(attemptEnd); err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		if _, err := conn.Write(payload); err != nil {
+			if errors.Is(err, syscall.ECONNREFUSED) {
+				// A prior attempt's ICMP port-unreachable surfaces on the
+				// connected socket: transient, worth the remaining tries.
+				sawRefused = true
+			} else {
+				return nil, 0, err
+			}
+		}
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				if errors.Is(err, syscall.ECONNREFUSED) {
+					sawRefused = true
+				}
+				break // attempt over: deadline or refusal
+			}
+			m, perr := dnswire.Unpack(buf[:n])
+			if perr != nil || m.Header.ID != query.Header.ID {
+				sawGarbage = true
+				continue // not our answer; keep listening
+			}
+			if len(out) == 0 {
+				rtt = time.Since(start)
+			}
+			out = append(out, m)
+			if c.Window == 0 {
 				return out, rtt, nil
 			}
-			return nil, 0, core.ErrTimeout
+			// Shrink the deadline to the replication window.
+			w := time.Now().Add(c.Window)
+			if w.Before(attemptEnd) {
+				if err := conn.SetDeadline(w); err != nil {
+					return out, rtt, nil
+				}
+			}
 		}
-		m, err := dnswire.Unpack(buf[:n])
-		if err != nil || m.Header.ID != query.Header.ID {
-			continue // not our answer; keep listening
-		}
-		if len(out) == 0 {
-			rtt = time.Since(start)
-		}
-		out = append(out, m)
-		if c.Window == 0 {
+		if len(out) > 0 {
 			return out, rtt, nil
 		}
-		// Shrink the deadline to the replication window.
-		w := time.Now().Add(c.Window)
-		if w.Before(deadline) {
-			if err := conn.SetDeadline(w); err != nil {
-				return out, rtt, nil
+		if attempt < attempts {
+			delay := pol.BackoffFor(attempt, salt)
+			if remaining := time.Until(overall); delay > remaining {
+				delay = remaining
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if !time.Now().Before(overall) {
+				break
 			}
 		}
+	}
+	switch {
+	case sawRefused:
+		return nil, 0, core.ErrRefused
+	case sawGarbage:
+		return nil, 0, core.ErrGarbage
+	default:
+		return nil, 0, core.ErrTimeout
 	}
 }

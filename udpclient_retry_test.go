@@ -1,0 +1,125 @@
+package dnsloc_test
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// droppyDNS is a real UDP server that swallows the first drop datagrams
+// of every run, then answers — the retransmission case.
+type droppyDNS struct {
+	conn     *net.UDPConn
+	addrPort netip.AddrPort
+	done     chan struct{}
+
+	mu      sync.Mutex
+	drop    int
+	arrived int
+}
+
+func startDroppyDNS(t *testing.T, drop int) *droppyDNS {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &droppyDNS{
+		conn:     conn,
+		addrPort: conn.LocalAddr().(*net.UDPAddr).AddrPort(),
+		done:     make(chan struct{}),
+		drop:     drop,
+	}
+	go s.serve()
+	return s
+}
+
+func (s *droppyDNS) serve() {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.arrived++
+		swallow := s.arrived <= s.drop
+		s.mu.Unlock()
+		if swallow {
+			continue
+		}
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue
+		}
+		resp := dnswire.NewTXTResponse(query, "droppy")
+		payload, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		s.conn.WriteToUDP(payload, from) //nolint:errcheck
+	}
+}
+
+func (s *droppyDNS) datagrams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.arrived
+}
+
+func (s *droppyDNS) close() {
+	s.conn.Close()
+	<-s.done
+}
+
+func TestUDPClientRetransmitsWithinDeadline(t *testing.T) {
+	srv := startDroppyDNS(t, 1)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(2 * time.Second)
+	c.Window = 0
+	c.Retry = &core.RetryPolicy{
+		MaxAttempts:    3,
+		AttemptTimeout: 150 * time.Millisecond,
+		Backoff:        5 * time.Millisecond,
+		JitterSeed:     3,
+	}
+	q := dnsloc.NewVersionBindQuery(31)
+	resps, rtt, err := c.ExchangeRTT(srv.addrPort, q)
+	if err != nil {
+		t.Fatalf("exchange with retransmission: %v", err)
+	}
+	if txt, ok := resps[0].FirstTXT(); !ok || txt != "droppy" {
+		t.Errorf("answer = %q", txt)
+	}
+	if rtt <= 0 || rtt > 150*time.Millisecond {
+		t.Errorf("rtt = %v, want the last attempt's timing, not the whole exchange", rtt)
+	}
+	if got := srv.datagrams(); got != 2 {
+		t.Errorf("server saw %d datagrams, want 2 (original + one retransmission)", got)
+	}
+}
+
+func TestUDPClientWithoutRetryTimesOutOnLoss(t *testing.T) {
+	srv := startDroppyDNS(t, 1)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(200 * time.Millisecond)
+	c.Window = 0
+	q := dnsloc.NewVersionBindQuery(32)
+	_, err := c.Exchange(srv.addrPort, q)
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout without a retry policy", err)
+	}
+	if got := srv.datagrams(); got != 1 {
+		t.Errorf("server saw %d datagrams, want 1", got)
+	}
+}
