@@ -202,6 +202,33 @@ func BenchmarkPilotParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPilotMetricsOff is the A/B partner of BenchmarkPilotParallel:
+// the same 1,000-probe sweep with Spec.DisableMetrics set, so the delta
+// between the two is the whole cost of the metrics plane (registry
+// builds, atomic increments, and the final shard merge). EXPERIMENTS.md
+// records the measured overhead.
+func BenchmarkPilotMetricsOff(b *testing.B) {
+	spec := study.PaperSpec().Scale(0.1)
+	spec.DisableMetrics = true
+	seen := map[int]bool{}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := study.RunSharded(spec, study.EngineOptions{Workers: workers})
+				if len(res.Intercepted()) == 0 {
+					b.Fatal("no interception found")
+				}
+			}
+			b.ReportMetric(float64(spec.TotalProbes), "probes/op")
+		})
+	}
+}
+
 // --- §5 case study ----------------------------------------------------
 
 // BenchmarkXB6CaseStudy measures one full detection run against the XB6

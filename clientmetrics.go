@@ -1,0 +1,55 @@
+package dnsloc
+
+import (
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/metrics"
+)
+
+// ClientMetrics instruments the real-network transports. Unlike the
+// simulator's Stable counters these measure wall clock on a live
+// network, so everything here is Diagnostic: useful to a human reading
+// a run, never part of a deterministic snapshot.
+type ClientMetrics struct {
+	// Exchanges counts logical queries (one ExchangeRTT call each).
+	Exchanges *metrics.Counter
+	// Attempts counts transport sends — the original datagram and every
+	// retransmission.
+	Attempts *metrics.Counter
+	// AttemptRTT is the per-attempt duration histogram. Every attempt
+	// contributes a sample: an answered attempt records its response
+	// RTT, a timed-out attempt records the time it spent waiting. A
+	// retransmitted-then-answered exchange therefore shows two samples,
+	// not one — the instrument records what the wire did, not just the
+	// happy ending.
+	AttemptRTT *metrics.Histogram
+}
+
+// NewClientMetrics registers the transport metrics on reg. Returns nil
+// on a nil registry (disabled plane).
+func NewClientMetrics(reg *metrics.Registry) *ClientMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ClientMetrics{
+		Exchanges:  reg.Counter("udpclient.exchanges", metrics.Diagnostic),
+		Attempts:   reg.Counter("udpclient.attempts", metrics.Diagnostic),
+		AttemptRTT: reg.Histogram("udpclient.attempt_ms", metrics.Diagnostic, core.RTTEdgesMs),
+	}
+}
+
+// noteExchange records one logical query. Nil-safe.
+func (m *ClientMetrics) noteExchange() {
+	if m != nil {
+		m.Exchanges.Inc()
+	}
+}
+
+// noteAttempt records one completed attempt and its duration. Nil-safe.
+func (m *ClientMetrics) noteAttempt(d time.Duration) {
+	if m != nil {
+		m.Attempts.Inc()
+		m.AttemptRTT.Observe(d.Milliseconds())
+	}
+}

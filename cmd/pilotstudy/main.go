@@ -9,6 +9,9 @@
 //	pilotstudy -csv             # machine-readable Table 4
 //	pilotstudy -accuracy        # ground-truth scoring of the technique
 //	pilotstudy -faults          # resilience sweep under injected faults
+//	pilotstudy -metrics         # print the run's full metric snapshot
+//	pilotstudy -metrics-json f  # write the deterministic snapshot ("-" = stdout)
+//	pilotstudy -pprof p         # capture p.cpu / p.heap profiles of the sweep
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/dnswatch/dnsloc/internal/analysis"
@@ -36,6 +40,10 @@ func main() {
 		accuracy = flag.Bool("accuracy", false, "also print ground-truth accuracy scoring")
 		ext      = flag.String("ext", "", "extension experiment: 'ttl' (hop ladders), 'patterns' (§4.1.1 families), or 'population' (platform bias)")
 		faults   = flag.Bool("faults", false, "run the resilience sweep: verdict accuracy vs injected fault level")
+
+		showMetrics = flag.Bool("metrics", false, "print the full metric snapshot (stable + diagnostic) after the run")
+		metricsJSON = flag.String("metrics-json", "", "write the deterministic (stable-only) metric snapshot as JSON to this file; '-' for stdout")
+		pprofPrefix = flag.String("pprof", "", "capture CPU and heap profiles of the sweep to <prefix>.cpu and <prefix>.heap")
 	)
 	flag.Parse()
 
@@ -80,6 +88,18 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "building world: %d probes, %d interception seats, %d worker(s)...\n",
 		spec.TotalProbes, spec.TotalSeats(), nWorkers)
+	if *pprofPrefix != "" {
+		f, err := os.Create(*pprofPrefix + ".cpu")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pilotstudy: creating cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pilotstudy: starting cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
 	start := time.Now()
 	results := study.RunSharded(spec, study.EngineOptions{
 		Workers: nWorkers,
@@ -88,8 +108,31 @@ func main() {
 				shard+1, workers, probes, elapsed.Round(time.Millisecond))
 		},
 	})
+	if *pprofPrefix != "" {
+		pprof.StopCPUProfile()
+		if f, err := os.Create(*pprofPrefix + ".heap"); err == nil {
+			runtime.GC()
+			pprof.WriteHeapProfile(f) //nolint:errcheck
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s.cpu and %s.heap\n", *pprofPrefix, *pprofPrefix)
+		} else {
+			fmt.Fprintf(os.Stderr, "pilotstudy: creating heap profile: %v\n", err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "study complete: %d probes in %v\n",
 		len(results.Records), time.Since(start).Round(time.Millisecond))
+
+	if *metricsJSON != "" {
+		blob := results.MetricsSnapshot(false).JSON()
+		if *metricsJSON == "-" {
+			os.Stdout.Write(blob) //nolint:errcheck
+		} else if err := os.WriteFile(*metricsJSON, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pilotstudy: writing %s: %v\n", *metricsJSON, err)
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsJSON)
+		}
+	}
 
 	if *jsonOut != "" {
 		blob, err := json.MarshalIndent(results, "", "  ")
@@ -130,6 +173,10 @@ func main() {
 	}
 	if *accuracy {
 		fmt.Println(analysis.FormatAccuracy(analysis.BuildAccuracy(results)))
+	}
+	if *showMetrics {
+		fmt.Println("== Run metrics ==")
+		fmt.Print(results.MetricsSnapshot(true).Text())
 	}
 	switch *ext {
 	case "ttl":

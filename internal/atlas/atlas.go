@@ -85,6 +85,10 @@ type Platform struct {
 	// network.
 	Retry *core.RetryPolicy
 
+	// Metrics, when non-nil, is installed on every detector the
+	// platform builds, so all probes in a world share one registry.
+	Metrics *core.MetricSet
+
 	probes []*Probe
 	rng    *rand.Rand
 	net    *netsim.Network
@@ -170,5 +174,6 @@ func (p *Platform) Detector(probe *Probe) *core.Detector {
 		CPEPublicV4: probe.WANv4,
 		QueryV6:     probe.HasIPv6,
 		Retry:       p.Retry,
+		Metrics:     p.Metrics,
 	}
 }

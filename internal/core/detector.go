@@ -60,8 +60,18 @@ type Detector struct {
 	// (the UDP/TCP clients are; SimClient is not).
 	Parallel bool
 
+	// Metrics, when non-nil, receives every query's counters in the
+	// shared registry handles (see MetricSet). The per-report tally in
+	// Report.Metrics is recorded regardless.
+	Metrics *MetricSet
+
 	idMu   sync.Mutex
 	nextID uint16
+
+	// metMu guards runMetrics, the Report.Metrics of the Run in
+	// progress; Parallel mode updates it from several goroutines.
+	metMu      sync.Mutex
+	runMetrics *Metrics
 }
 
 // resolvers returns the operator set under test.
@@ -83,6 +93,14 @@ func (d *Detector) id() uint16 {
 // Run executes the full technique and returns the report.
 func (d *Detector) Run() *Report {
 	r := &Report{Verdict: VerdictNotIntercepted, Transparency: TransparencyNA}
+	d.metMu.Lock()
+	d.runMetrics = &r.Metrics
+	d.metMu.Unlock()
+	defer func() {
+		d.metMu.Lock()
+		d.runMetrics = nil
+		d.metMu.Unlock()
+	}()
 
 	d.stepLocation(r)
 	if !r.Intercepted() {
@@ -113,12 +131,27 @@ func (d *Detector) policy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: d.Retries + 1}
 }
 
-// exchangeOne sends a query and reduces the result to a ProbeResult.
+// exchangeOne sends a query, reduces the result to a ProbeResult, and
+// feeds the metrics plane (both the in-progress Report.Metrics tally
+// and, when wired, the shared MetricSet).
+func (d *Detector) exchangeOne(id publicdns.ID, server netip.AddrPort, q *dnswire.Message) ProbeResult {
+	pr, backoff, transient, permanent := d.exchange(id, server, q)
+	d.Metrics.note(&pr, backoff, transient, permanent)
+	d.metMu.Lock()
+	if d.runMetrics != nil {
+		d.runMetrics.add(&pr, backoff, transient, permanent)
+	}
+	d.metMu.Unlock()
+	return pr
+}
+
+// exchange sends a query and reduces the result to a ProbeResult.
 // For TXT-shaped queries the answer is the joined TXT; for address
 // queries it is the first address. Transient transport errors consume
 // retry attempts under the policy; permanent ones (no route) fail the
-// query on the spot.
-func (d *Detector) exchangeOne(id publicdns.ID, server netip.AddrPort, q *dnswire.Message) ProbeResult {
+// query on the spot. Alongside the result it returns the total backoff
+// slept and the per-attempt failure classification tallies.
+func (d *Detector) exchange(id publicdns.ID, server netip.AddrPort, q *dnswire.Message) (_ ProbeResult, backoff time.Duration, transient, permanent int) {
 	family := V4
 	if server.Addr().Is6() && !server.Addr().Is4In6() {
 		family = V6
@@ -138,28 +171,36 @@ func (d *Detector) exchangeOne(id publicdns.ID, server netip.AddrPort, q *dnswir
 			resps, err = d.Client.Exchange(server, q)
 		}
 		pr.Attempts = attempt
+		if err != nil {
+			if Classify(err) == ClassPermanent {
+				permanent++
+			} else {
+				transient++
+			}
+		}
 		if err == nil || Classify(err) == ClassPermanent || attempt >= maxAttempts {
 			break
 		}
 		if delay := pol.BackoffFor(attempt, salt); delay > 0 {
+			backoff += delay
 			time.Sleep(delay)
 		}
 	}
 	switch {
 	case errors.Is(err, ErrTimeout):
 		pr.Outcome = OutcomeTimeout
-		return pr
+		return pr, backoff, transient, permanent
 	case errors.Is(err, ErrGarbage):
 		pr.Outcome = OutcomeGarbage
-		return pr
+		return pr, backoff, transient, permanent
 	case errors.Is(err, ErrNoRoute):
 		pr.Outcome = OutcomeNoRoute
-		return pr
+		return pr, backoff, transient, permanent
 	case err != nil:
 		// An unclassified transport failure exhausted its retries;
 		// conservatively the same non-evidence as a timeout.
 		pr.Outcome = OutcomeTimeout
-		return pr
+		return pr, backoff, transient, permanent
 	}
 	// Replication: prior work observed the interceptor's answer arriving
 	// first; either way interception and replication are
@@ -170,21 +211,21 @@ func (d *Detector) exchangeOne(id publicdns.ID, server netip.AddrPort, q *dnswir
 	pr.RTT = rtt
 	if m.Header.RCode != dnswire.RCodeSuccess {
 		pr.Outcome = OutcomeError
-		return pr
+		return pr, backoff, transient, permanent
 	}
 	if txt, ok := m.FirstTXT(); ok {
 		pr.Outcome = OutcomeAnswer
 		pr.Answer = txt
-		return pr
+		return pr, backoff, transient, permanent
 	}
 	if addrs := m.AnswerAddrs(); len(addrs) > 0 {
 		pr.Outcome = OutcomeAnswer
 		pr.Answer = addrs[0]
-		return pr
+		return pr, backoff, transient, permanent
 	}
 	// NOERROR with no usable records: treat as an error-shaped response.
 	pr.Outcome = OutcomeError
-	return pr
+	return pr, backoff, transient, permanent
 }
 
 // stepLocation issues location queries to every address of every
@@ -235,6 +276,7 @@ func (d *Detector) stepLocation(r *Report) {
 	}
 
 	noteFaults(r, StepLocation, results)
+	d.Metrics.noteStep(StepLocation, results)
 	intercepted := map[publicdns.ID]map[Family]bool{}
 	for _, pr := range results {
 		r.Location = append(r.Location, pr)
@@ -277,7 +319,9 @@ func (d *Detector) stepCPE(r *Report) bool {
 			r.ResolverVersionBind = append(r.ResolverVersionBind,
 				d.exchangeOne(id, netip.AddrPortFrom(cfg.V4[0], 53), vb()))
 		}
-		noteFaults(r, StepCPE, append([]ProbeResult{r.CPEVersionBind}, r.ResolverVersionBind...))
+		prs := append([]ProbeResult{r.CPEVersionBind}, r.ResolverVersionBind...)
+		noteFaults(r, StepCPE, prs)
+		d.Metrics.noteStep(StepCPE, prs)
 		return false
 	}
 	all := true
@@ -289,7 +333,9 @@ func (d *Detector) stepCPE(r *Report) bool {
 			all = false
 		}
 	}
-	noteFaults(r, StepCPE, append([]ProbeResult{r.CPEVersionBind}, r.ResolverVersionBind...))
+	prs := append([]ProbeResult{r.CPEVersionBind}, r.ResolverVersionBind...)
+	noteFaults(r, StepCPE, prs)
+	d.Metrics.noteStep(StepCPE, prs)
 	if all {
 		r.CPEString = r.CPEVersionBind.Answer
 	}
@@ -331,6 +377,7 @@ func (d *Detector) stepISP(r *Report) bool {
 			answered = true
 		}
 	}
+	d.Metrics.noteStep(StepISP, r.BogonResults)
 	return answered
 }
 
@@ -360,6 +407,7 @@ func (d *Detector) stepTransparency(r *Report) {
 		r.Whoami = append(r.Whoami, pr)
 	}
 	noteFaults(r, StepTransparency, r.Whoami)
+	d.Metrics.noteStep(StepTransparency, r.Whoami)
 	switch {
 	case transparent > 0 && modified > 0:
 		r.Transparency = TransparencyBoth

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/metrics"
+)
+
+// Metrics is the per-report tally of what the transport layer did
+// during one detector run: how hard the instrument had to work (queries,
+// attempts, retries, backoff slept) and how its exchanges resolved. It
+// is a plain value struct so every Report carries it without a registry.
+type Metrics struct {
+	// Queries is the number of exchangeOne calls (one logical query
+	// each, possibly retried).
+	Queries int
+	// Attempts is the total transport sends, including retransmissions.
+	Attempts int
+	// Retries is Attempts minus Queries: sends beyond each first try.
+	Retries int
+	// Backoff is the total time slept between attempts.
+	Backoff time.Duration
+
+	// Final-outcome mix, one increment per query.
+	Answers  int
+	Errors   int // error rcode or unusable NOERROR
+	Timeouts int
+	Garbage  int
+	NoRoute  int
+
+	// Per-attempt error classification (Classify): failed attempts that
+	// were retryable vs. ones that aborted the query.
+	TransientFailures int
+	PermanentFailures int
+}
+
+// add folds one completed query into the tally.
+func (m *Metrics) add(pr *ProbeResult, backoff time.Duration, transient, permanent int) {
+	m.Queries++
+	m.Attempts += pr.Attempts
+	m.Retries += pr.Attempts - 1
+	m.Backoff += backoff
+	m.TransientFailures += transient
+	m.PermanentFailures += permanent
+	switch pr.Outcome {
+	case OutcomeAnswer:
+		m.Answers++
+	case OutcomeError:
+		m.Errors++
+	case OutcomeTimeout:
+		m.Timeouts++
+	case OutcomeGarbage:
+		m.Garbage++
+	case OutcomeNoRoute:
+		m.NoRoute++
+	}
+}
+
+// RTTEdgesMs are the fixed RTT histogram bucket edges, in milliseconds.
+// Fixed edges are a determinism requirement: every shard buckets
+// identically, so merged histograms render identical bytes.
+var RTTEdgesMs = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// MetricSet is the detector's pre-resolved registry handles, shared by
+// every probe measured in one world. The counters are Stable: query and
+// attempt counts derive from the spec and content-hash fault decisions,
+// both shard-invariant. The RTT histogram is Diagnostic — the engine's
+// documented exception: virtual-clock RTTs depend on resolver cache
+// warmth, which depends on which probes share a world.
+type MetricSet struct {
+	Queries      *metrics.Counter
+	Attempts     *metrics.Counter
+	Retries      *metrics.Counter
+	BackoffNanos *metrics.Counter
+
+	Answers  *metrics.Counter
+	Errors   *metrics.Counter
+	Timeouts *metrics.Counter
+	Garbage  *metrics.Counter
+	NoRoute  *metrics.Counter
+
+	TransientFailures *metrics.Counter
+	PermanentFailures *metrics.Counter
+
+	RTT *metrics.Histogram
+
+	stepQueries  map[string]*metrics.Counter
+	stepAttempts map[string]*metrics.Counter
+}
+
+// NewMetricSet registers the detector's metrics on reg. Returns nil on
+// a nil registry (the disabled plane).
+func NewMetricSet(reg *metrics.Registry) *MetricSet {
+	if reg == nil {
+		return nil
+	}
+	ms := &MetricSet{
+		Queries:           reg.Counter("core.queries", metrics.Stable),
+		Attempts:          reg.Counter("core.attempts", metrics.Stable),
+		Retries:           reg.Counter("core.retries", metrics.Stable),
+		BackoffNanos:      reg.Counter("core.backoff_nanos", metrics.Stable),
+		Answers:           reg.Counter("core.outcome_answers", metrics.Stable),
+		Errors:            reg.Counter("core.outcome_errors", metrics.Stable),
+		Timeouts:          reg.Counter("core.outcome_timeouts", metrics.Stable),
+		Garbage:           reg.Counter("core.outcome_garbage", metrics.Stable),
+		NoRoute:           reg.Counter("core.outcome_noroute", metrics.Stable),
+		TransientFailures: reg.Counter("core.attempt_failures_transient", metrics.Stable),
+		PermanentFailures: reg.Counter("core.attempt_failures_permanent", metrics.Stable),
+		RTT:               reg.Histogram("core.rtt_ms", metrics.Diagnostic, RTTEdgesMs),
+		stepQueries:       make(map[string]*metrics.Counter, 4),
+		stepAttempts:      make(map[string]*metrics.Counter, 4),
+	}
+	for _, step := range []string{StepLocation, StepCPE, StepISP, StepTransparency} {
+		ms.stepQueries[step] = reg.Counter("core.step_queries."+step, metrics.Stable)
+		ms.stepAttempts[step] = reg.Counter("core.step_attempts."+step, metrics.Stable)
+	}
+	return ms
+}
+
+// note records one completed query into the shared registry handles.
+func (ms *MetricSet) note(pr *ProbeResult, backoff time.Duration, transient, permanent int) {
+	if ms == nil {
+		return
+	}
+	ms.Queries.Inc()
+	ms.Attempts.Add(int64(pr.Attempts))
+	ms.Retries.Add(int64(pr.Attempts - 1))
+	ms.BackoffNanos.Add(int64(backoff))
+	ms.TransientFailures.Add(int64(transient))
+	ms.PermanentFailures.Add(int64(permanent))
+	switch pr.Outcome {
+	case OutcomeAnswer:
+		ms.Answers.Inc()
+		ms.RTT.Observe(pr.RTT.Milliseconds())
+	case OutcomeError:
+		ms.Errors.Inc()
+	case OutcomeTimeout:
+		ms.Timeouts.Inc()
+	case OutcomeGarbage:
+		ms.Garbage.Inc()
+	case OutcomeNoRoute:
+		ms.NoRoute.Inc()
+	}
+}
+
+// noteStep records one step's query/attempt totals.
+func (ms *MetricSet) noteStep(step string, prs []ProbeResult) {
+	if ms == nil {
+		return
+	}
+	q, a := ms.stepQueries[step], ms.stepAttempts[step]
+	for i := range prs {
+		q.Inc()
+		a.Add(int64(prs[i].Attempts))
+	}
+}

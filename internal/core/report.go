@@ -143,15 +143,24 @@ type Report struct {
 	// measure instead of aborting.
 	Faults []StepFault
 
+	// Metrics tallies what the instrument itself did during this run:
+	// queries sent, attempts (with retransmissions), backoff slept, and
+	// the outcome mix. Always populated — it is a value struct, so an
+	// unwired detector still reports it.
+	Metrics Metrics
+
 	Verdict      Verdict
 	Transparency Transparency
 }
 
-// Step names used in StepFault records.
+// Step names used in StepFault records and per-step metrics. StepISP
+// never appears in StepFault (bogon silence is informative, not
+// degradation) but does label the metrics plane's step counters.
 const (
 	StepLocation     = "location"
 	StepTransparency = "transparency"
 	StepCPE          = "cpe"
+	StepISP          = "isp"
 )
 
 // StepFault is the fault evidence for one detector step.

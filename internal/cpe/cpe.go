@@ -114,6 +114,10 @@ type Config struct {
 
 	// Intercept is the DNAT interception behaviour.
 	Intercept InterceptSpec
+
+	// Metrics, when non-nil, is installed on the built forwarder; the
+	// study engine shares one set across every CPE in a world.
+	Metrics *dnsserver.ForwarderMetrics
 }
 
 // Device is a built CPE.
@@ -148,6 +152,7 @@ func Build(cfg Config) *Device {
 	if !cfg.DisableForwarder {
 		fwd := dnsserver.NewForwarder(cfg.Persona, cfg.WANAddr, cfg.Upstream)
 		fwd.ForwardUnhandledChaos = cfg.ForwardUnhandledChaos
+		fwd.Metrics = cfg.Metrics
 		d.Forwarder = fwd
 		r.Bind(53, fwd)
 		if !cfg.WANPort53Open {

@@ -34,6 +34,10 @@ type Forwarder struct {
 	// NoCache disables the answer cache; dnsmasq caches by default.
 	NoCache bool
 
+	// Metrics, when non-nil, receives query/cache counters. The set is
+	// shared by every forwarder in a world (see ForwarderMetrics).
+	Metrics *ForwarderMetrics
+
 	pending  map[uint16]fwdPending
 	cache    map[fwdCacheKey]fwdCacheEntry
 	nextPort uint16
@@ -78,6 +82,7 @@ func (f *Forwarder) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 	if err != nil || query.Header.Response || len(query.Questions) == 0 {
 		return
 	}
+	f.Metrics.query()
 	q := query.Question()
 	isChaosDebug := q.Class == dnswire.ClassCHAOS && q.Type == dnswire.TypeTXT && IsChaosDebugName(q.Name)
 	if isChaosDebug {
@@ -85,6 +90,7 @@ func (f *Forwarder) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 			(IsIdentityQuery(q.Name) && f.Persona.Identity != "")
 		if answersLocally || !f.ForwardUnhandledChaos {
 			if resp := f.Persona.Answer(query); resp != nil {
+				f.Metrics.chaosLocal()
 				f.reply(sc, pkt, resp)
 				return
 			}
@@ -96,6 +102,7 @@ func (f *Forwarder) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 		key := fwdCacheKey{name: q.Name.Canonical(), typ: q.Type, class: q.Class}
 		if e, ok := f.cache[key]; ok {
 			if e.expires > sc.Now() {
+				f.Metrics.cacheHit()
 				resp := *e.msg
 				resp.Header.ID = query.Header.ID
 				f.reply(sc, pkt, &resp)
@@ -103,6 +110,7 @@ func (f *Forwarder) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 			}
 			delete(f.cache, key)
 		}
+		f.Metrics.cacheMiss()
 	}
 	f.forward(sc, pkt, query)
 }
@@ -113,6 +121,7 @@ func (f *Forwarder) forward(sc *netsim.ServiceCtx, pkt netsim.Packet, query *dns
 		f.reply(sc, pkt, dnswire.NewErrorResponse(query, dnswire.RCodeServerFailure))
 		return
 	}
+	f.Metrics.forwarded()
 	port := f.allocPort()
 	f.pending[port] = fwdPending{clientPkt: pkt, clientID: query.Header.ID, q: query.Question()}
 	sc.Router.Bind(port, f)

@@ -1,0 +1,64 @@
+package dnsserver
+
+import "github.com/dnswatch/dnsloc/internal/metrics"
+
+// ForwarderMetrics holds the CPE forwarder's shared registry handles.
+// One set serves every forwarder in a world — the counters aggregate
+// across homes. All of them are Stable: a forwarder only ever talks to
+// its own home's host, so its traffic is unaffected by which other
+// probes share the world.
+type ForwarderMetrics struct {
+	Queries     *metrics.Counter // port-53 queries parsed
+	ChaosLocal  *metrics.Counter // answered by the persona without forwarding
+	CacheHits   *metrics.Counter // answered from the dnsmasq-style cache
+	CacheMisses *metrics.Counter // INET lookups that had to go upstream
+	Forwarded   *metrics.Counter // queries relayed to the upstream resolver
+}
+
+// NewForwarderMetrics registers the forwarder metrics on reg. Returns
+// nil on a nil registry (disabled plane).
+func NewForwarderMetrics(reg *metrics.Registry) *ForwarderMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ForwarderMetrics{
+		Queries:     reg.Counter("dnsserver.forwarder_queries", metrics.Stable),
+		ChaosLocal:  reg.Counter("dnsserver.forwarder_chaos_local", metrics.Stable),
+		CacheHits:   reg.Counter("dnsserver.forwarder_cache_hits", metrics.Stable),
+		CacheMisses: reg.Counter("dnsserver.forwarder_cache_misses", metrics.Stable),
+		Forwarded:   reg.Counter("dnsserver.forwarder_upstream", metrics.Stable),
+	}
+}
+
+// Nil-safe recording helpers: a forwarder with no metrics wired calls
+// these on a nil receiver.
+
+func (m *ForwarderMetrics) query() {
+	if m != nil {
+		m.Queries.Inc()
+	}
+}
+
+func (m *ForwarderMetrics) chaosLocal() {
+	if m != nil {
+		m.ChaosLocal.Inc()
+	}
+}
+
+func (m *ForwarderMetrics) cacheHit() {
+	if m != nil {
+		m.CacheHits.Inc()
+	}
+}
+
+func (m *ForwarderMetrics) cacheMiss() {
+	if m != nil {
+		m.CacheMisses.Inc()
+	}
+}
+
+func (m *ForwarderMetrics) forwarded() {
+	if m != nil {
+		m.Forwarded.Inc()
+	}
+}

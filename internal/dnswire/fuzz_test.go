@@ -21,6 +21,12 @@ func seedMessages() [][]byte {
 	q := NewQuery(5, "o-o.myaddr.l.google.com", TypeTXT, ClassINET)
 	q.SetEDNS(4096, true)
 	add(q)
+	// The property suite's corner shapes (max label, max wire name,
+	// EDNS/ECS, every RData, compression with mixed case) make good
+	// starting points too.
+	for _, m := range cornerMessages() {
+		add(m)
+	}
 	return seeds
 }
 

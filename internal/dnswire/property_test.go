@@ -1,0 +1,330 @@
+package dnswire
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// This file holds the property-based round-trip suite. The invariant
+// under test is canonical encoding: for any message m that Pack accepts,
+//
+//	Pack(Unpack(Pack(m))) == Pack(m)   (byte equality)
+//
+// Byte equality, not structural equality, is deliberate: a few encodings
+// are many-to-one (a nil TXT Strings slice decodes as [""], mixed-case
+// compressed suffixes decode with the first occurrence's case), and the
+// wire bytes are what the simulator's caches, traces, and golden files
+// actually compare.
+
+// propSeed fixes the generator so failures reproduce.
+const propSeed = 0x1035
+
+// labelAlphabet holds the characters random labels draw from; hyphens
+// and digits included, since validateName allows them anywhere.
+const labelAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-"
+
+// genLabel emits a random label of 1..n characters.
+func genLabel(r *rand.Rand, n int) string {
+	var sb strings.Builder
+	l := 1 + r.Intn(n)
+	for i := 0; i < l; i++ {
+		sb.WriteByte(labelAlphabet[r.Intn(len(labelAlphabet))])
+	}
+	return sb.String()
+}
+
+// genName emits a random valid name: usually a short 1-4 label name,
+// occasionally a corner case (root, max label, max wire length).
+func genName(r *rand.Rand) Name {
+	switch r.Intn(10) {
+	case 0:
+		return "" // root
+	case 1:
+		return Name(genLabel(r, 1) + "." + strings.Repeat("x", maxLabel) + ".example")
+	case 2:
+		return maxWireName()
+	}
+	labels := make([]string, 1+r.Intn(4))
+	for i := range labels {
+		labels[i] = genLabel(r, 12)
+	}
+	return Name(strings.Join(labels, "."))
+}
+
+// maxWireName builds a name whose encoding is exactly maxNameWire (255)
+// bytes: three 63-character labels (64 wire bytes each) plus one
+// 61-character label (62 wire bytes) plus the terminal root byte.
+func maxWireName() Name {
+	return Name(strings.Repeat("a", maxLabel) + "." +
+		strings.Repeat("b", maxLabel) + "." +
+		strings.Repeat("c", maxLabel) + "." +
+		strings.Repeat("d", maxLabel-2))
+}
+
+// genAddr4 / genAddr6 emit random, always-valid addresses.
+func genAddr4(r *rand.Rand) netip.Addr {
+	var b [4]byte
+	r.Read(b[:]) //nolint:errcheck
+	return netip.AddrFrom4(b)
+}
+
+func genAddr6(r *rand.Rand) netip.Addr {
+	var b [16]byte
+	r.Read(b[:]) //nolint:errcheck
+	return netip.AddrFrom16(b)
+}
+
+// genRData emits one of every record body the package knows how to
+// build, including an RFC 3597 opaque blob under a private-use type.
+func genRData(r *rand.Rand) RData {
+	switch r.Intn(9) {
+	case 0:
+		return ARData{Addr: genAddr4(r)}
+	case 1:
+		return AAAARData{Addr: genAddr6(r)}
+	case 2:
+		n := r.Intn(3) // 0 strings is the canonical many-to-one case
+		ss := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			ss = append(ss, genLabel(r, 20))
+		}
+		return TXTRData{Strings: ss}
+	case 3:
+		return CNAMERData{Target: genName(r)}
+	case 4:
+		return NSRData{Host: genName(r)}
+	case 5:
+		return PTRRData{Target: genName(r)}
+	case 6:
+		return MXRData{Preference: uint16(r.Uint32()), Host: genName(r)}
+	case 7:
+		return SOARData{
+			MName:   genName(r),
+			RName:   genName(r),
+			Serial:  r.Uint32(),
+			Refresh: r.Uint32(),
+			Retry:   r.Uint32(),
+			Expire:  r.Uint32(),
+			Minimum: r.Uint32(),
+		}
+	default:
+		data := make([]byte, r.Intn(24))
+		r.Read(data) //nolint:errcheck
+		return RawRData{RRType: Type(0xFF00 + uint16(r.Intn(16))), Data: data}
+	}
+}
+
+func genRecord(r *rand.Rand) Record {
+	classes := []Class{ClassINET, ClassINET, ClassINET, ClassCHAOS}
+	return Record{
+		Name:  genName(r),
+		Class: classes[r.Intn(len(classes))],
+		TTL:   r.Uint32(),
+		Data:  genRData(r),
+	}
+}
+
+// genMessage emits a random message with every header flag, section, and
+// EDNS/ECS decoration in play.
+func genMessage(r *rand.Rand) *Message {
+	m := &Message{Header: Header{
+		ID:                 uint16(r.Uint32()),
+		Opcode:             Opcode(r.Intn(16)),
+		RCode:              RCode(r.Intn(16)),
+		Response:           r.Intn(2) == 0,
+		Authoritative:      r.Intn(2) == 0,
+		Truncated:          r.Intn(4) == 0,
+		RecursionDesired:   r.Intn(2) == 0,
+		RecursionAvailable: r.Intn(2) == 0,
+		AuthenticData:      r.Intn(4) == 0,
+		CheckingDisabled:   r.Intn(4) == 0,
+	}}
+	qTypes := []Type{TypeA, TypeAAAA, TypeTXT, TypeNS, TypePTR, TypeANY}
+	for i, n := 0, 1+r.Intn(2); i < n; i++ {
+		m.Questions = append(m.Questions, Question{
+			Name:  genName(r),
+			Type:  qTypes[r.Intn(len(qTypes))],
+			Class: ClassINET,
+		})
+	}
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		m.Answers = append(m.Answers, genRecord(r))
+	}
+	for i, n := 0, r.Intn(2); i < n; i++ {
+		m.Authority = append(m.Authority, genRecord(r))
+	}
+	for i, n := 0, r.Intn(2); i < n; i++ {
+		m.Additional = append(m.Additional, genRecord(r))
+	}
+	if r.Intn(3) == 0 {
+		sizes := []uint16{512, 1232, 4096}
+		m.SetEDNS(sizes[r.Intn(len(sizes))], r.Intn(2) == 0)
+	}
+	if r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			m.SetECS(netip.PrefixFrom(genAddr4(r), r.Intn(33)))
+		} else {
+			m.SetECS(netip.PrefixFrom(genAddr6(r), r.Intn(129)))
+		}
+	}
+	return m
+}
+
+// roundtrip asserts the canonical-encoding property on one message. It
+// returns false when the first Pack legally refuses the message (e.g. it
+// overflows the 512-byte UDP payload), which is a skip, not a failure.
+func roundtrip(t *testing.T, m *Message) bool {
+	t.Helper()
+	b1, err := m.Pack()
+	if err != nil {
+		return false
+	}
+	m2, err := Unpack(b1)
+	if err != nil {
+		t.Fatalf("own encoding does not decode: %v\nmessage:\n%s", err, m)
+	}
+	b2, err := m2.Pack()
+	if err != nil {
+		t.Fatalf("decoded message does not re-encode: %v\nmessage:\n%s", err, m2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("encoder not canonical:\n first: %x\nsecond: %x\nmessage:\n%s", b1, b2, m)
+	}
+	return true
+}
+
+// TestPackUnpackPackRandom drives the round-trip property over a few
+// thousand generated messages.
+func TestPackUnpackPackRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(propSeed))
+	const iterations = 3000
+	packed := 0
+	for i := 0; i < iterations; i++ {
+		if roundtrip(t, genMessage(r)) {
+			packed++
+		}
+	}
+	// Most generated messages fit in a UDP payload; if the generator
+	// drifted into producing mostly-oversized messages the property
+	// would be vacuous.
+	if packed < iterations/2 {
+		t.Fatalf("only %d/%d messages packed; generator is producing mostly invalid input", packed, iterations)
+	}
+	t.Logf("round-tripped %d/%d generated messages", packed, iterations)
+}
+
+// cornerMessages enumerates the hand-picked shapes the random generator
+// only hits probabilistically. fuzz_test.go also feeds these to the
+// fuzzer as seeds.
+func cornerMessages() []*Message {
+	maxLabelName := Name(strings.Repeat("m", maxLabel) + ".example")
+
+	all := &Message{Header: Header{ID: 7, Response: true, Authoritative: true}}
+	all.Questions = []Question{{Name: "all.example", Type: TypeANY, Class: ClassINET}}
+	all.Answers = []Record{
+		{Name: "all.example", Class: ClassINET, TTL: 60, Data: ARData{Addr: netip.MustParseAddr("192.0.2.1")}},
+		{Name: "all.example", Class: ClassINET, TTL: 60, Data: AAAARData{Addr: netip.MustParseAddr("2001:db8::1")}},
+		{Name: "all.example", Class: ClassINET, TTL: 60, Data: TXTRData{Strings: []string{"one", "two"}}},
+		{Name: "alias.example", Class: ClassINET, TTL: 60, Data: CNAMERData{Target: "all.example"}},
+		{Name: "all.example", Class: ClassINET, TTL: 60, Data: MXRData{Preference: 10, Host: "mx.all.example"}},
+	}
+	all.Authority = []Record{
+		{Name: "example", Class: ClassINET, TTL: 300, Data: NSRData{Host: "ns.example"}},
+		{Name: "example", Class: ClassINET, TTL: 300, Data: SOARData{
+			MName: "ns.example", RName: "hostmaster.example",
+			Serial: 2024010101, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+		}},
+	}
+	all.Additional = []Record{
+		{Name: "ptr.example", Class: ClassINET, TTL: 60, Data: PTRRData{Target: "target.example"}},
+		{Name: "raw.example", Class: ClassINET, TTL: 60, Data: RawRData{RRType: Type(0xFF42), Data: []byte{1, 2, 3}}},
+	}
+
+	flags := NewQuery(9, "flags.example", TypeA, ClassINET)
+	flags.Header.Opcode = OpcodeStatus
+	flags.Header.RCode = RCodeRefused
+	flags.Header.Response = true
+	flags.Header.Truncated = true
+	flags.Header.AuthenticData = true
+	flags.Header.CheckingDisabled = true
+
+	edns := NewQuery(10, "edns.example", TypeTXT, ClassINET)
+	edns.SetEDNS(1232, true)
+
+	ecs4 := NewQuery(11, "ecs4.example", TypeA, ClassINET)
+	ecs4.SetECS(netip.MustParsePrefix("192.0.2.0/24"))
+	ecs6 := NewQuery(12, "ecs6.example", TypeAAAA, ClassINET)
+	ecs6.SetECS(netip.MustParsePrefix("2001:db8::/56"))
+
+	compress := NewQuery(13, "Sub.Example.COM", TypeA, ClassINET)
+	compress.Answers = []Record{
+		{Name: "sub.example.com", Class: ClassINET, TTL: 1, Data: CNAMERData{Target: "other.EXAMPLE.com"}},
+		{Name: "SUB.example.com", Class: ClassINET, TTL: 1, Data: ARData{Addr: netip.MustParseAddr("198.51.100.7")}},
+	}
+
+	return []*Message{
+		NewQuery(1, "", TypeA, ClassINET),           // root name
+		NewQuery(2, maxLabelName, TypeA, ClassINET), // 63-char label
+		NewQuery(3, maxWireName(), TypeA, ClassINET),
+		NewChaosTXTQuery(4, "version.bind"),
+		NewTXTResponse(NewChaosTXTQuery(5, "id.server"), ""), // empty TXT string
+		{
+			Header:    Header{ID: 6, Response: true},
+			Questions: []Question{{Name: "t.example", Type: TypeTXT, Class: ClassINET}},
+			Answers:   []Record{{Name: "t.example", Class: ClassINET, TTL: 5, Data: TXTRData{}}}, // nil Strings
+		},
+		all, flags, edns, ecs4, ecs6, compress,
+	}
+}
+
+// TestPackUnpackPackCorners pins every corner shape, and additionally
+// checks the decorations survive structurally (the byte property alone
+// would pass if, say, ECS silently vanished on both sides).
+func TestPackUnpackPackCorners(t *testing.T) {
+	for i, m := range cornerMessages() {
+		if !roundtrip(t, m) {
+			t.Errorf("corner %d did not pack:\n%s", i, m)
+		}
+	}
+
+	edns := NewQuery(20, "edns.example", TypeTXT, ClassINET)
+	edns.SetEDNS(1232, true)
+	b := MustPack(edns)
+	back, err := Unpack(b)
+	if err != nil {
+		t.Fatalf("edns corner: %v", err)
+	}
+	if !back.DO() {
+		t.Error("DO bit lost in round trip")
+	}
+	if opt := back.findOPT(); opt == nil || uint16(opt.Class) != 1232 {
+		t.Errorf("advertised UDP size lost: %v", back.findOPT())
+	}
+
+	ecs := NewQuery(21, "ecs.example", TypeA, ClassINET)
+	ecs.SetECS(netip.MustParsePrefix("203.0.113.64/26"))
+	back, err = Unpack(MustPack(ecs))
+	if err != nil {
+		t.Fatalf("ecs corner: %v", err)
+	}
+	got, ok := back.ClientSubnet()
+	if !ok || got.Prefix != netip.MustParsePrefix("203.0.113.64/26") {
+		t.Errorf("ECS lost in round trip: %+v ok=%v", got, ok)
+	}
+
+	long := NewQuery(22, maxWireName(), TypeA, ClassINET)
+	back, err = Unpack(MustPack(long))
+	if err != nil {
+		t.Fatalf("max-name corner: %v", err)
+	}
+	if !back.Question().Name.Equal(maxWireName()) {
+		t.Errorf("max-wire name mangled: %q", back.Question().Name)
+	}
+	over := NewQuery(23, Name(strings.Repeat("z", maxLabel+1)+".example"), TypeA, ClassINET)
+	if _, err := over.Pack(); err == nil {
+		t.Error("64-char label packed; want ErrLabelTooLong")
+	}
+}

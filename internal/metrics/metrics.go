@@ -1,0 +1,345 @@
+// Package metrics is the study pipeline's dependency-free observability
+// plane: counters, max-gauges, and bounded histograms with fixed bucket
+// edges, collected in per-world registries that merge deterministically.
+//
+// Two rules keep the plane compatible with the engine's byte-identical
+// output contract:
+//
+//   - Every metric declares a Stability. Stable metrics count only
+//     shard-invariant events (client-flow packets, detector attempts,
+//     per-home forwarder cache traffic) and appear in the deterministic
+//     snapshot that CI diffs across worker counts. Diagnostic metrics
+//     (virtual-clock RTTs, NAT occupancy, wall-clock timings) depend on
+//     which probes share a world or on the host machine, and are
+//     excluded from that snapshot.
+//
+//   - Histograms take their bucket edges at registration and never
+//     resize, so two registries fed the same observations render the
+//     same bytes regardless of observation order.
+//
+// All write paths are atomic read-modify-writes on pre-resolved handles:
+// the hot layers look up their Counter/Gauge/Histogram pointers once at
+// build time and pay one atomic op per event afterwards. Every handle
+// method is nil-receiver-safe, so a disabled plane (nil registry) costs
+// a single branch.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stability classifies whether a metric is part of the deterministic,
+// shard-invariant snapshot (Stable) or may legitimately differ between
+// worker counts or machines (Diagnostic).
+type Stability int
+
+const (
+	// Stable metrics count events that are identical for a given spec
+	// regardless of sharding; they are included in deterministic
+	// snapshots and golden files.
+	Stable Stability = iota
+	// Diagnostic metrics depend on shard layout (resolver cache warmth,
+	// world population) or wall-clock time; they are reported for
+	// humans but excluded from byte-identity checks.
+	Diagnostic
+)
+
+func (s Stability) String() string {
+	if s == Diagnostic {
+		return "diagnostic"
+	}
+	return "stable"
+}
+
+// Counter is a monotonically increasing event count. Merging adds.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge records the maximum value observed (a high-water mark: NAT
+// table occupancy, peak shard wall-clock). Merging takes the max, which
+// keeps merges commutative — a last-write-wins gauge would depend on
+// merge order and break snapshot determinism.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Observe raises the gauge to v if v is larger. Safe on a nil receiver.
+func (g *Gauge) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the high-water mark (0 for a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a bounded histogram over fixed, registration-time bucket
+// edges. An observation v lands in the first bucket with v <= edge, or
+// the overflow bucket past the last edge. Merging adds bucket-wise;
+// registries must agree on edges (enforced by Registry.Histogram).
+type Histogram struct {
+	edges   []int64
+	buckets []atomic.Int64 // len(edges)+1; last is overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one sample. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.edges) && v > h.edges[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples (0 for a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples (0 for a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets returns a copy of the per-bucket counts (nil for a nil
+// receiver). The last entry is the overflow bucket.
+func (h *Histogram) Buckets() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Edges returns the bucket edges (shared, not copied — callers must not
+// mutate).
+func (h *Histogram) Edges() []int64 {
+	if h == nil {
+		return nil
+	}
+	return h.edges
+}
+
+// Registry holds one world's (or shard's) metrics. Registration is
+// idempotent by name; re-registering returns the existing handle.
+// A nil *Registry is a valid disabled plane: every lookup returns a nil
+// handle whose methods are no-ops.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	stability map[string]Stability
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		stability: make(map[string]Stability),
+	}
+}
+
+// checkName panics on a cross-kind collision; metric names are
+// programmer-chosen constants, so a clash is a bug, not input.
+func (r *Registry) checkName(name, kind string) {
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		panic(fmt.Sprintf("metrics: %q already registered as counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		panic(fmt.Sprintf("metrics: %q already registered as gauge", name))
+	}
+	if _, ok := r.hists[name]; ok && kind != "histogram" {
+		panic(fmt.Sprintf("metrics: %q already registered as histogram", name))
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string, s Stability) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "counter")
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.stability[name] = s
+	}
+	return c
+}
+
+// Gauge returns the named max-gauge, creating it on first use. Returns
+// nil (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string, s Stability) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "gauge")
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.stability[name] = s
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket edges on first use. Edges must be strictly increasing, and a
+// re-registration must pass identical edges (determinism depends on
+// every shard bucketing the same way). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, s Stability, edges []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic(fmt.Sprintf("metrics: %q edges not strictly increasing", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkName(name, "histogram")
+	h, ok := r.hists[name]
+	if ok {
+		if !sameEdges(h.edges, edges) {
+			panic(fmt.Sprintf("metrics: %q re-registered with different edges", name))
+		}
+		return h
+	}
+	h = &Histogram{
+		edges:   append([]int64(nil), edges...),
+		buckets: make([]atomic.Int64, len(edges)+1),
+	}
+	r.hists[name] = h
+	r.stability[name] = s
+	return h
+}
+
+func sameEdges(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds other's metrics into r: counters add, gauges take the
+// max, histograms add bucket-wise. Metrics unknown to r are created
+// with other's stability. All three operations are commutative and
+// associative, so merging shard registries in any order yields the same
+// snapshot — the engine still merges in shard order for clarity.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	names := make([]string, 0, len(other.stability))
+	for name := range other.stability {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type pending struct {
+		name string
+		kind string
+		s    Stability
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	src := make([]pending, 0, len(names))
+	for _, name := range names {
+		p := pending{name: name, s: other.stability[name]}
+		switch {
+		case other.counters[name] != nil:
+			p.kind, p.c = "counter", other.counters[name]
+		case other.gauges[name] != nil:
+			p.kind, p.g = "gauge", other.gauges[name]
+		case other.hists[name] != nil:
+			p.kind, p.h = "histogram", other.hists[name]
+		}
+		src = append(src, p)
+	}
+	other.mu.Unlock()
+
+	for _, p := range src {
+		switch p.kind {
+		case "counter":
+			r.Counter(p.name, p.s).Add(p.c.Value())
+		case "gauge":
+			r.Gauge(p.name, p.s).Observe(p.g.Value())
+		case "histogram":
+			dst := r.Histogram(p.name, p.s, p.h.edges)
+			for i, n := range p.h.Buckets() {
+				dst.buckets[i].Add(n)
+			}
+			dst.count.Add(p.h.Count())
+			dst.sum.Add(p.h.Sum())
+		}
+	}
+}

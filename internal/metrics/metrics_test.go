@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", Stable)
+	g := reg.Gauge("y", Stable)
+	h := reg.Histogram("z", Stable, []int64{1, 2})
+	c.Inc()
+	c.Add(5)
+	g.Observe(7)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("nil handles must read zero: c=%d g=%d h=%d/%d",
+			c.Value(), g.Value(), h.Count(), h.Sum())
+	}
+	if h.Buckets() != nil || h.Edges() != nil {
+		t.Error("nil histogram must expose nil buckets/edges")
+	}
+	if snap := reg.Snapshot(true); len(snap.Metrics) != 0 {
+		t.Errorf("nil registry snapshot has %d metrics", len(snap.Metrics))
+	}
+	reg.Merge(New()) // must not panic
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := New()
+	c := reg.Counter("a.count", Stable)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := reg.Counter("a.count", Stable); again != c {
+		t.Error("re-registration must return the same handle")
+	}
+	g := reg.Gauge("a.peak", Diagnostic)
+	g.Observe(3)
+	g.Observe(9)
+	g.Observe(6)
+	if got := g.Value(); got != 9 {
+		t.Errorf("gauge = %d, want the max 9", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("h", Stable, []int64{1, 5, 10})
+	for _, v := range []int64{0, 1, 2, 5, 6, 10, 11, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 2} // (-inf,1], (1,5], (5,10], (10,inf)
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 8 || h.Sum() != 135 {
+		t.Errorf("count=%d sum=%d, want 8/135", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramEdgeMismatchPanics(t *testing.T) {
+	reg := New()
+	reg.Histogram("h", Stable, []int64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with different edges must panic")
+		}
+	}()
+	reg.Histogram("h", Stable, []int64{1, 3})
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	reg := New()
+	reg.Counter("m", Stable)
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter must panic")
+		}
+	}()
+	reg.Gauge("m", Stable)
+}
+
+// TestMergeCommutative checks the determinism foundation: merging shard
+// registries in any order yields identical snapshots.
+func TestMergeCommutative(t *testing.T) {
+	build := func(seed int64) *Registry {
+		r := New()
+		r.Counter("c", Stable).Add(seed)
+		r.Gauge("g", Stable).Observe(seed * 3)
+		h := r.Histogram("h", Stable, []int64{10, 100})
+		h.Observe(seed)
+		h.Observe(seed * 7)
+		return r
+	}
+	a, b, c := build(2), build(5), build(11)
+
+	fwd := New()
+	fwd.Merge(a)
+	fwd.Merge(b)
+	fwd.Merge(c)
+	rev := New()
+	rev.Merge(c)
+	rev.Merge(b)
+	rev.Merge(a)
+
+	j1, j2 := fwd.Snapshot(true).JSON(), rev.Snapshot(true).JSON()
+	if string(j1) != string(j2) {
+		t.Errorf("merge order changed the snapshot:\n%s\nvs\n%s", j1, j2)
+	}
+	if got := fwd.Counter("c", Stable).Value(); got != 18 {
+		t.Errorf("merged counter = %d, want 18", got)
+	}
+	if got := fwd.Gauge("g", Stable).Value(); got != 33 {
+		t.Errorf("merged gauge = %d, want max 33", got)
+	}
+	if got := fwd.Histogram("h", Stable, []int64{10, 100}).Count(); got != 6 {
+		t.Errorf("merged histogram count = %d, want 6", got)
+	}
+}
+
+func TestSnapshotStabilityFilter(t *testing.T) {
+	reg := New()
+	reg.Counter("keep", Stable).Inc()
+	reg.Gauge("drop", Diagnostic).Observe(1)
+
+	stable := reg.Snapshot(false)
+	if len(stable.Metrics) != 1 || stable.Metrics[0].Name != "keep" {
+		t.Errorf("stable snapshot = %+v, want only 'keep'", stable.Metrics)
+	}
+	full := reg.Snapshot(true)
+	if len(full.Metrics) != 2 {
+		t.Errorf("full snapshot has %d metrics, want 2", len(full.Metrics))
+	}
+	text := full.Text()
+	if !strings.Contains(text, "(diagnostic)") {
+		t.Errorf("text rendering must flag diagnostic metrics:\n%s", text)
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	build := func() *Registry {
+		r := New()
+		// Register in different orders; names must still sort.
+		r.Histogram("b.h", Stable, []int64{1}).Observe(2)
+		r.Counter("a.c", Stable).Add(3)
+		r.Gauge("c.g", Diagnostic).Observe(4)
+		return r
+	}
+	r1 := build()
+	r2 := New()
+	r2.Gauge("c.g", Diagnostic).Observe(4)
+	r2.Counter("a.c", Stable).Add(3)
+	r2.Histogram("b.h", Stable, []int64{1}).Observe(2)
+	if string(r1.Snapshot(true).JSON()) != string(r2.Snapshot(true).JSON()) {
+		t.Error("registration order leaked into snapshot bytes")
+	}
+}
+
+// TestConcurrentWrites exercises the atomic paths under the race
+// detector.
+func TestConcurrentWrites(t *testing.T) {
+	reg := New()
+	c := reg.Counter("c", Stable)
+	g := reg.Gauge("g", Stable)
+	h := reg.Histogram("h", Stable, []int64{50})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Observe(int64(w*1000 + i))
+				h.Observe(int64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("lost updates: counter=%d hist=%d, want 8000", c.Value(), h.Count())
+	}
+	if g.Value() != 7999 {
+		t.Errorf("gauge = %d, want 7999", g.Value())
+	}
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Metric is one rendered entry of a Snapshot.
+type Metric struct {
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"` // "counter" | "gauge" | "histogram"
+	Diagnostic bool    `json:"diagnostic,omitempty"`
+	Value      int64   `json:"value"`             // counter/gauge value; histogram sample count
+	Sum        int64   `json:"sum,omitempty"`     // histogram only
+	Edges      []int64 `json:"edges,omitempty"`   // histogram only
+	Buckets    []int64 `json:"buckets,omitempty"` // histogram only; last entry is overflow
+}
+
+// Snapshot is a point-in-time, name-sorted rendering of a registry.
+// Rendering is deterministic: identical registries produce identical
+// bytes from both Text and JSON.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot renders the registry. With includeDiagnostic false, only
+// Stable metrics appear — that restricted form is the one CI diffs
+// across worker counts and golden tests commit, so it must stay
+// byte-identical for a given spec. A nil registry yields an empty
+// snapshot.
+func (r *Registry) Snapshot(includeDiagnostic bool) *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.stability))
+	for name := range r.stability {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.stability[name]
+		if s == Diagnostic && !includeDiagnostic {
+			continue
+		}
+		m := Metric{Name: name, Diagnostic: s == Diagnostic}
+		switch {
+		case r.counters[name] != nil:
+			m.Kind = "counter"
+			m.Value = r.counters[name].Value()
+		case r.gauges[name] != nil:
+			m.Kind = "gauge"
+			m.Value = r.gauges[name].Value()
+		case r.hists[name] != nil:
+			h := r.hists[name]
+			m.Kind = "histogram"
+			m.Value = h.Count()
+			m.Sum = h.Sum()
+			m.Edges = h.Edges()
+			m.Buckets = h.Buckets()
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	return snap
+}
+
+// JSON renders the snapshot as indented JSON with a trailing newline,
+// suitable for writing to a file and diffing.
+func (s *Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil { // unreachable: Snapshot has no unmarshalable fields
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Text renders the snapshot as aligned human-readable lines:
+//
+//	core.attempts                 counter      11234
+//	core.rtt_ms                   histogram    count=9876 sum=45210 buckets=[...(le edges)...]
+//
+// Diagnostic metrics are suffixed with "(diagnostic)".
+func (s *Snapshot) Text() string {
+	var buf bytes.Buffer
+	width := 0
+	for _, m := range s.Metrics {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	for _, m := range s.Metrics {
+		fmt.Fprintf(&buf, "%-*s  %-9s  ", width, m.Name, m.Kind)
+		if m.Kind == "histogram" {
+			fmt.Fprintf(&buf, "count=%d sum=%d buckets=[", m.Value, m.Sum)
+			for i, n := range m.Buckets {
+				if i > 0 {
+					buf.WriteByte(' ')
+				}
+				if i < len(m.Edges) {
+					fmt.Fprintf(&buf, "le%d:%d", m.Edges[i], n)
+				} else {
+					fmt.Fprintf(&buf, "inf:%d", n)
+				}
+			}
+			buf.WriteByte(']')
+		} else {
+			fmt.Fprintf(&buf, "%d", m.Value)
+		}
+		if m.Diagnostic {
+			buf.WriteString("  (diagnostic)")
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}

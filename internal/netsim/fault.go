@@ -319,6 +319,9 @@ func (n *Network) applyFaults(dev, next Device, pkt Packet, at time.Duration) (P
 	if fp := f.profileFor(dev); fp != nil && fp.linkActive() {
 		name := dev.DeviceName()
 		if f.geDrop(name, fp, pkt) {
+			if n.metrics != nil {
+				n.metrics.burstDrops.Inc()
+			}
 			n.trace(dev, TraceDrop, pkt, "fault: burst loss")
 			return pkt, at, false
 		}
@@ -327,17 +330,26 @@ func (n *Network) applyFaults(dev, next Device, pkt Packet, at time.Duration) (P
 			// Clone before clipping: the payload may be shared with a
 			// duplicate copy already in flight.
 			pkt.Payload = append([]byte(nil), pkt.Payload[:fp.TruncBytes]...)
+			if n.metrics != nil {
+				n.metrics.truncated.Inc()
+			}
 			n.trace(dev, TraceFault, pkt, "fault: response truncated")
 		}
 		if fp.DupProb > 0 && roll(fp.Seed, name, pkt, tagDup) < fp.DupProb {
 			dup := pkt
 			dup.FaultSalt++
+			if n.metrics != nil {
+				n.metrics.dupCopies.Inc()
+			}
 			n.trace(dev, TraceFault, dup, "fault: duplicated to "+next.DeviceName())
 			n.enqueue(next, dup, at)
 		}
 		if fp.ReorderProb > 0 && fp.ReorderJitter > 0 && roll(fp.Seed, name, pkt, tagReorder) < fp.ReorderProb {
 			extra := time.Duration(roll(fp.Seed, name, pkt, tagJitter) * float64(fp.ReorderJitter))
 			at += extra
+			if n.metrics != nil {
+				n.metrics.reordered.Inc()
+			}
 			n.trace(dev, TraceFault, pkt, "fault: reordered (+"+extra.String()+")")
 		}
 	}
@@ -347,6 +359,9 @@ func (n *Network) applyFaults(dev, next Device, pkt Packet, at time.Duration) (P
 		// hops towards it do not double-charge the bucket.
 		if r, ok := next.(*Router); ok && r.HasAddr(pkt.Dst.Addr()) {
 			if !f.allowRate(next.DeviceName(), fp, pkt) {
+				if n.metrics != nil {
+					n.metrics.rateDrops.Inc()
+				}
 				n.trace(dev, TraceDrop, pkt, "fault: rate limited by "+next.DeviceName())
 				return pkt, at, false
 			}

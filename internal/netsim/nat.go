@@ -58,6 +58,13 @@ type NAT struct {
 	nextPort   uint16
 }
 
+// occupancy is the live table size: SNAT flow entries plus DNAT
+// conntrack entries. Observed by the metrics plane as a high-water
+// gauge after each new mapping.
+func (n *NAT) occupancy() int {
+	return len(n.snatByFlow) + len(n.dnatCT)
+}
+
 // NewNAT returns an empty NAT state.
 func NewNAT() *NAT {
 	return &NAT{

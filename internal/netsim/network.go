@@ -52,6 +52,9 @@ func (c *Ctx) Forward(next Device, pkt Packet) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
+		if c.net.metrics != nil && pkt.Proto == UDP && isClientFlow(pkt) {
+			c.net.metrics.ttlDrops.Inc()
+		}
 		c.net.trace(c.dev, TraceDrop, pkt, "ttl exceeded")
 		// Routers announce the expiry (never for ICMP itself: no
 		// ICMP-about-ICMP cascades).
@@ -63,6 +66,9 @@ func (c *Ctx) Forward(next Device, pkt Packet) {
 		return
 	}
 	if c.net.lose() {
+		if c.net.metrics != nil {
+			c.net.metrics.lossDrops.Inc()
+		}
 		c.net.trace(c.dev, TraceDrop, pkt, "packet loss")
 		return
 	}
@@ -72,6 +78,9 @@ func (c *Ctx) Forward(next Device, pkt Packet) {
 		if pkt, at, ok = c.net.applyFaults(c.dev, next, pkt, at); !ok {
 			return
 		}
+	}
+	if c.net.metrics != nil && pkt.Proto == UDP && isClientFlow(pkt) {
+		c.net.metrics.forwarded.Inc()
 	}
 	c.net.trace(c.dev, TraceForward, pkt, "to "+next.DeviceName())
 	c.net.enqueue(next, pkt, at)
@@ -158,6 +167,10 @@ type Network struct {
 	// faults is the installed fault-injection plane (see fault.go);
 	// nil when no profile has ever been set.
 	faults *faultPlane
+
+	// metrics is the observability plane (see metrics.go); nil when
+	// disabled, which reduces every instrumentation site to one branch.
+	metrics *netMetrics
 }
 
 // SetLoss installs a deterministic random-loss model: every forwarded

@@ -289,6 +289,7 @@ func (r *Router) Receive(ctx *Ctx, pkt Packet) {
 	if r.NAT != nil {
 		p, rewritten, replicate := r.NAT.applyDNAT(pkt)
 		if rewritten {
+			ctx.net.observeNAT(r.NAT)
 			ctx.Trace(TraceDNAT, p, "intercepted: "+pkt.Dst.String()+" -> "+p.Dst.String())
 			if replicate {
 				// The original also continues: query replication.
@@ -356,6 +357,7 @@ func (r *Router) routePacket(ctx *Ctx, pkt Packet, locallyOriginated bool) {
 	// POSTROUTING: masquerade LAN sources on the way out.
 	if r.NAT != nil && !locallyOriginated {
 		if p, ok := r.NAT.applySNAT(pkt); ok {
+			ctx.net.observeNAT(r.NAT)
 			ctx.Trace(TraceSNAT, p, "masqueraded "+pkt.Src.String()+" -> "+p.Src.String())
 			pkt = p
 		}

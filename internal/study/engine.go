@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/dnswatch/dnsloc/internal/metrics"
 )
 
 // EngineOptions configure a sharded study run.
@@ -31,7 +33,14 @@ type EngineOptions struct {
 // results is therefore byte-identical at any worker count, and identical
 // to the serial Run. (Per-response virtual-clock RTTs are the one field
 // that may differ between worker counts: resolver cache warmth depends
-// on which probes share a world. No aggregate consumes RTTs.)
+// on which probes share a world. No aggregate consumes RTTs — the
+// metrics plane quarantines them as Diagnostic, outside the
+// deterministic snapshot.)
+//
+// Metrics contract: each shard world carries its own registry; after
+// the merge the registries fold into Results.Metrics in shard order.
+// Counter adds, gauge maxes, and histogram bucket adds are commutative,
+// so the merged Stable snapshot is byte-identical at any worker count.
 func RunSharded(spec Spec, opts EngineOptions) *Results {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -51,6 +60,7 @@ func RunSharded(spec Spec, opts EngineOptions) *Results {
 	}
 
 	shards := make([][]*ProbeRecord, workers)
+	shardRegs := make([]*metrics.Registry, workers)
 	shardErrs := make([]string, workers)
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
@@ -69,6 +79,7 @@ func RunSharded(spec Spec, opts EngineOptions) *Results {
 			start := time.Now()
 			world := BuildWorld(spec.Shard(k, workers))
 			shards[k] = runRecords(world)
+			shardRegs[k] = world.Metrics
 			if opts.Progress != nil {
 				progressMu.Lock()
 				opts.Progress(k, workers, len(shards[k]), time.Since(start))
@@ -95,7 +106,17 @@ func RunSharded(spec Spec, opts EngineOptions) *Results {
 		}
 	}
 
+	// Fold the shard registries in shard order; every merge op is
+	// commutative, so the result is independent of completion order.
+	var reg *metrics.Registry
+	if !spec.DisableMetrics {
+		reg = metrics.New()
+		for _, r := range shardRegs {
+			reg.Merge(r)
+		}
+	}
+
 	// The merged view carries the unsharded spec for exports; per-record
 	// simulation state lives on each record's Net.
-	return &Results{World: &World{Spec: spec}, Records: merged, Errors: errs}
+	return &Results{World: &World{Spec: spec}, Records: merged, Errors: errs, Metrics: reg}
 }

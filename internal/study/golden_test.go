@@ -1,0 +1,66 @@
+package study_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/analysis"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// -update regenerates the golden corpus in place:
+//
+//	go test ./internal/study -run TestPilotGolden -update
+//
+// Regenerate only when an intentional change moves the pilot's output,
+// and eyeball the diff — the corpus is the study engine's contract.
+var update = flag.Bool("update", false, "rewrite testdata/golden from the current engine output")
+
+// TestPilotGolden pins a small (64-probe) pilot run's entire visible
+// surface — rendered tables, the CSV export, and the deterministic
+// metric snapshot — against files committed under testdata/golden. Any
+// unintentional drift in seat dealing, verdict logic, rendering, or
+// metric accounting shows up here as a readable diff rather than as a
+// silently different paper table.
+func TestPilotGolden(t *testing.T) {
+	spec := study.PaperSpec().Scale(0.0064) // ~64 probes
+	res := study.RunSharded(spec, study.EngineOptions{Workers: 2})
+	if len(res.Errors) != 0 {
+		t.Fatalf("shard errors: %v", res.Errors)
+	}
+
+	t4 := analysis.BuildTable4(res)
+	outputs := map[string][]byte{
+		"table4.txt":   []byte(analysis.FormatTable4(t4)),
+		"table5.txt":   []byte(analysis.FormatTable5(analysis.BuildTable5(res))),
+		"table4.csv":   []byte(analysis.CSVTable4(t4)),
+		"metrics.json": res.MetricsSnapshot(false).JSON(),
+	}
+
+	dir := filepath.Join("testdata", "golden")
+	if *update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, blob := range outputs {
+			if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d golden files in %s", len(outputs), dir)
+		return
+	}
+
+	for name, got := range outputs {
+		want, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("reading golden %s (run with -update to create): %v", name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s drifted from golden copy (rerun with -update if intentional):\n--- want ---\n%s--- got ---\n%s",
+				name, want, got)
+		}
+	}
+}

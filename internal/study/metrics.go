@@ -1,0 +1,101 @@
+package study
+
+import (
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/metrics"
+)
+
+// Snapshot is the study engine's exported metric snapshot (text via
+// Snapshot.Text, JSON via Snapshot.JSON). See internal/metrics for the
+// determinism rules.
+type Snapshot = metrics.Snapshot
+
+// MetricsSnapshot renders the run's merged registry. With
+// includeDiagnostic false it is the deterministic form — only Stable,
+// shard-invariant metrics — which is byte-identical at any worker count
+// for a given spec (CI diffs it, the golden corpus commits it). With
+// true it adds the Diagnostic layer: RTT histograms, NAT occupancy,
+// and wall-clock phase timings. Empty when metrics were disabled.
+func (r *Results) MetricsSnapshot(includeDiagnostic bool) *Snapshot {
+	return r.Metrics.Snapshot(includeDiagnostic)
+}
+
+// studyMetrics is the engine's own instrument panel: fleet progress
+// counters (Stable — they derive from the spec and the pre-drawn
+// availability stream) and per-phase wall-clock gauges (Diagnostic —
+// they measure the host machine, and as max-gauges they record the
+// slowest shard).
+type studyMetrics struct {
+	probes       *metrics.Counter // records produced (stubs excluded)
+	measured     *metrics.Counter // probes whose detector ran
+	unresponsive *metrics.Counter // dead or offline for every experiment
+	quarantined  *metrics.Counter // measurements that panicked, contained
+
+	phaseBuildMs   *metrics.Gauge // world construction, slowest shard
+	phasePredrawMs *metrics.Gauge // availability pre-draw, slowest shard
+	phaseMeasureMs *metrics.Gauge // detection sweep, slowest shard
+	throughput     *metrics.Gauge // probes/second, fastest shard
+}
+
+func newStudyMetrics(reg *metrics.Registry) *studyMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &studyMetrics{
+		probes:         reg.Counter("study.probes", metrics.Stable),
+		measured:       reg.Counter("study.probes_measured", metrics.Stable),
+		unresponsive:   reg.Counter("study.probes_unresponsive", metrics.Stable),
+		quarantined:    reg.Counter("study.quarantined", metrics.Stable),
+		phaseBuildMs:   reg.Gauge("study.phase_build_ms", metrics.Diagnostic),
+		phasePredrawMs: reg.Gauge("study.phase_predraw_ms", metrics.Diagnostic),
+		phaseMeasureMs: reg.Gauge("study.phase_measure_ms", metrics.Diagnostic),
+		throughput:     reg.Gauge("study.shard_probes_per_s", metrics.Diagnostic),
+	}
+}
+
+// Nil-safe recording helpers.
+
+func (sm *studyMetrics) noteRecord() {
+	if sm != nil {
+		sm.probes.Inc()
+	}
+}
+
+func (sm *studyMetrics) noteMeasured(quarantined bool) {
+	if sm == nil {
+		return
+	}
+	sm.measured.Inc()
+	if quarantined {
+		sm.quarantined.Inc()
+	}
+}
+
+func (sm *studyMetrics) noteUnresponsive() {
+	if sm != nil {
+		sm.unresponsive.Inc()
+	}
+}
+
+func (sm *studyMetrics) observeBuild(d time.Duration) {
+	if sm != nil {
+		sm.phaseBuildMs.Observe(d.Milliseconds())
+	}
+}
+
+func (sm *studyMetrics) observePredraw(d time.Duration) {
+	if sm != nil {
+		sm.phasePredrawMs.Observe(d.Milliseconds())
+	}
+}
+
+func (sm *studyMetrics) observeMeasure(d time.Duration, records int) {
+	if sm == nil {
+		return
+	}
+	sm.phaseMeasureMs.Observe(d.Milliseconds())
+	if secs := d.Seconds(); secs > 0 {
+		sm.throughput.Observe(int64(float64(records) / secs))
+	}
+}

@@ -1,0 +1,134 @@
+package study_test
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// stableJSON runs the study at a worker count and renders the
+// deterministic (Stable-only) snapshot.
+func stableJSON(t *testing.T, spec study.Spec, workers int) string {
+	t.Helper()
+	res := study.RunSharded(spec, study.EngineOptions{Workers: workers})
+	if len(res.Errors) != 0 {
+		t.Fatalf("workers=%d shard errors: %v", workers, res.Errors)
+	}
+	return string(res.MetricsSnapshot(false).JSON())
+}
+
+// TestMetricsSnapshotShardInvariant is the tentpole's merge-semantics
+// contract: the Stable metric snapshot is byte-identical whether the
+// study runs serially or sharded over K workers, with and without a
+// fault profile. Runs under -race in CI, which also exercises the
+// concurrent shard registries.
+func TestMetricsSnapshotShardInvariant(t *testing.T) {
+	cases := []struct {
+		name string
+		spec func() study.Spec
+	}{
+		{"clean", func() study.Spec { return study.PaperSpec().Scale(0.02) }},
+		{"faulted", func() study.Spec {
+			spec := study.PaperSpec().Scale(0.02)
+			fp := netsim.PresetFault(0.6, spec.Seed+9000)
+			spec.Fault = &fp
+			spec.Retry = &core.RetryPolicy{MaxAttempts: 3}
+			return spec
+		}},
+	}
+	workerCounts := []int{1, 3, runtime.GOMAXPROCS(0)}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := stableJSON(t, tc.spec(), workerCounts[0])
+			if want == "" || want == "{\"metrics\":null}\n" {
+				t.Fatalf("serial snapshot is empty:\n%s", want)
+			}
+			for _, workers := range workerCounts[1:] {
+				if got := stableJSON(t, tc.spec(), workers); got != want {
+					t.Errorf("workers=%d snapshot differs from serial:\n--- serial ---\n%s--- workers=%d ---\n%s",
+						workers, want, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestMetricsSnapshotPopulated sanity-checks that the plane actually
+// measured something in each instrumented layer — a snapshot of zeros
+// would be vacuously deterministic.
+func TestMetricsSnapshotPopulated(t *testing.T) {
+	spec := study.PaperSpec().Scale(0.02)
+	res := study.RunSharded(spec, study.EngineOptions{Workers: 2})
+	snap := res.MetricsSnapshot(true)
+	values := make(map[string]int64, len(snap.Metrics))
+	for _, m := range snap.Metrics {
+		values[m.Name] = m.Value
+	}
+	for _, name := range []string{
+		"netsim.client_hops_forwarded",
+		"core.queries",
+		"core.attempts",
+		"core.outcome_answers",
+		"core.step_queries.location",
+		"dnsserver.forwarder_queries",
+		"study.probes",
+		"study.probes_measured",
+	} {
+		if values[name] <= 0 {
+			t.Errorf("%s = %d, want > 0", name, values[name])
+		}
+	}
+	if values["study.probes"] != int64(spec.TotalProbes) {
+		t.Errorf("study.probes = %d, want %d", values["study.probes"], spec.TotalProbes)
+	}
+	// The RTT histogram is Diagnostic: present in the full snapshot,
+	// absent from the deterministic one.
+	if _, ok := values["core.rtt_ms"]; !ok {
+		t.Error("full snapshot lacks core.rtt_ms")
+	}
+	for _, m := range res.MetricsSnapshot(false).Metrics {
+		if m.Diagnostic {
+			t.Errorf("stable snapshot leaked diagnostic metric %s", m.Name)
+		}
+	}
+}
+
+// TestDisableMetrics checks the off switch: no registry, empty
+// snapshot, run still completes.
+func TestDisableMetrics(t *testing.T) {
+	spec := study.PaperSpec().Scale(0.01)
+	spec.DisableMetrics = true
+	res := study.RunSharded(spec, study.EngineOptions{Workers: 2})
+	if res.Metrics != nil {
+		t.Error("DisableMetrics run still built a registry")
+	}
+	if snap := res.MetricsSnapshot(true); len(snap.Metrics) != 0 {
+		t.Errorf("disabled snapshot has %d metrics", len(snap.Metrics))
+	}
+	if len(res.Records) != spec.TotalProbes {
+		t.Errorf("records = %d, want %d", len(res.Records), spec.TotalProbes)
+	}
+}
+
+// TestReportMetricsAlwaysPopulated: the per-report tally does not
+// depend on the registry plane being wired.
+func TestReportMetricsAlwaysPopulated(t *testing.T) {
+	spec := study.PaperSpec().Scale(0.01)
+	spec.DisableMetrics = true
+	res := study.RunSharded(spec, study.EngineOptions{Workers: 1})
+	for _, rec := range res.Records {
+		if rec.Report == nil {
+			continue
+		}
+		m := rec.Report.Metrics
+		if m.Queries == 0 || m.Attempts < m.Queries {
+			t.Fatalf("probe %d Report.Metrics = %+v, want queries > 0 and attempts >= queries",
+				rec.Probe.ID, m)
+		}
+		return
+	}
+	t.Fatal("no measured probe found")
+}

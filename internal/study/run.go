@@ -2,9 +2,11 @@ package study
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/dnswatch/dnsloc/internal/atlas"
 	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/metrics"
 	"github.com/dnswatch/dnsloc/internal/netsim"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
 )
@@ -78,13 +80,16 @@ type Results struct {
 	// shard whose world build panicked contributes its error here and no
 	// records; the other shards' records are merged as usual.
 	Errors []string
+	// Metrics is the run's registry — in a sharded run, the merge of
+	// every shard's registry. Nil when Spec.DisableMetrics is set.
+	Metrics *metrics.Registry
 }
 
 // Run executes the pilot study: the full detection technique from every
 // responding probe, with platform availability deciding which probes
 // appear in which experiment's totals.
 func Run(w *World) *Results {
-	return &Results{World: w, Records: runRecords(w)}
+	return &Results{World: w, Records: runRecords(w), Metrics: w.Metrics}
 }
 
 // availabilityDraws is how many Responds samples one probe consumes in
@@ -107,7 +112,11 @@ func availabilityDraws(probe *atlas.Probe) int {
 // included), so the Responded outcomes match the unsharded build; only
 // the shard's own probes produce records.
 func runRecords(w *World) []*ProbeRecord {
+	sm := w.studyMetrics
+	predrawStart := time.Now()
 	table := w.Platform.PredrawResponses(availabilityDraws)
+	sm.observePredraw(time.Since(predrawStart))
+	measureStart := time.Now()
 	var records []*ProbeRecord
 	for _, probe := range w.Platform.Probes() {
 		if probe.Host == nil && w.Spec.ShardCount > 1 {
@@ -115,7 +124,9 @@ func runRecords(w *World) []*ProbeRecord {
 		}
 		rec := &ProbeRecord{Probe: probe, Responded: make(map[ExpKey]bool), Net: w.Net}
 		records = append(records, rec)
+		sm.noteRecord()
 		if probe.Availability == atlas.Dead {
+			sm.noteUnresponsive()
 			continue
 		}
 		// Per-experiment availability, replayed in the serial draw order:
@@ -138,10 +149,13 @@ func runRecords(w *World) []*ProbeRecord {
 			}
 		}
 		if !online {
+			sm.noteUnresponsive()
 			continue
 		}
 		rec.Report, rec.Err = measure(w, probe)
+		sm.noteMeasured(rec.Err != "")
 	}
+	sm.observeMeasure(time.Since(measureStart), len(records))
 	return records
 }
 

@@ -126,6 +126,12 @@ type Spec struct {
 	// client panic and exercise quarantine). It must be deterministic to
 	// preserve the sharding contract.
 	ClientWrapper func(core.Client, *atlas.Probe) core.Client
+
+	// DisableMetrics turns the observability plane off for this run:
+	// no registry is built and every instrumented site reduces to one
+	// nil check. Exists for the metrics-overhead A/B measurement
+	// (EXPERIMENTS.md); production runs leave it false.
+	DisableMetrics bool
 }
 
 // Shorthands for patterns.

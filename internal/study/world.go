@@ -6,13 +6,16 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/dnswatch/dnsloc/internal/atlas"
 	"github.com/dnswatch/dnsloc/internal/backbone"
+	"github.com/dnswatch/dnsloc/internal/core"
 	"github.com/dnswatch/dnsloc/internal/cpe"
 	"github.com/dnswatch/dnsloc/internal/dnsserver"
 	"github.com/dnswatch/dnsloc/internal/geo"
 	"github.com/dnswatch/dnsloc/internal/isp"
+	"github.com/dnswatch/dnsloc/internal/metrics"
 	"github.com/dnswatch/dnsloc/internal/netsim"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
 )
@@ -39,7 +42,14 @@ type World struct {
 	Platform *atlas.Platform
 	ISPs     map[int]*isp.Network
 
+	// Metrics is the world's registry. In a sharded run each shard
+	// world gets its own; the engine merges them into Results.Metrics.
+	// Nil when Spec.DisableMetrics is set.
+	Metrics *metrics.Registry
+
 	transitSeatPatterns map[publicdns.Region]map[netip.Addr]Pattern
+	fwdMetrics          *dnsserver.ForwarderMetrics
+	studyMetrics        *studyMetrics
 }
 
 // ispResolverPersonas rotate across ISPs for variety in intercepted
@@ -55,6 +65,7 @@ var ispResolverPersonas = []dnsserver.ChaosPersona{
 
 // BuildWorld constructs the study world from a spec.
 func BuildWorld(spec Spec) *World {
+	buildStart := time.Now()
 	w := &World{
 		Spec:                spec,
 		Net:                 netsim.NewNetwork(),
@@ -65,8 +76,15 @@ func BuildWorld(spec Spec) *World {
 	if spec.Fault != nil && spec.Fault.Active() {
 		w.Net.SetDefaultFault(*spec.Fault)
 	}
+	if !spec.DisableMetrics {
+		w.Metrics = metrics.New()
+		w.Net.SetMetrics(w.Metrics)
+		w.fwdMetrics = dnsserver.NewForwarderMetrics(w.Metrics)
+		w.studyMetrics = newStudyMetrics(w.Metrics)
+	}
 	w.Platform = atlas.NewPlatform(w.Net, spec.Seed)
 	w.Platform.Retry = spec.Retry
+	w.Platform.Metrics = core.NewMetricSet(w.Metrics)
 	rng := rand.New(rand.NewSource(spec.Seed + 1))
 
 	orgs := geo.Orgs() // descending weight, deterministic
@@ -84,6 +102,7 @@ func BuildWorld(spec Spec) *World {
 		}
 		w.populateOrg(org, n, seats[org.ASN], &probeID, rng)
 	}
+	w.studyMetrics.observeBuild(time.Since(buildStart))
 	return w
 }
 
@@ -510,6 +529,7 @@ func (w *World) addProbe(network *isp.Network, seg *isp.Segment, org geo.Org, re
 		return
 	}
 	cfg := cpe.NewPlain(fmt.Sprintf("cpe-%d", id), home.LANPrefix4, home.WANv4, network.ResolverAddrPort())
+	cfg.Metrics = w.fwdMetrics
 	if hasV6 {
 		cfg.LANAddr6 = firstHost6(home.LANPrefix6)
 		cfg.LANPrefix6 = home.LANPrefix6

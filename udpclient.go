@@ -28,6 +28,10 @@ type UDPClient struct {
 	// Retry's backoff paces the re-sends. This is a stub resolver's
 	// standard defence against one-off datagram loss.
 	Retry *core.RetryPolicy
+	// Metrics, when non-nil, records every attempt — not just the one
+	// that was finally answered. A dropped-then-answered exchange shows
+	// two attempts and two duration samples.
+	Metrics *ClientMetrics
 }
 
 // NewUDPClient builds a client with the given per-query timeout.
@@ -49,6 +53,7 @@ func (c *UDPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 	if err != nil {
 		return nil, 0, err
 	}
+	c.Metrics.noteExchange()
 	conn, err := net.DialUDP("udp", nil, net.UDPAddrFromAddrPort(server))
 	if err != nil {
 		// No route / no address in this family.
@@ -113,19 +118,25 @@ func (c *UDPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 			}
 			out = append(out, m)
 			if c.Window == 0 {
+				c.Metrics.noteAttempt(rtt)
 				return out, rtt, nil
 			}
 			// Shrink the deadline to the replication window.
 			w := time.Now().Add(c.Window)
 			if w.Before(attemptEnd) {
 				if err := conn.SetDeadline(w); err != nil {
+					c.Metrics.noteAttempt(rtt)
 					return out, rtt, nil
 				}
 			}
 		}
 		if len(out) > 0 {
+			c.Metrics.noteAttempt(rtt)
 			return out, rtt, nil
 		}
+		// The attempt went unanswered; record the time it burned so the
+		// attempt histogram reflects every send, not just the happy one.
+		c.Metrics.noteAttempt(time.Since(start))
 		if attempt < attempts {
 			delay := pol.BackoffFor(attempt, salt)
 			if remaining := time.Until(overall); delay > remaining {

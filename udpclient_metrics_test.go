@@ -1,0 +1,94 @@
+package dnsloc_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/metrics"
+)
+
+// TestUDPClientMetricsRecordEveryAttempt is the regression test for the
+// retransmit accounting fix: a dropped-then-answered exchange must show
+// up as TWO attempts and TWO duration samples, not one. Before the fix
+// only the answered attempt reached the instruments, which made packet
+// loss invisible in the attempt histogram.
+func TestUDPClientMetricsRecordEveryAttempt(t *testing.T) {
+	srv := startDroppyDNS(t, 1)
+	defer srv.close()
+
+	reg := metrics.New()
+	c := dnsloc.NewUDPClient(2 * time.Second)
+	c.Window = 0
+	c.Retry = &core.RetryPolicy{
+		MaxAttempts:    3,
+		AttemptTimeout: 150 * time.Millisecond,
+		Backoff:        5 * time.Millisecond,
+		JitterSeed:     3,
+	}
+	c.Metrics = dnsloc.NewClientMetrics(reg)
+
+	q := dnsloc.NewVersionBindQuery(41)
+	if _, _, err := c.ExchangeRTT(srv.addrPort, q); err != nil {
+		t.Fatalf("exchange with retransmission: %v", err)
+	}
+
+	if got := c.Metrics.Exchanges.Value(); got != 1 {
+		t.Errorf("exchanges = %d, want 1", got)
+	}
+	// Attempt 1 was swallowed by the server, attempt 2 answered.
+	if got := c.Metrics.Attempts.Value(); got != 2 {
+		t.Errorf("attempts = %d, want 2 (dropped + answered)", got)
+	}
+	if got := c.Metrics.AttemptRTT.Count(); got != 2 {
+		t.Errorf("attempt histogram count = %d, want one sample per attempt", got)
+	}
+	// The dropped attempt burned ~AttemptTimeout; its sample keeps the
+	// histogram sum well above what the answered loopback attempt alone
+	// (sub-millisecond) could produce.
+	if sum := c.Metrics.AttemptRTT.Sum(); sum < 100 {
+		t.Errorf("attempt histogram sum = %dms, want >= 100ms including the timed-out attempt", sum)
+	}
+}
+
+// TestUDPClientMetricsTimeoutPath: an exchange where every attempt dies
+// still records every attempt.
+func TestUDPClientMetricsTimeoutPath(t *testing.T) {
+	srv := startDroppyDNS(t, 100) // swallow everything
+	defer srv.close()
+
+	reg := metrics.New()
+	c := dnsloc.NewUDPClient(500 * time.Millisecond)
+	c.Window = 0
+	c.Retry = &core.RetryPolicy{MaxAttempts: 2, AttemptTimeout: 100 * time.Millisecond}
+	c.Metrics = dnsloc.NewClientMetrics(reg)
+
+	q := dnsloc.NewVersionBindQuery(42)
+	if _, _, err := c.ExchangeRTT(srv.addrPort, q); !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := c.Metrics.Attempts.Value(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	if got := c.Metrics.AttemptRTT.Count(); got != 2 {
+		t.Errorf("attempt histogram count = %d, want 2", got)
+	}
+}
+
+// TestUDPClientNilMetrics: the hook must cost nothing when unwired.
+func TestUDPClientNilMetrics(t *testing.T) {
+	srv := startDroppyDNS(t, 0)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(time.Second)
+	c.Window = 0
+	q := dnsloc.NewVersionBindQuery(43)
+	if _, _, err := c.ExchangeRTT(srv.addrPort, q); err != nil {
+		t.Fatalf("exchange with nil metrics: %v", err)
+	}
+	if dnsloc.NewClientMetrics(nil) != nil {
+		t.Error("NewClientMetrics(nil) should return nil")
+	}
+}
