@@ -1,0 +1,213 @@
+// Pooling-safety and allocation-budget tests for the zero-copy wire
+// hot path. The budget tests pin the steady-state allocation counts the
+// buffer pools bought; CI runs them so a regression that quietly
+// reintroduces per-exchange allocations fails loudly. The safety tests
+// assert the no-alias discipline: parsed responses stay valid after the
+// pooled buffers behind them are recycled and reused.
+package dnsloc_test
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// simExchangeAllocBudget is the PR's acceptance gate for one end-to-end
+// simulated exchange (>= 25% below the 76 allocs/op pre-pooling
+// baseline). Measured steady state is ~25; the budget leaves headroom
+// for toolchain drift without letting the pools silently stop working.
+const simExchangeAllocBudget = 57
+
+// forwarderCacheHitAllocBudget bounds a CPE-forwarder cache hit, served
+// by copying pre-packed wire bytes into a recycled buffer. Measured
+// steady state is ~19.
+const forwarderCacheHitAllocBudget = 30
+
+func TestSimExchangeAllocBudget(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	client := lab.Client()
+	q := dnsloc.NewLocationQuery(dnsloc.Cloudflare, 1)
+	server := netip.AddrPortFrom(netip.MustParseAddr("1.1.1.1"), 53)
+	// Warm the resolver caches and the payload/packet freelists.
+	for i := 0; i < 5; i++ {
+		if _, err := client.Exchange(server, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := client.Exchange(server, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > simExchangeAllocBudget {
+		t.Errorf("SimExchange allocates %.1f/op, budget %d", allocs, simExchangeAllocBudget)
+	}
+}
+
+func TestForwarderCacheHitAllocBudget(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	client := lab.Client()
+	server := netip.AddrPortFrom(lab.CPE.Config.LANAddr, 53)
+	warm := dnsloc.NewAQuery(71, string(publicdns.CanaryDomain))
+	for i := 0; i < 5; i++ {
+		if _, err := client.Exchange(server, warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := client.Exchange(server, warm); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > forwarderCacheHitAllocBudget {
+		t.Errorf("forwarder cache hit allocates %.1f/op, budget %d", allocs, forwarderCacheHitAllocBudget)
+	}
+}
+
+// TestPooledResponsesSurviveRecycling asserts the no-alias discipline
+// end to end: a parsed response must stay intact while later exchanges
+// recycle and overwrite every pooled buffer that carried it. The CHAOS
+// query additionally exercises the forwarder's packed-answer cache
+// (shared wire bytes + per-query ID patch).
+func TestPooledResponsesSurviveRecycling(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	client := lab.Client()
+	cpeAddr := netip.AddrPortFrom(lab.CPE.Config.LANAddr, 53)
+
+	queries := []*dnswire.Message{
+		dnswire.NewChaosTXTQuery(100, "version.bind"),
+		dnsloc.NewAQuery(101, string(publicdns.CanaryDomain)),
+		dnsloc.NewLocationQuery(dnsloc.Cloudflare, 102),
+	}
+	var held [][]*dnswire.Message
+	var snaps [][]string
+	for _, q := range queries {
+		resps, err := client.Exchange(cpeAddr, q)
+		if err != nil {
+			t.Fatalf("exchange %d: %v", q.Header.ID, err)
+		}
+		held = append(held, resps)
+		snaps = append(snaps, snapshot(resps))
+	}
+
+	// Churn the pools: many further exchanges, each taking and recycling
+	// payload buffers and packet slices the held responses once rode in.
+	for i := 0; i < 50; i++ {
+		q := dnswire.NewChaosTXTQuery(uint16(1000+i), "version.bind")
+		if _, err := client.Exchange(cpeAddr, q); err != nil {
+			t.Fatalf("churn %d: %v", i, err)
+		}
+	}
+
+	for i, resps := range held {
+		if got := snapshot(resps); !reflect.DeepEqual(got, snaps[i]) {
+			t.Errorf("response %d mutated after pool reuse:\n got %v\nwant %v", i, got, snaps[i])
+		}
+	}
+}
+
+// TestPackedAnswerCacheIDPatch asserts that cache-served CHAOS answers
+// are byte-stable across queries: same wire, only the ID differs.
+func TestPackedAnswerCacheIDPatch(t *testing.T) {
+	lab := homelab.New(homelab.XB6)
+	client := lab.Client()
+	cpeAddr := netip.AddrPortFrom(lab.CPE.Config.LANAddr, 53)
+
+	var wires [][]byte
+	for _, id := range []uint16{21, 22, 23} {
+		resps, err := client.Exchange(cpeAddr, dnswire.NewChaosTXTQuery(id, "version.bind"))
+		if err != nil || len(resps) == 0 {
+			t.Fatalf("id %d: %v", id, err)
+		}
+		if resps[0].Header.ID != id {
+			t.Fatalf("id %d: got response ID %d", id, resps[0].Header.ID)
+		}
+		w, err := resps[0].Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wires = append(wires, w)
+	}
+	for i := 1; i < len(wires); i++ {
+		if len(wires[i]) != len(wires[0]) {
+			t.Fatalf("wire %d length %d != %d", i, len(wires[i]), len(wires[0]))
+		}
+		for j := 2; j < len(wires[0]); j++ { // bytes 0-1 are the ID
+			if wires[i][j] != wires[0][j] {
+				t.Fatalf("wire %d differs beyond the ID at offset %d", i, j)
+			}
+		}
+	}
+}
+
+// TestUDPClientConcurrentPooledBuffers hammers the real-socket client
+// from many goroutines against a local UDP server; under -race this
+// verifies the shared pack-buffer and read-buffer pools never hand the
+// same storage to two exchanges at once.
+func TestUDPClientConcurrentPooledBuffers(t *testing.T) {
+	srv := startDroppyDNS(t, 0)
+	defer srv.close()
+
+	client := dnsloc.NewUDPClient(2e9)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				id := uint16(g*100 + i + 1)
+				q := dnswire.NewChaosTXTQuery(id, "version.bind")
+				resps, err := client.Exchange(srv.addrPort, q)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d query %d: %w", g, i, err)
+					return
+				}
+				if len(resps) == 0 || resps[0].Header.ID != id {
+					errs <- fmt.Errorf("goroutine %d query %d: bad response", g, i)
+					return
+				}
+				if got := txtString(resps[0]); got != "droppy" {
+					errs <- fmt.Errorf("goroutine %d query %d: TXT %q", g, i, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// snapshot renders messages to comparable strings via a fresh pack.
+func snapshot(msgs []*dnswire.Message) []string {
+	out := make([]string, len(msgs))
+	for i, m := range msgs {
+		w, err := m.Pack()
+		if err != nil {
+			out[i] = "packerr: " + err.Error()
+			continue
+		}
+		out[i] = fmt.Sprintf("%x", w)
+	}
+	return out
+}
+
+// txtString extracts the first TXT string of a response.
+func txtString(m *dnswire.Message) string {
+	for _, rr := range m.Answers {
+		if txt, ok := rr.Data.(dnswire.TXTRData); ok && len(txt.Strings) > 0 {
+			return txt.Strings[0]
+		}
+	}
+	return ""
+}

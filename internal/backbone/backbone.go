@@ -52,50 +52,24 @@ type Backbone struct {
 	TrustAnchor dnswire.DNSKEYRData
 }
 
-// Build constructs the backbone on the given network.
-func Build(net *netsim.Network) *Backbone {
-	b := &Backbone{
-		Net:       net,
-		Core:      netsim.NewRouter("core"),
-		Regional:  make(map[publicdns.Region]*netsim.Router),
-		Sites:     make(map[publicdns.ID]map[publicdns.Region]publicdns.Site),
-		Resolvers: make(map[publicdns.ID]map[publicdns.Region]*dnsserver.RecursiveResolver),
-	}
-	// Link delays grade by tier so virtual round-trip times behave like
-	// real ones: backbone links are slow, regional links faster.
-	b.Core.Delay = 10 * time.Millisecond
-	b.Core.RouterID = netip.MustParseAddr("100.65.255.1") // CGN-space router ID
-	for i, region := range publicdns.Regions {
-		rt := netsim.NewRouter("transit-" + string(region))
-		rt.Delay = 5 * time.Millisecond
-		rt.RouterID = netip.AddrFrom4([4]byte{100, 65, byte(i + 1), 1})
-		rt.AddDefaultRoute(b.Core)
-		b.Regional[region] = rt
-	}
-	b.buildDNSTree()
-	b.buildOperators()
-	return b
+// ZoneData is the immutable DNS content of the backbone: the signed
+// delegation chain and the operators' authoritative zones. Building it
+// costs three key generations and three zone signings — by far the most
+// expensive part of a backbone build — and the result is never mutated
+// after construction (zones are read-only once signed; the dynamic echo
+// names are stateless closures), so one ZoneData can safely back every
+// shard world of a sharded run.
+type ZoneData struct {
+	Root, Com, Canary       *dnsserver.Zone
+	Akamai, Google, OpenDNS *dnsserver.Zone
+	TrustAnchor             dnswire.DNSKEYRData
 }
 
-// attachCoreServer wires an authoritative server box to the core.
-func (b *Backbone) attachCoreServer(name string, addr netip.Addr, srv netsim.Service) *netsim.Router {
-	r := netsim.NewRouter(name, addr)
-	r.Delay = 2 * time.Millisecond
-	r.Bind(53, srv)
-	r.AddDefaultRoute(b.Core)
-	b.Core.AddRoute(netip.PrefixFrom(addr, 24).Masked(), r)
-	return r
-}
-
-// buildDNSTree constructs root, TLD, and leaf authoritative servers,
-// and signs the root -> com -> dnsloc.com chain so validating stubs can
-// build a chain of trust. The echo zones (akamai, google) stay
-// unsigned, as their dynamic real-world counterparts are.
-func (b *Backbone) buildDNSTree() {
+// BuildZones constructs and signs the backbone's zone content.
+func BuildZones() *ZoneData {
 	rootKey := dnssec.GenerateKey("", "backbone-root")
 	comKey := dnssec.GenerateKey("com", "backbone-com")
 	canaryKey := dnssec.GenerateKey("dnsloc.com", "backbone-canary")
-	b.TrustAnchor = rootKey.Public
 
 	rootZone := dnsserver.NewZone("")
 	rootZone.Delegate("com", map[dnswire.Name][]netip.Addr{
@@ -127,13 +101,70 @@ func (b *Backbone) buildDNSTree() {
 			panic(err)
 		}
 	}
+	return &ZoneData{
+		Root: rootZone, Com: comZone, Canary: canaryZone,
+		Akamai: publicdns.AkamaiZone(), Google: publicdns.GoogleAuthZone(), OpenDNS: publicdns.OpenDNSAuthZone(),
+		TrustAnchor: rootKey.Public,
+	}
+}
 
-	b.attachCoreServer("root-a", RootAddr, dnsserver.NewAuthServer(rootZone))
-	b.attachCoreServer("gtld-com", ComTLDAddr, dnsserver.NewAuthServer(comZone))
-	b.attachCoreServer("auth-akamai", akamaiAuthAddr, dnsserver.NewAuthServer(publicdns.AkamaiZone()))
-	b.attachCoreServer("auth-google", googleAuthAddr, dnsserver.NewAuthServer(publicdns.GoogleAuthZone()))
-	b.attachCoreServer("auth-opendns", opendnsAuthAddr, dnsserver.NewAuthServer(publicdns.OpenDNSAuthZone()))
-	b.attachCoreServer("auth-canary", canaryAuthAddr, dnsserver.NewAuthServer(canaryZone))
+// Build constructs the backbone on the given network, generating fresh
+// zone data.
+func Build(net *netsim.Network) *Backbone {
+	return BuildWith(net, BuildZones())
+}
+
+// BuildWith constructs the backbone around pre-built zone data. The
+// zones are referenced, not copied: callers that share one ZoneData
+// across concurrently running networks rely on zones being immutable
+// after Sign.
+func BuildWith(net *netsim.Network, zones *ZoneData) *Backbone {
+	b := &Backbone{
+		Net:       net,
+		Core:      netsim.NewRouter("core"),
+		Regional:  make(map[publicdns.Region]*netsim.Router),
+		Sites:     make(map[publicdns.ID]map[publicdns.Region]publicdns.Site),
+		Resolvers: make(map[publicdns.ID]map[publicdns.Region]*dnsserver.RecursiveResolver),
+	}
+	// Link delays grade by tier so virtual round-trip times behave like
+	// real ones: backbone links are slow, regional links faster.
+	b.Core.Delay = 10 * time.Millisecond
+	b.Core.RouterID = netip.MustParseAddr("100.65.255.1") // CGN-space router ID
+	for i, region := range publicdns.Regions {
+		rt := netsim.NewRouter("transit-" + string(region))
+		rt.Delay = 5 * time.Millisecond
+		rt.RouterID = netip.AddrFrom4([4]byte{100, 65, byte(i + 1), 1})
+		rt.AddDefaultRoute(b.Core)
+		b.Regional[region] = rt
+	}
+	b.buildDNSTree(zones)
+	b.buildOperators()
+	return b
+}
+
+// attachCoreServer wires an authoritative server box to the core.
+func (b *Backbone) attachCoreServer(name string, addr netip.Addr, srv netsim.Service) *netsim.Router {
+	r := netsim.NewRouter(name, addr)
+	r.Delay = 2 * time.Millisecond
+	r.Bind(53, srv)
+	r.AddDefaultRoute(b.Core)
+	b.Core.AddRoute(netip.PrefixFrom(addr, 24).Masked(), r)
+	return r
+}
+
+// buildDNSTree attaches the authoritative servers for the pre-built zone
+// content: root, TLD, and leaf servers. The echo zones (akamai, google)
+// stay unsigned, as their dynamic real-world counterparts are. Each world
+// gets its own AuthServer instances, but the zones behind them are shared
+// read-only.
+func (b *Backbone) buildDNSTree(zones *ZoneData) {
+	b.TrustAnchor = zones.TrustAnchor
+	b.attachCoreServer("root-a", RootAddr, dnsserver.NewAuthServer(zones.Root))
+	b.attachCoreServer("gtld-com", ComTLDAddr, dnsserver.NewAuthServer(zones.Com))
+	b.attachCoreServer("auth-akamai", akamaiAuthAddr, dnsserver.NewAuthServer(zones.Akamai))
+	b.attachCoreServer("auth-google", googleAuthAddr, dnsserver.NewAuthServer(zones.Google))
+	b.attachCoreServer("auth-opendns", opendnsAuthAddr, dnsserver.NewAuthServer(zones.OpenDNS))
+	b.attachCoreServer("auth-canary", canaryAuthAddr, dnsserver.NewAuthServer(zones.Canary))
 }
 
 // buildOperators deploys every operator's anycast sites: each region's

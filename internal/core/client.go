@@ -75,11 +75,17 @@ func (c *SimClient) Exchange(server netip.AddrPort, query *dnswire.Message) ([]*
 // ExchangeRTT implements RTTExchanger with the virtual-clock RTT of the
 // first response.
 func (c *SimClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, time.Duration, error) {
-	payload, err := query.Pack()
+	payload, err := query.PackTo(c.Net.PayloadBuf())
 	if err != nil {
 		return nil, 0, err
 	}
 	pkts, err := c.Host.Exchange(c.Net, server, payload, netsim.ExchangeOptions{})
+	// The exchange has fully drained the event queue: nothing in flight
+	// references the query bytes anymore (services that stashed the
+	// packet only ever read its addresses), so the buffer can go back to
+	// the freelist before the responses are even parsed — response
+	// payloads are distinct buffers.
+	c.Net.RecyclePayload(payload)
 	switch {
 	case errors.Is(err, netsim.ErrTimeout):
 		return nil, 0, ErrTimeout

@@ -118,6 +118,11 @@ type Config struct {
 	// Metrics, when non-nil, is installed on the built forwarder; the
 	// study engine shares one set across every CPE in a world.
 	Metrics *dnsserver.ForwarderMetrics
+
+	// ChaosCache, when non-nil, is installed on the built forwarder so
+	// persona answers are served from pre-packed bytes; the study engine
+	// shares one cache across every CPE in a world.
+	ChaosCache *dnsserver.PackedAnswerCache
 }
 
 // Device is a built CPE.
@@ -153,6 +158,7 @@ func Build(cfg Config) *Device {
 		fwd := dnsserver.NewForwarder(cfg.Persona, cfg.WANAddr, cfg.Upstream)
 		fwd.ForwardUnhandledChaos = cfg.ForwardUnhandledChaos
 		fwd.Metrics = cfg.Metrics
+		fwd.ChaosCache = cfg.ChaosCache
 		d.Forwarder = fwd
 		r.Bind(53, fwd)
 		if !cfg.WANPort53Open {

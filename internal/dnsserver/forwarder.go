@@ -1,6 +1,7 @@
 package dnsserver
 
 import (
+	"encoding/binary"
 	"net/netip"
 	"time"
 
@@ -38,6 +39,11 @@ type Forwarder struct {
 	// shared by every forwarder in a world (see ForwarderMetrics).
 	Metrics *ForwarderMetrics
 
+	// ChaosCache, when non-nil, serves persona answers from pre-packed
+	// bytes (ID patched per query). Shared by every CPE of a world —
+	// thousands of probes ask the same version.bind questions.
+	ChaosCache *PackedAnswerCache
+
 	pending  map[uint16]fwdPending
 	cache    map[fwdCacheKey]fwdCacheEntry
 	nextPort uint16
@@ -56,7 +62,10 @@ type fwdCacheKey struct {
 }
 
 type fwdCacheEntry struct {
-	msg     *dnswire.Message
+	// wire is the upstream answer's packed bytes, owned by the entry;
+	// hits are served by copying into a recycled buffer and patching the
+	// ID — no re-pack.
+	wire    []byte
 	expires time.Duration
 }
 
@@ -89,6 +98,11 @@ func (f *Forwarder) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 		answersLocally := (IsVersionQuery(q.Name) && f.Persona.Version != "") ||
 			(IsIdentityQuery(q.Name) && f.Persona.Identity != "")
 		if answersLocally || !f.ForwardUnhandledChaos {
+			if wire := f.ChaosCache.Serve(sc, f.Persona, query); wire != nil {
+				f.Metrics.chaosLocal()
+				sc.Reply(pkt, wire)
+				return
+			}
 			if resp := f.Persona.Answer(query); resp != nil {
 				f.Metrics.chaosLocal()
 				f.reply(sc, pkt, resp)
@@ -103,9 +117,9 @@ func (f *Forwarder) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 		if e, ok := f.cache[key]; ok {
 			if e.expires > sc.Now() {
 				f.Metrics.cacheHit()
-				resp := *e.msg
-				resp.Header.ID = query.Header.ID
-				f.reply(sc, pkt, &resp)
+				buf := append(sc.PayloadBuf(), e.wire...)
+				binary.BigEndian.PutUint16(buf[0:2], query.Header.ID)
+				sc.Reply(pkt, buf)
 				return
 			}
 			delete(f.cache, key)
@@ -125,12 +139,14 @@ func (f *Forwarder) forward(sc *netsim.ServiceCtx, pkt netsim.Packet, query *dns
 	port := f.allocPort()
 	f.pending[port] = fwdPending{clientPkt: pkt, clientID: query.Header.ID, q: query.Question()}
 	sc.Router.Bind(port, f)
+	// The upstream query shares the client's payload bytes: payloads are
+	// immutable in flight, and only the exchange initiator recycles them.
 	sc.Send(netsim.Packet{
 		Src:     netip.AddrPortFrom(f.Egress, port),
 		Dst:     f.Upstream,
 		Proto:   netsim.UDP,
 		TTL:     netsim.DefaultTTL,
-		Payload: append([]byte(nil), pkt.Payload...),
+		Payload: pkt.Payload,
 	})
 }
 
@@ -145,7 +161,9 @@ func (f *Forwarder) handleUpstream(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 	if !f.NoCache {
 		f.maybeCache(sc, p.q, pkt.Payload)
 	}
-	sc.Reply(p.clientPkt, append([]byte(nil), pkt.Payload...))
+	// Relay the upstream bytes as-is; the client (the flow's initiator)
+	// owns the recycling of this payload.
+	sc.Reply(p.clientPkt, pkt.Payload)
 }
 
 // maybeCache stores a successful upstream answer for its minimum TTL.
@@ -168,15 +186,18 @@ func (f *Forwarder) maybeCache(sc *netsim.ServiceCtx, q dnswire.Question, payloa
 	if minTTL == 0 {
 		return
 	}
+	// Own the bytes: the relayed payload buffer is recycled by the
+	// client once parsed, so the entry must keep its own copy.
 	f.cache[fwdCacheKey{name: q.Name.Canonical(), typ: q.Type, class: q.Class}] = fwdCacheEntry{
-		msg:     m,
+		wire:    append([]byte(nil), payload...),
 		expires: sc.Now() + time.Duration(minTTL)*time.Second,
 	}
 }
 
-// reply packs and sends a locally-generated answer.
+// reply packs and sends a locally-generated answer into a recycled
+// payload buffer.
 func (f *Forwarder) reply(sc *netsim.ServiceCtx, to netsim.Packet, m *dnswire.Message) {
-	payload, err := m.Pack()
+	payload, err := m.PackTo(sc.PayloadBuf())
 	if err != nil {
 		return
 	}

@@ -52,6 +52,10 @@ type RecursiveResolver struct {
 	// repository localizes, and internal/redirect detects it.
 	NXDomainWildcard netip.Addr
 
+	// ChaosCache, when non-nil, serves front-door persona answers from
+	// pre-packed bytes (see PackedAnswerCache). Optional fast path.
+	ChaosCache *PackedAnswerCache
+
 	// DNSSECAware makes the resolver request and return DNSSEC records
 	// (RRSIGs) when the client sets the DO bit. Oblivious resolvers —
 	// common on alternate-resolver paths — silently strip them, which is
@@ -122,6 +126,12 @@ func (r *RecursiveResolver) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 	query, err := dnswire.Unpack(pkt.Payload)
 	if err != nil || query.Header.Response || len(query.Questions) == 0 {
 		return
+	}
+	if query.Question().Class == dnswire.ClassCHAOS {
+		if wire := r.ChaosCache.Serve(sc, r.Persona, query); wire != nil {
+			sc.Reply(pkt, wire)
+			return
+		}
 	}
 	if chaos := r.Persona.Answer(query); chaos != nil {
 		r.reply(sc, pkt, chaos)
@@ -346,9 +356,10 @@ func (r *RecursiveResolver) store(sc *netsim.ServiceCtx, q dnswire.Question, e c
 	r.cache[r.key(q)] = e
 }
 
-// reply packs and sends a response to the packet's source.
+// reply packs and sends a response to the packet's source, reusing a
+// recycled payload buffer for the bytes.
 func (r *RecursiveResolver) reply(sc *netsim.ServiceCtx, to netsim.Packet, m *dnswire.Message) {
-	payload, err := m.Pack()
+	payload, err := m.PackTo(sc.PayloadBuf())
 	if err != nil {
 		payload = dnswire.MustPack(dnswire.NewErrorResponse(m, dnswire.RCodeServerFailure))
 	}

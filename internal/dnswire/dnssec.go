@@ -89,7 +89,7 @@ func (r RRSIGRData) packRData(buf []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, r.KeyTag)
 	// Signer name is never compressed (RFC 4034 §3.1.7) and is
 	// lower-cased into canonical form.
-	if buf, err = packName(buf, r.SignerName.Canonical(), nil); err != nil {
+	if buf, err = packName(buf, r.SignerName.Canonical(), nil, 0); err != nil {
 		return buf, err
 	}
 	return append(buf, r.Signature...), nil

@@ -90,19 +90,47 @@ func (m *Message) AnswerAddrs() []string {
 // owner names. It refuses to emit messages that overflow the UDP payload
 // limit rather than silently truncating; servers that need truncation set
 // Header.Truncated and trim sections themselves first.
-func (m *Message) Pack() ([]byte, error) {
+func (m *Message) Pack() ([]byte, error) { return m.PackTo(nil) }
+
+// PackTo appends the message's wire encoding to buf and returns the
+// extended slice (possibly reallocated, like append). A nil buf packs
+// into a fresh slice pre-sized from a wire-length estimate. Transports
+// use PackTo with recycled buffers to keep steady-state packing
+// allocation-free; the returned slice aliases buf, so the usual append
+// ownership rules apply.
+func (m *Message) PackTo(buf []byte) ([]byte, error) {
+	start := len(buf)
+	buf, err := m.appendPacked(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)-start > maxUDPPayload {
+		return nil, fmt.Errorf("dnswire: message is %d bytes, exceeds %d-byte UDP payload", len(buf)-start, maxUDPPayload)
+	}
+	return buf, nil
+}
+
+// appendPacked is the shared pack core: header, questions, and sections
+// appended to buf with compression offsets relative to the message start.
+// No size ceiling — PackTo enforces the UDP limit, packUnbounded (TCP)
+// does not.
+func (m *Message) appendPacked(buf []byte) ([]byte, error) {
 	h := m.Header
 	h.QDCount = uint16(len(m.Questions))
 	h.ANCount = uint16(len(m.Answers))
 	h.NSCount = uint16(len(m.Authority))
 	h.ARCount = uint16(len(m.Additional))
 
-	buf := make([]byte, 0, 256)
+	if buf == nil {
+		buf = make([]byte, 0, m.wireEstimate())
+	}
+	start := len(buf)
 	buf = h.pack(buf)
-	cmp := compressionMap{}
+	cmp := getCompressionMap()
+	defer putCompressionMap(cmp)
 	var err error
 	for _, q := range m.Questions {
-		if buf, err = packName(buf, q.Name, cmp); err != nil {
+		if buf, err = packName(buf, q.Name, cmp, start); err != nil {
 			return nil, fmt.Errorf("packing question %q: %w", q.Name, err)
 		}
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
@@ -110,24 +138,77 @@ func (m *Message) Pack() ([]byte, error) {
 	}
 	for _, section := range [][]Record{m.Answers, m.Authority, m.Additional} {
 		for _, rr := range section {
-			if buf, err = packRecord(buf, rr, cmp); err != nil {
+			if buf, err = packRecord(buf, rr, cmp, start); err != nil {
 				return nil, fmt.Errorf("packing record %q: %w", rr.Name, err)
 			}
 		}
 	}
-	if len(buf) > maxUDPPayload {
-		return nil, fmt.Errorf("dnswire: message is %d bytes, exceeds %d-byte UDP payload", len(buf), maxUDPPayload)
-	}
 	return buf, nil
 }
 
-// packRecord appends one resource record.
-func packRecord(buf []byte, rr Record, cmp compressionMap) ([]byte, error) {
+// wireEstimate upper-bounds the uncompressed wire size so PackTo's fresh
+// allocations are single-shot in the common case. Names cost at most
+// len+2 octets uncompressed; fixed RDATA shapes are exact and the rest
+// falls back to a generous constant.
+func (m *Message) wireEstimate() int {
+	n := headerLen
+	for _, q := range m.Questions {
+		n += len(q.Name) + 2 + 4
+	}
+	for _, section := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			n += len(rr.Name) + 2 + 10 + rdataEstimate(rr.Data)
+		}
+	}
+	return n
+}
+
+// rdataEstimate upper-bounds one record body's wire size.
+func rdataEstimate(d RData) int {
+	switch d := d.(type) {
+	case ARData:
+		return 4
+	case AAAARData:
+		return 16
+	case TXTRData:
+		n := 0
+		for _, s := range d.Strings {
+			n += 1 + len(s)
+		}
+		return n
+	case CNAMERData:
+		return len(d.Target) + 2
+	case NSRData:
+		return len(d.Host) + 2
+	case PTRRData:
+		return len(d.Target) + 2
+	case MXRData:
+		return 2 + len(d.Host) + 2
+	case SOARData:
+		return len(d.MName) + 2 + len(d.RName) + 2 + 20
+	case OPTRData:
+		return len(d.Options)
+	case RawRData:
+		return len(d.Data)
+	case DNSKEYRData:
+		return 4 + len(d.PublicKey)
+	case DSRData:
+		return 4 + len(d.Digest)
+	case RRSIGRData:
+		return 18 + len(d.SignerName) + 2 + len(d.Signature)
+	default:
+		return 64
+	}
+}
+
+// packRecord appends one resource record. base is the message start
+// within buf (see packName).
+func packRecord(buf []byte, rr Record, cmp compressionMap, base int) ([]byte, error) {
 	if rr.Data == nil {
 		return buf, fmt.Errorf("%w: record %q has no rdata", ErrBadRData, rr.Name)
 	}
 	var err error
-	if buf, err = packName(buf, rr.Name, cmp); err != nil {
+	if buf, err = packName(buf, rr.Name, cmp, base); err != nil {
 		return buf, err
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Data.Type()))

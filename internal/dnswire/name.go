@@ -87,8 +87,13 @@ type compressionMap map[string]int
 // for compression. Pass a nil cmp to disable compression (required inside
 // RDATA of types whose RDATA must not be compressed, e.g. in TXT there are
 // no names, but SOA/NS/CNAME historically compress; modern practice for
-// unknown types forbids it).
-func packName(buf []byte, n Name, cmp compressionMap) ([]byte, error) {
+// unknown types forbids it). base is the buffer offset where the message
+// header starts: compression offsets are message-relative, so appending a
+// message to a non-empty buffer must subtract the prefix. The nil-cmp path
+// allocates nothing; the compressing path allocates only when a suffix
+// actually contains uppercase (strings.ToLower returns lowercase ASCII
+// input unchanged).
+func packName(buf []byte, n Name, cmp compressionMap, base int) ([]byte, error) {
 	if err := validateName(n); err != nil {
 		return buf, err
 	}
@@ -96,19 +101,28 @@ func packName(buf []byte, n Name, cmp compressionMap) ([]byte, error) {
 	if s == "" {
 		return append(buf, 0), nil
 	}
-	labels := strings.Split(s, ".")
-	for i := range labels {
-		suffix := strings.ToLower(strings.Join(labels[i:], "."))
+	for pos := 0; ; {
 		if cmp != nil {
+			suffix := strings.ToLower(s[pos:])
 			if off, ok := cmp[suffix]; ok && off < 0x4000 {
 				return append(buf, byte(0xC0|off>>8), byte(off)), nil
 			}
-			if len(buf) < 0x4000 {
-				cmp[suffix] = len(buf)
+			if off := len(buf) - base; off < 0x4000 {
+				cmp[suffix] = off
 			}
 		}
-		buf = append(buf, byte(len(labels[i])))
-		buf = append(buf, labels[i]...)
+		end := strings.IndexByte(s[pos:], '.')
+		if end < 0 {
+			end = len(s)
+		} else {
+			end += pos
+		}
+		buf = append(buf, byte(end-pos))
+		buf = append(buf, s[pos:end]...)
+		if end == len(s) {
+			break
+		}
+		pos = end + 1
 	}
 	return append(buf, 0), nil
 }

@@ -69,7 +69,7 @@ func TestNameIsSubdomainOf(t *testing.T) {
 }
 
 func TestPackNameRoot(t *testing.T) {
-	buf, err := packName(nil, "", nil)
+	buf, err := packName(nil, "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,17 +80,17 @@ func TestPackNameRoot(t *testing.T) {
 
 func TestPackNameRejectsBadNames(t *testing.T) {
 	long := strings.Repeat("a", 64)
-	if _, err := packName(nil, Name(long+".com"), nil); !errors.Is(err, ErrLabelTooLong) {
+	if _, err := packName(nil, Name(long+".com"), nil, 0); !errors.Is(err, ErrLabelTooLong) {
 		t.Errorf("oversized label: err = %v, want ErrLabelTooLong", err)
 	}
-	if _, err := packName(nil, "a..b", nil); !errors.Is(err, ErrEmptyName) {
+	if _, err := packName(nil, "a..b", nil, 0); !errors.Is(err, ErrEmptyName) {
 		t.Errorf("empty label: err = %v, want ErrEmptyName", err)
 	}
 	var parts []string
 	for i := 0; i < 60; i++ {
 		parts = append(parts, "abcd")
 	}
-	if _, err := packName(nil, Name(strings.Join(parts, ".")), nil); !errors.Is(err, ErrNameTooLong) {
+	if _, err := packName(nil, Name(strings.Join(parts, ".")), nil, 0); !errors.Is(err, ErrNameTooLong) {
 		t.Errorf("oversized name: err = %v, want ErrNameTooLong", err)
 	}
 }
@@ -109,7 +109,7 @@ func TestNameRoundTrip(t *testing.T) {
 		"xn--nxasmq6b.example",
 	}
 	for _, n := range names {
-		buf, err := packName(nil, n, nil)
+		buf, err := packName(nil, n, nil, 0)
 		if err != nil {
 			t.Fatalf("pack %q: %v", n, err)
 		}
@@ -130,12 +130,12 @@ func TestCompressionPointerRoundTrip(t *testing.T) {
 	// Pack two names sharing a suffix into one buffer; the second must be
 	// shorter than its uncompressed form and still decode correctly.
 	cmp := compressionMap{}
-	buf, err := packName(nil, "www.example.com", cmp)
+	buf, err := packName(nil, "www.example.com", cmp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	first := len(buf)
-	buf, err = packName(buf, "mail.example.com", cmp)
+	buf, err = packName(buf, "mail.example.com", cmp, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,9 +160,9 @@ func TestCompressionPointerRoundTrip(t *testing.T) {
 
 func TestCompressionIdenticalName(t *testing.T) {
 	cmp := compressionMap{}
-	buf, _ := packName(nil, "a.example.com", cmp)
+	buf, _ := packName(nil, "a.example.com", cmp, 0)
 	n := len(buf)
-	buf, _ = packName(buf, "a.example.com", cmp)
+	buf, _ = packName(buf, "a.example.com", cmp, 0)
 	if len(buf)-n != 2 {
 		t.Errorf("identical repeat encoded as %d bytes, want 2 (pure pointer)", len(buf)-n)
 	}
@@ -236,7 +236,7 @@ func TestPropertyNameRoundTrip(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	f := func() bool {
 		n := randomName(r)
-		buf, err := packName(nil, n, nil)
+		buf, err := packName(nil, n, nil, 0)
 		if err != nil {
 			return false
 		}
@@ -266,7 +266,7 @@ func TestPropertyCompressedRoundTrip(t *testing.T) {
 			}
 			offs[i] = len(buf)
 			var err error
-			buf, err = packName(buf, names[i], cmp)
+			buf, err = packName(buf, names[i], cmp, 0)
 			if err != nil {
 				return false
 			}

@@ -94,7 +94,7 @@ type CNAMERData struct{ Target Name }
 func (CNAMERData) Type() Type { return TypeCNAME }
 
 func (r CNAMERData) packRData(buf []byte) ([]byte, error) {
-	return packName(buf, r.Target, nil)
+	return packName(buf, r.Target, nil, 0)
 }
 
 func (r CNAMERData) String() string { return string(r.Target) + "." }
@@ -106,7 +106,7 @@ type NSRData struct{ Host Name }
 func (NSRData) Type() Type { return TypeNS }
 
 func (r NSRData) packRData(buf []byte) ([]byte, error) {
-	return packName(buf, r.Host, nil)
+	return packName(buf, r.Host, nil, 0)
 }
 
 func (r NSRData) String() string { return string(r.Host) + "." }
@@ -118,7 +118,7 @@ type PTRRData struct{ Target Name }
 func (PTRRData) Type() Type { return TypePTR }
 
 func (r PTRRData) packRData(buf []byte) ([]byte, error) {
-	return packName(buf, r.Target, nil)
+	return packName(buf, r.Target, nil, 0)
 }
 
 func (r PTRRData) String() string { return string(r.Target) + "." }
@@ -134,7 +134,7 @@ func (MXRData) Type() Type { return TypeMX }
 
 func (r MXRData) packRData(buf []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, r.Preference)
-	return packName(buf, r.Host, nil)
+	return packName(buf, r.Host, nil, 0)
 }
 
 func (r MXRData) String() string { return fmt.Sprintf("%d %s.", r.Preference, r.Host) }
@@ -155,10 +155,10 @@ func (SOARData) Type() Type { return TypeSOA }
 
 func (r SOARData) packRData(buf []byte) ([]byte, error) {
 	var err error
-	if buf, err = packName(buf, r.MName, nil); err != nil {
+	if buf, err = packName(buf, r.MName, nil, 0); err != nil {
 		return buf, err
 	}
-	if buf, err = packName(buf, r.RName, nil); err != nil {
+	if buf, err = packName(buf, r.RName, nil, 0); err != nil {
 		return buf, err
 	}
 	buf = binary.BigEndian.AppendUint32(buf, r.Serial)

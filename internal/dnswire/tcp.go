@@ -14,18 +14,18 @@ import (
 // maxTCPMessage bounds a framed message.
 const maxTCPMessage = 0xFFFF
 
-// PackTCP encodes a message with its TCP length prefix.
+// PackTCP encodes a message with its TCP length prefix. The body is
+// packed in place after a reserved prefix — no assemble-then-copy pass.
 func PackTCP(m *Message) ([]byte, error) {
-	body, err := m.packUnbounded()
+	out, err := m.appendPacked(make([]byte, 2, 2+m.wireEstimate()))
 	if err != nil {
 		return nil, err
 	}
-	if len(body) > maxTCPMessage {
-		return nil, fmt.Errorf("dnswire: message is %d bytes, exceeds TCP frame limit", len(body))
+	body := len(out) - 2
+	if body > maxTCPMessage {
+		return nil, fmt.Errorf("dnswire: message is %d bytes, exceeds TCP frame limit", body)
 	}
-	out := make([]byte, 2+len(body))
-	binary.BigEndian.PutUint16(out[:2], uint16(len(body)))
-	copy(out[2:], body)
+	binary.BigEndian.PutUint16(out[:2], uint16(body))
 	return out, nil
 }
 
@@ -56,30 +56,7 @@ func ReadTCP(r io.Reader) (*Message, error) {
 // packUnbounded packs without the UDP size ceiling; TCP has its own
 // 64 KiB frame limit, checked by the callers.
 func (m *Message) packUnbounded() ([]byte, error) {
-	h := m.Header
-	h.QDCount = uint16(len(m.Questions))
-	h.ANCount = uint16(len(m.Answers))
-	h.NSCount = uint16(len(m.Authority))
-	h.ARCount = uint16(len(m.Additional))
-	buf := make([]byte, 0, 512)
-	buf = h.pack(buf)
-	cmp := compressionMap{}
-	var err error
-	for _, q := range m.Questions {
-		if buf, err = packName(buf, q.Name, cmp); err != nil {
-			return nil, err
-		}
-		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
-		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
-	}
-	for _, section := range [][]Record{m.Answers, m.Authority, m.Additional} {
-		for _, rr := range section {
-			if buf, err = packRecord(buf, rr, cmp); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return buf, nil
+	return m.appendPacked(nil)
 }
 
 // PackWithTruncation packs for UDP; if the full message does not fit in

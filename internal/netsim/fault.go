@@ -341,7 +341,9 @@ func (n *Network) applyFaults(dev, next Device, pkt Packet, at time.Duration) (P
 			if n.metrics != nil {
 				n.metrics.dupCopies.Inc()
 			}
-			n.trace(dev, TraceFault, dup, "fault: duplicated to "+next.DeviceName())
+			if n.tracing() {
+				n.trace(dev, TraceFault, dup, "fault: duplicated to "+next.DeviceName())
+			}
 			n.enqueue(next, dup, at)
 		}
 		if fp.ReorderProb > 0 && fp.ReorderJitter > 0 && roll(fp.Seed, name, pkt, tagReorder) < fp.ReorderProb {
@@ -350,7 +352,9 @@ func (n *Network) applyFaults(dev, next Device, pkt Packet, at time.Duration) (P
 			if n.metrics != nil {
 				n.metrics.reordered.Inc()
 			}
-			n.trace(dev, TraceFault, pkt, "fault: reordered (+"+extra.String()+")")
+			if n.tracing() {
+				n.trace(dev, TraceFault, pkt, "fault: reordered (+"+extra.String()+")")
+			}
 		}
 	}
 	if fp := f.profileFor(next); fp != nil && fp.RateLimitPort != 0 &&
@@ -362,7 +366,9 @@ func (n *Network) applyFaults(dev, next Device, pkt Packet, at time.Duration) (P
 				if n.metrics != nil {
 					n.metrics.rateDrops.Inc()
 				}
-				n.trace(dev, TraceDrop, pkt, "fault: rate limited by "+next.DeviceName())
+				if n.tracing() {
+					n.trace(dev, TraceDrop, pkt, "fault: rate limited by "+next.DeviceName())
+				}
 				return pkt, at, false
 			}
 		}

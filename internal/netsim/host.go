@@ -33,6 +33,9 @@ type Host struct {
 	// spare holds drained inbox slices returned via Recycle, reused for
 	// later flows so steady-state exchanges stop allocating per query.
 	spare [][]Packet
+	// net is the network of the host's last Exchange, so Recycle can
+	// return response payload buffers to its freelist.
+	net *Network
 }
 
 // NewHost creates a host. Either address may be the zero Addr.
@@ -89,10 +92,28 @@ func (h *Host) deliver(port uint16, pkt Packet) {
 }
 
 // Recycle returns a response slice obtained from Exchange to the host's
-// inbox freelist. Callers that are done parsing the packets can hand the
-// slice back so the next flow reuses its capacity; the packets' payload
-// bytes are never reused, so parsed messages stay valid.
+// inbox freelist, and the packets' payload buffers to the network's
+// payload freelist. Callers must be completely done with the packets:
+// dnswire.Unpack deep-copies, so parsed messages stay valid, but raw
+// payload slices must not be retained past this call. Fault duplication
+// delivers two packets sharing one payload buffer, so payloads are
+// deduplicated by base pointer before recycling.
 func (h *Host) Recycle(pkts []Packet) {
+	if h.net != nil {
+	recycle:
+		for i := range pkts {
+			p := pkts[i].Payload
+			if len(p) == 0 {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if q := pkts[j].Payload; len(q) > 0 && &q[0] == &p[0] {
+					continue recycle // duplicate sharing the same buffer
+				}
+			}
+			h.net.RecyclePayload(p)
+		}
+	}
 	if cap(pkts) == 0 || len(h.spare) >= 8 {
 		return
 	}
@@ -140,6 +161,7 @@ func (h *Host) Exchange(n *Network, dst netip.AddrPort, payload []byte, opts Exc
 	if h.Gateway == nil {
 		return nil, errors.New("netsim: host has no gateway")
 	}
+	h.net = n
 	src, err := h.srcFor(dst.Addr())
 	if err != nil {
 		return nil, err

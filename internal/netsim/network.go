@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -82,7 +81,9 @@ func (c *Ctx) Forward(next Device, pkt Packet) {
 	if c.net.metrics != nil && pkt.Proto == UDP && isClientFlow(pkt) {
 		c.net.metrics.forwarded.Inc()
 	}
-	c.net.trace(c.dev, TraceForward, pkt, "to "+next.DeviceName())
+	if c.net.tracing() {
+		c.net.trace(c.dev, TraceForward, pkt, "to "+next.DeviceName())
+	}
 	c.net.enqueue(next, pkt, at)
 }
 
@@ -93,7 +94,9 @@ func (c *Ctx) Emit(next Device, pkt Packet) {
 		c.Drop(pkt, "no route for emitted packet")
 		return
 	}
-	c.net.trace(c.dev, TraceEmit, pkt, "via "+next.DeviceName())
+	if c.net.tracing() {
+		c.net.trace(c.dev, TraceEmit, pkt, "via "+next.DeviceName())
+	}
 	c.net.enqueue(next, pkt, c.net.now+c.net.delayFrom(c.dev))
 }
 
@@ -121,23 +124,58 @@ type event struct {
 	pkt Packet
 }
 
-// eventHeap orders events by time, then arrival order.
+// eventHeap orders events by time, then arrival order. The sift
+// operations are hand-rolled rather than container/heap so events are
+// never boxed in an interface — the queue churns hundreds of thousands
+// of events per study run, and heap.Push/heap.Pop would cost an
+// allocation each.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+
+// push appends an event and restores the heap invariant.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	for j := len(q) - 1; j > 0; {
+		i := (j - 1) / 2 // parent
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() event {
+	q := *h
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the Device and Payload references
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		j := 2*i + 1 // left child
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && q.less(r, j) {
+			j = r
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 	return ev
 }
 
@@ -171,6 +209,50 @@ type Network struct {
 	// metrics is the observability plane (see metrics.go); nil when
 	// disabled, which reduces every instrumentation site to one branch.
 	metrics *netMetrics
+
+	// payloadFree recycles datagram payload buffers between exchanges.
+	// The simulator is single-threaded, so a plain stack suffices. The
+	// pool is bypassed while taps are installed: TraceEvents retain whole
+	// Packets (payload included), and a tap may hold them indefinitely.
+	payloadFree [][]byte
+}
+
+// payloadFreeMax bounds the freelist; a handful of buffers covers the
+// in-flight set of any exchange, including replicated responses.
+const payloadFreeMax = 32
+
+// payloadMinCap keeps degenerate buffers (e.g. truncation-fault clones)
+// out of the pool so recycled buffers are always worth reusing.
+const payloadMinCap = 128
+
+// PayloadBuf returns an empty buffer for building a datagram payload
+// (typically via dnswire's PackTo). The buffer comes from the network's
+// freelist when one is available; hand it back with RecyclePayload once
+// no response can reference it. Returns nil while trace taps are
+// installed — callers then pack into a fresh allocation, which taps may
+// retain safely.
+func (n *Network) PayloadBuf() []byte {
+	if len(n.taps) > 0 {
+		return nil
+	}
+	if k := len(n.payloadFree); k > 0 {
+		buf := n.payloadFree[k-1]
+		n.payloadFree = n.payloadFree[:k-1]
+		return buf[:0]
+	}
+	return make([]byte, 0, 512)
+}
+
+// RecyclePayload returns a payload buffer to the freelist. Only the
+// exchange initiator may recycle: services never recycle payloads they
+// received, because DNAT replication and fault duplication make packets
+// share payload storage. Recycling is pure memory reuse — it never
+// changes what bytes any packet carries — so determinism is unaffected.
+func (n *Network) RecyclePayload(buf []byte) {
+	if cap(buf) < payloadMinCap || len(n.taps) > 0 || len(n.payloadFree) >= payloadFreeMax {
+		return
+	}
+	n.payloadFree = append(n.payloadFree, buf[:0])
 }
 
 // SetLoss installs a deterministic random-loss model: every forwarded
@@ -220,6 +302,11 @@ func (n *Network) Tap(fn func(TraceEvent)) {
 	n.taps = append(n.taps, fn)
 }
 
+// tracing reports whether any tap is installed. Call sites that build
+// a trace note string check it first so the concatenation is not paid
+// on untapped runs.
+func (n *Network) tracing() bool { return len(n.taps) > 0 }
+
 // trace dispatches one event to the taps.
 func (n *Network) trace(dev Device, kind TraceKind, pkt Packet, note string) {
 	if len(n.taps) == 0 {
@@ -235,7 +322,7 @@ func (n *Network) trace(dev Device, kind TraceKind, pkt Packet, note string) {
 // enqueue schedules a delivery.
 func (n *Network) enqueue(dev Device, pkt Packet, at time.Duration) {
 	n.eventSeq++
-	heap.Push(&n.queue, event{at: at, seq: n.eventSeq, dev: dev, pkt: pkt})
+	n.queue.push(event{at: at, seq: n.eventSeq, dev: dev, pkt: pkt})
 }
 
 // Inject introduces a packet at a device from outside (e.g. a host
@@ -263,7 +350,7 @@ func (n *Network) Run() (int, error) {
 		if processed >= n.MaxEvents {
 			return processed, fmt.Errorf("%w after %d events", ErrEventBudget, processed)
 		}
-		ev := heap.Pop(&n.queue).(event)
+		ev := n.queue.pop()
 		if ev.at > n.now {
 			n.now = ev.at
 		}

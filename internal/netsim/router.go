@@ -29,6 +29,12 @@ type ServiceCtx struct {
 // expiry and timestamps.
 func (sc *ServiceCtx) Now() time.Duration { return sc.ctx.Now() }
 
+// PayloadBuf hands the service a recycled payload buffer for building a
+// reply (see Network.PayloadBuf). Only payloads that reach an exchange
+// initiator are ever recycled back, so a service may use this for any
+// packet it sends.
+func (sc *ServiceCtx) PayloadBuf() []byte { return sc.ctx.net.PayloadBuf() }
+
 // Send emits a locally-originated packet. The router's reverse-DNAT
 // table is consulted so that responses to intercepted flows leave with
 // the spoofed (original-destination) source address, then the packet is
@@ -290,7 +296,9 @@ func (r *Router) Receive(ctx *Ctx, pkt Packet) {
 		p, rewritten, replicate := r.NAT.applyDNAT(pkt)
 		if rewritten {
 			ctx.net.observeNAT(r.NAT)
-			ctx.Trace(TraceDNAT, p, "intercepted: "+pkt.Dst.String()+" -> "+p.Dst.String())
+			if ctx.net.tracing() {
+				ctx.Trace(TraceDNAT, p, "intercepted: "+pkt.Dst.String()+" -> "+p.Dst.String())
+			}
 			if replicate {
 				// The original also continues: query replication.
 				r.routePacket(ctx, pkt, false)
@@ -358,7 +366,9 @@ func (r *Router) routePacket(ctx *Ctx, pkt Packet, locallyOriginated bool) {
 	if r.NAT != nil && !locallyOriginated {
 		if p, ok := r.NAT.applySNAT(pkt); ok {
 			ctx.net.observeNAT(r.NAT)
-			ctx.Trace(TraceSNAT, p, "masqueraded "+pkt.Src.String()+" -> "+p.Src.String())
+			if ctx.net.tracing() {
+				ctx.Trace(TraceSNAT, p, "masqueraded "+pkt.Src.String()+" -> "+p.Src.String())
+			}
 			pkt = p
 		}
 	}

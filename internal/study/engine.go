@@ -59,6 +59,11 @@ func RunSharded(spec Spec, opts EngineOptions) *Results {
 		return res
 	}
 
+	// One template backs every shard: the signed zones, org roster, and
+	// dealt seats are immutable after construction, so the goroutines
+	// below only read it (the happens-before edge is goroutine creation).
+	tpl := NewWorldTemplate(spec)
+
 	shards := make([][]*ProbeRecord, workers)
 	shardRegs := make([]*metrics.Registry, workers)
 	shardErrs := make([]string, workers)
@@ -77,7 +82,7 @@ func RunSharded(spec Spec, opts EngineOptions) *Results {
 				}
 			}()
 			start := time.Now()
-			world := BuildWorld(spec.Shard(k, workers))
+			world := tpl.Build(spec.Shard(k, workers))
 			shards[k] = runRecords(world)
 			shardRegs[k] = world.Metrics
 			if opts.Progress != nil {

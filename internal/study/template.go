@@ -1,0 +1,101 @@
+package study
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/atlas"
+	"github.com/dnswatch/dnsloc/internal/backbone"
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/geo"
+	"github.com/dnswatch/dnsloc/internal/isp"
+	"github.com/dnswatch/dnsloc/internal/metrics"
+	"github.com/dnswatch/dnsloc/internal/netsim"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// WorldTemplate holds everything about a study world that does not
+// depend on which shard is being built: the signed backbone zones, the
+// organization roster, the probe quota table, and the dealt seats. All
+// of it is immutable once NewWorldTemplate returns — zones are
+// read-only after Sign, and seats are only written during dealing — so
+// one template can back every shard world of a sharded run, built
+// concurrently from separate goroutines.
+//
+// The expensive parts this amortizes are the three DNSSEC key
+// generations and zone signings (the dominant cost of a backbone
+// build) and the seat dealing; each shard still builds its own routers,
+// resolvers, and homes, because those carry per-world mutable state.
+type WorldTemplate struct {
+	spec         Spec
+	zones        *backbone.ZoneData
+	orgs         []geo.Org
+	probesPerOrg map[int]int
+	seats        map[int][]*seat
+}
+
+// NewWorldTemplate precomputes the shard-invariant parts of a world.
+// Every input to the template (Seats, Seed, weights, quotas) is
+// untouched by Spec.Shard, so the template built from the unsharded
+// spec serves any Shard(k, K) of it.
+func NewWorldTemplate(spec Spec) *WorldTemplate {
+	orgs := geo.Orgs() // descending weight, deterministic
+	probesPerOrg := probeQuota(spec.TotalProbes, orgs)
+	return &WorldTemplate{
+		spec:         spec,
+		zones:        backbone.BuildZones(),
+		orgs:         orgs,
+		probesPerOrg: probesPerOrg,
+		seats:        dealSeats(spec, orgs, probesPerOrg),
+	}
+}
+
+// Build constructs one world over the template. The spec must agree
+// with the template's on everything except the shard window — in
+// practice it is the template's spec or a Shard() of it. The template
+// is only ever read, so concurrent Builds are safe.
+func (t *WorldTemplate) Build(spec Spec) *World {
+	buildStart := time.Now()
+	w := &World{
+		Spec:                spec,
+		Net:                 netsim.NewNetwork(),
+		ISPs:                make(map[int]*isp.Network),
+		transitSeatPatterns: make(map[publicdns.Region]map[netip.Addr]Pattern),
+		chaosCache:          dnsserver.NewPackedAnswerCache(),
+	}
+	w.Backbone = backbone.BuildWith(w.Net, t.zones)
+	for _, byRegion := range w.Backbone.Resolvers {
+		for _, res := range byRegion {
+			res.ChaosCache = w.chaosCache
+		}
+	}
+	if spec.Fault != nil && spec.Fault.Active() {
+		w.Net.SetDefaultFault(*spec.Fault)
+	}
+	if !spec.DisableMetrics {
+		w.Metrics = metrics.New()
+		w.Net.SetMetrics(w.Metrics)
+		w.fwdMetrics = dnsserver.NewForwarderMetrics(w.Metrics)
+		w.studyMetrics = newStudyMetrics(w.Metrics)
+	}
+	w.Platform = atlas.NewPlatform(w.Net, spec.Seed)
+	w.Platform.Retry = spec.Retry
+	w.Platform.Metrics = core.NewMetricSet(w.Metrics)
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+
+	w.buildISPs(t.orgs)
+	w.buildTransitInterceptors()
+
+	probeID := 1000
+	for _, org := range t.orgs {
+		n := t.probesPerOrg[org.ASN]
+		if n == 0 {
+			continue
+		}
+		w.populateOrg(org, n, t.seats[org.ASN], &probeID, rng)
+	}
+	w.studyMetrics.observeBuild(time.Since(buildStart))
+	return w
+}

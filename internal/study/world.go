@@ -6,11 +6,9 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
-	"time"
 
 	"github.com/dnswatch/dnsloc/internal/atlas"
 	"github.com/dnswatch/dnsloc/internal/backbone"
-	"github.com/dnswatch/dnsloc/internal/core"
 	"github.com/dnswatch/dnsloc/internal/cpe"
 	"github.com/dnswatch/dnsloc/internal/dnsserver"
 	"github.com/dnswatch/dnsloc/internal/geo"
@@ -50,6 +48,11 @@ type World struct {
 	transitSeatPatterns map[publicdns.Region]map[netip.Addr]Pattern
 	fwdMetrics          *dnsserver.ForwarderMetrics
 	studyMetrics        *studyMetrics
+
+	// chaosCache serves pre-packed persona answers; one cache per world
+	// (the world is a single-threaded event loop), shared by every CPE
+	// forwarder and resolver in it.
+	chaosCache *dnsserver.PackedAnswerCache
 }
 
 // ispResolverPersonas rotate across ISPs for variety in intercepted
@@ -63,47 +66,11 @@ var ispResolverPersonas = []dnsserver.ChaosPersona{
 	dnsserver.PersonaNXDomain,
 }
 
-// BuildWorld constructs the study world from a spec.
+// BuildWorld constructs the study world from a spec. It builds a
+// single-use template; sharded runs build one template and share it
+// across shards (see WorldTemplate).
 func BuildWorld(spec Spec) *World {
-	buildStart := time.Now()
-	w := &World{
-		Spec:                spec,
-		Net:                 netsim.NewNetwork(),
-		ISPs:                make(map[int]*isp.Network),
-		transitSeatPatterns: make(map[publicdns.Region]map[netip.Addr]Pattern),
-	}
-	w.Backbone = backbone.Build(w.Net)
-	if spec.Fault != nil && spec.Fault.Active() {
-		w.Net.SetDefaultFault(*spec.Fault)
-	}
-	if !spec.DisableMetrics {
-		w.Metrics = metrics.New()
-		w.Net.SetMetrics(w.Metrics)
-		w.fwdMetrics = dnsserver.NewForwarderMetrics(w.Metrics)
-		w.studyMetrics = newStudyMetrics(w.Metrics)
-	}
-	w.Platform = atlas.NewPlatform(w.Net, spec.Seed)
-	w.Platform.Retry = spec.Retry
-	w.Platform.Metrics = core.NewMetricSet(w.Metrics)
-	rng := rand.New(rand.NewSource(spec.Seed + 1))
-
-	orgs := geo.Orgs() // descending weight, deterministic
-	w.buildISPs(orgs)
-	w.buildTransitInterceptors()
-
-	probesPerOrg := probeQuota(spec.TotalProbes, orgs)
-	seats := w.dealSeats(orgs, probesPerOrg)
-
-	probeID := 1000
-	for _, org := range orgs {
-		n := probesPerOrg[org.ASN]
-		if n == 0 {
-			continue
-		}
-		w.populateOrg(org, n, seats[org.ASN], &probeID, rng)
-	}
-	w.studyMetrics.observeBuild(time.Since(buildStart))
-	return w
+	return NewWorldTemplate(spec).Build(spec)
 }
 
 // buildISPs attaches one AS per organization.
@@ -119,7 +86,10 @@ func (w *World) buildISPs(orgs []geo.Org) {
 			PrefixV6:        netip.PrefixFrom(netip.AddrFrom16([16]byte{0x2a, 0x00, 0x00, byte(i + 1)}), 48),
 			ResolverPersona: ispResolverPersonas[i%len(ispResolverPersonas)],
 		}
-		w.ISPs[org.ASN] = w.Backbone.AttachISP(cfg)
+		n := w.Backbone.AttachISP(cfg)
+		n.Resolver.ChaosCache = w.chaosCache
+		n.Refusing.ChaosCache = w.chaosCache
+		w.ISPs[org.ASN] = n
 	}
 }
 
@@ -134,6 +104,7 @@ func (w *World) buildTransitInterceptors() {
 		rtr := netsim.NewRouter(fmt.Sprintf("transit-resolver-%s", region), resolverAddr)
 		res := dnsserver.NewRecursiveResolver(resolverAddr, backbone.RootAddr)
 		res.Persona = ispResolverPersonas[(i+1)%len(ispResolverPersonas)]
+		res.ChaosCache = w.chaosCache
 		rtr.Bind(53, res)
 		regional := w.Backbone.Regional[region]
 		rtr.AddDefaultRoute(regional)
@@ -280,10 +251,12 @@ func largestRemainder(total int, weights []int) []int {
 }
 
 // dealSeats expands the quota table, attaches v6 patterns and personas,
-// and distributes seats over organizations.
-func (w *World) dealSeats(orgs []geo.Org, probesPerOrg map[int]int) map[int][]*seat {
+// and distributes seats over organizations. It depends only on
+// shard-invariant spec fields, so the result is computed once per
+// template and shared read-only by every shard world.
+func dealSeats(spec Spec, orgs []geo.Org, probesPerOrg map[int]int) map[int][]*seat {
 	var seats []*seat
-	for _, g := range w.Spec.Seats {
+	for _, g := range spec.Seats {
 		for i := 0; i < g.Count; i++ {
 			seats = append(seats, &seat{
 				Loc:       g.Loc,
@@ -295,7 +268,7 @@ func (w *World) dealSeats(orgs []geo.Org, probesPerOrg map[int]int) map[int][]*s
 		}
 	}
 	// Attach the overlap v6 patterns to transparent all-four ISP seats.
-	v6 := w.Spec.V6Patterns
+	v6 := spec.V6Patterns
 	for _, s := range seats {
 		if len(v6) == 0 {
 			break
@@ -306,7 +279,7 @@ func (w *World) dealSeats(orgs []geo.Org, probesPerOrg map[int]int) map[int][]*s
 		}
 	}
 	// Attach personas to CPE seats.
-	personas := w.Spec.CPEPersonas
+	personas := spec.CPEPersonas
 	for _, s := range seats {
 		if s.Loc != LocCPE {
 			continue
@@ -322,7 +295,7 @@ func (w *World) dealSeats(orgs []geo.Org, probesPerOrg map[int]int) map[int][]*s
 	// Per-org quotas from the seat weights, capped by population.
 	weights := make([]int, len(orgs))
 	for i, o := range orgs {
-		wgt := w.Spec.OrgSeatWeights[o.ASN]
+		wgt := spec.OrgSeatWeights[o.ASN]
 		if wgt == 0 {
 			wgt = 1
 		}
@@ -368,7 +341,7 @@ func (w *World) dealSeats(orgs []geo.Org, probesPerOrg map[int]int) map[int][]*s
 	// Shuffle deterministically so each organization receives a mix of
 	// locations and patterns proportional to its quota, then deal
 	// round-robin over the orgs with quota left.
-	shuffleRng := rand.New(rand.NewSource(w.Spec.Seed + 2))
+	shuffleRng := rand.New(rand.NewSource(spec.Seed + 2))
 	shuffleRng.Shuffle(len(seats), func(i, j int) { seats[i], seats[j] = seats[j], seats[i] })
 	for len(seats) > 0 {
 		assigned := false
@@ -530,6 +503,7 @@ func (w *World) addProbe(network *isp.Network, seg *isp.Segment, org geo.Org, re
 	}
 	cfg := cpe.NewPlain(fmt.Sprintf("cpe-%d", id), home.LANPrefix4, home.WANv4, network.ResolverAddrPort())
 	cfg.Metrics = w.fwdMetrics
+	cfg.ChaosCache = w.chaosCache
 	if hasV6 {
 		cfg.LANAddr6 = firstHost6(home.LANPrefix6)
 		cfg.LANPrefix6 = home.LANPrefix6

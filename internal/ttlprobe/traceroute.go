@@ -74,11 +74,12 @@ func Traceroute(c *SimTTLClient, server netip.AddrPort, name dnswire.Name, maxTT
 	tr := Trace{Server: server}
 	for ttl := 1; ttl <= maxTTL; ttl++ {
 		q := dnswire.NewQuery(uint16(0x7100+ttl), name, dnswire.TypeA, dnswire.ClassINET)
-		payload, err := q.Pack()
+		payload, err := q.PackTo(c.Net.PayloadBuf())
 		if err != nil {
 			return tr, err
 		}
 		pkts, err := c.Host.Exchange(c.Net, server, payload, netsim.ExchangeOptions{TTL: ttl})
+		c.Net.RecyclePayload(payload)
 		hop := Hop{TTL: ttl}
 		if err == nil {
 			for _, p := range pkts {

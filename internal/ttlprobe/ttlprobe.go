@@ -33,11 +33,12 @@ type SimTTLClient struct {
 
 // ExchangeTTL implements TTLClient.
 func (c *SimTTLClient) ExchangeTTL(server netip.AddrPort, query *dnswire.Message, ttl int) ([]*dnswire.Message, error) {
-	payload, err := query.Pack()
+	payload, err := query.PackTo(c.Net.PayloadBuf())
 	if err != nil {
 		return nil, err
 	}
 	pkts, err := c.Host.Exchange(c.Net, server, payload, netsim.ExchangeOptions{TTL: ttl})
+	c.Net.RecyclePayload(payload)
 	if err != nil {
 		return nil, err
 	}

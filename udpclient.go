@@ -4,12 +4,25 @@ import (
 	"errors"
 	"net"
 	"net/netip"
+	"sync"
 	"syscall"
 	"time"
 
 	"github.com/dnswatch/dnsloc/internal/core"
 	"github.com/dnswatch/dnsloc/internal/dnswire"
 )
+
+// readBufPool recycles the per-exchange 4 KiB response buffers. The
+// detector's Parallel mode runs many exchanges at once, and each used
+// to allocate its own buffer; Unpack deep-copies out of the buffer, so
+// returning it at the end of the exchange is safe even while the parsed
+// responses live on.
+var readBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 4096)
+		return &b
+	},
+}
 
 // UDPClient is a real-network transport for the Detector built on
 // net.DialUDP — no root, no raw sockets, exactly the privilege level
@@ -49,10 +62,13 @@ func (c *UDPClient) Exchange(server netip.AddrPort, query *dnswire.Message) ([]*
 // client keeps no per-exchange state, so it is safe for the detector's
 // Parallel mode.
 func (c *UDPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, time.Duration, error) {
-	payload, err := query.Pack()
+	payload, err := query.PackTo(dnswire.GetPackBuf())
 	if err != nil {
 		return nil, 0, err
 	}
+	// The payload is only referenced until the last conn.Write; returning
+	// it when the exchange ends is safe on every path.
+	defer dnswire.PutPackBuf(payload)
 	c.Metrics.noteExchange()
 	conn, err := net.DialUDP("udp", nil, net.UDPAddrFromAddrPort(server))
 	if err != nil {
@@ -81,7 +97,9 @@ func (c *UDPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 	var rtt time.Duration
 	sawGarbage := false
 	sawRefused := false
-	buf := make([]byte, 4096)
+	bufp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bufp)
+	buf := *bufp
 	for attempt := 1; attempt <= attempts; attempt++ {
 		attemptEnd := time.Now().Add(perAttempt)
 		if attemptEnd.After(overall) {
