@@ -12,6 +12,10 @@
 //	pilotstudy -metrics         # print the run's full metric snapshot
 //	pilotstudy -metrics-json f  # write the deterministic snapshot ("-" = stdout)
 //	pilotstudy -pprof p         # capture p.cpu / p.heap profiles of the sweep
+//	pilotstudy -stream          # bounded-memory pipeline: fold records, retain none
+//	pilotstudy -stream -records p      # also stream per-probe JSONL to p.shardK-of-N.jsonl
+//	pilotstudy -stream -checkpoint-dir d       # persist shard checkpoints under d
+//	pilotstudy -stream -checkpoint-dir d -resume  # resume a killed run, byte-identical output
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 
 	"github.com/dnswatch/dnsloc/internal/analysis"
 	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/render"
 	"github.com/dnswatch/dnsloc/internal/study"
 )
 
@@ -44,8 +49,36 @@ func main() {
 		showMetrics = flag.Bool("metrics", false, "print the full metric snapshot (stable + diagnostic) after the run")
 		metricsJSON = flag.String("metrics-json", "", "write the deterministic (stable-only) metric snapshot as JSON to this file; '-' for stdout")
 		pprofPrefix = flag.String("pprof", "", "capture CPU and heap profiles of the sweep to <prefix>.cpu and <prefix>.heap")
+
+		stream     = flag.Bool("stream", false, "streaming bounded-memory pipeline: fold each record into the aggregates on completion instead of retaining it; output is byte-identical to the in-memory pipeline")
+		recordsOut = flag.String("records", "", "(with -stream) stream per-probe records as JSONL to <prefix>.shardK-of-N.jsonl, one file per shard")
+		ckptDir    = flag.String("checkpoint-dir", "", "(with -stream) persist per-shard checkpoints under this directory")
+		ckptEvery  = flag.Int("checkpoint-every", 1000, "(with -stream -checkpoint-dir) records per checkpoint")
+		resume     = flag.Bool("resume", false, "(with -stream -checkpoint-dir) resume from the directory's checkpoints; the finished run is byte-identical to an uninterrupted one")
+		stopAfter  = flag.Int("stop-after", 0, "(with -stream) halt each shard after this many records without a final checkpoint — simulates a mid-flight kill for checkpoint testing")
 	)
 	flag.Parse()
+
+	if *stream {
+		if *jsonOut != "" || *ext != "" || *faults {
+			fmt.Fprintln(os.Stderr, "pilotstudy: -stream retains no records; -json, -ext, and -faults need the in-memory pipeline (use -records for streamed per-probe output)")
+			os.Exit(2)
+		}
+	} else {
+		for flagName, set := range map[string]bool{
+			"-records": *recordsOut != "", "-checkpoint-dir": *ckptDir != "",
+			"-resume": *resume, "-stop-after": *stopAfter > 0,
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "pilotstudy: %s requires -stream\n", flagName)
+				os.Exit(2)
+			}
+		}
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "pilotstudy: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
 
 	// Tables 1-3 need no study run.
 	if *table == 1 {
@@ -101,13 +134,58 @@ func main() {
 		defer f.Close()
 	}
 	start := time.Now()
-	results := study.RunSharded(spec, study.EngineOptions{
-		Workers: nWorkers,
-		Progress: func(shard, workers, probes int, elapsed time.Duration) {
-			fmt.Fprintf(os.Stderr, "shard %d/%d: %d probes measured in %v\n",
-				shard+1, workers, probes, elapsed.Round(time.Millisecond))
-		},
-	})
+	progress := func(shard, workers, probes int, elapsed time.Duration) {
+		fmt.Fprintf(os.Stderr, "shard %d/%d: %d probes measured in %v\n",
+			shard+1, workers, probes, elapsed.Round(time.Millisecond))
+	}
+	var (
+		results  *study.Results        // in-memory pipeline only; nil with -stream
+		acc      *analysis.Accumulator // both pipelines render tables from this
+		snap     func(bool) *study.Snapshot
+		measured int
+		halted   bool
+	)
+	if *stream {
+		opts := study.StreamOptions{
+			Workers:         nWorkers,
+			Progress:        progress,
+			NewAccumulator:  func(int) study.Accumulator { return analysis.NewAccumulator() },
+			CheckpointDir:   *ckptDir,
+			CheckpointEvery: *ckptEvery,
+			Resume:          *resume,
+			StopAfterProbes: *stopAfter,
+		}
+		if *recordsOut != "" {
+			opts.NewSink = jsonlSink(*recordsOut)
+		}
+		res, err := study.RunStreamed(spec, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pilotstudy: %v\n", err)
+			os.Exit(1)
+		}
+		for _, e := range res.Errors {
+			fmt.Fprintf(os.Stderr, "pilotstudy: %s\n", e)
+		}
+		if len(res.Errors) > 0 {
+			os.Exit(1)
+		}
+		acc = res.Acc.(*analysis.Accumulator)
+		snap = res.MetricsSnapshot
+		measured = res.Folded + res.Skipped
+		halted = res.Stopped
+		fmt.Fprint(os.Stderr, render.KV([][2]string{
+			{"probes folded", fmt.Sprintf("%d", res.Folded)},
+			{"probes resumed from checkpoint", fmt.Sprintf("%d", res.Skipped)},
+		}))
+	} else {
+		results = study.RunSharded(spec, study.EngineOptions{Workers: nWorkers, Progress: progress})
+		acc = analysis.NewAccumulator()
+		for _, rec := range results.Records {
+			acc.Fold(rec)
+		}
+		snap = results.MetricsSnapshot
+		measured = len(results.Records)
+	}
 	if *pprofPrefix != "" {
 		pprof.StopCPUProfile()
 		if f, err := os.Create(*pprofPrefix + ".heap"); err == nil {
@@ -120,10 +198,16 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "study complete: %d probes in %v\n",
-		len(results.Records), time.Since(start).Round(time.Millisecond))
+		measured, time.Since(start).Round(time.Millisecond))
+	if halted {
+		// A simulated kill: the tables would be partial, so don't render
+		// them — the run exists only to leave checkpoints behind.
+		fmt.Fprintf(os.Stderr, "halted by -stop-after; resume with -stream -checkpoint-dir %s -resume\n", *ckptDir)
+		return
+	}
 
 	if *metricsJSON != "" {
-		blob := results.MetricsSnapshot(false).JSON()
+		blob := snap(false).JSON()
 		if *metricsJSON == "-" {
 			os.Stdout.Write(blob) //nolint:errcheck
 		} else if err := os.WriteFile(*metricsJSON, blob, 0o644); err != nil {
@@ -147,7 +231,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 
-	t4 := analysis.BuildTable4(results)
+	// Both pipelines render from the accumulator: the slice-based Build*
+	// functions are wrappers over the same fold, so the bytes match the
+	// pre-streaming output exactly.
+	t4 := acc.Table4()
 	switch {
 	case *csv:
 		// CSV replaces the rendered tables but must not short-circuit
@@ -156,27 +243,27 @@ func main() {
 	case *table == 4:
 		fmt.Println(analysis.FormatTable4(t4))
 	case *table == 5:
-		fmt.Println(analysis.FormatTable5(analysis.BuildTable5(results)))
+		fmt.Println(analysis.FormatTable5(acc.Table5()))
 	case *figure == 3:
-		fmt.Println(analysis.FormatFigure3(analysis.BuildFigure3(results, 15)))
+		fmt.Println(analysis.FormatFigure3(acc.Figure3(15)))
 	case *figure == 4:
-		fmt.Println(analysis.FormatFigure4(analysis.BuildFigure4(results, 15)))
+		fmt.Println(analysis.FormatFigure4(acc.Figure4(15)))
 	default:
 		fmt.Println(analysis.FormatTable1())
 		rows := study.ExampleScenario()
 		fmt.Println(analysis.FormatTable2(rows))
 		fmt.Println(analysis.FormatTable3(rows))
 		fmt.Println(analysis.FormatTable4(t4))
-		fmt.Println(analysis.FormatTable5(analysis.BuildTable5(results)))
-		fmt.Println(analysis.FormatFigure3(analysis.BuildFigure3(results, 15)))
-		fmt.Println(analysis.FormatFigure4(analysis.BuildFigure4(results, 15)))
+		fmt.Println(analysis.FormatTable5(acc.Table5()))
+		fmt.Println(analysis.FormatFigure3(acc.Figure3(15)))
+		fmt.Println(analysis.FormatFigure4(acc.Figure4(15)))
 	}
 	if *accuracy {
-		fmt.Println(analysis.FormatAccuracy(analysis.BuildAccuracy(results)))
+		fmt.Println(analysis.FormatAccuracy(acc.Accuracy()))
 	}
 	if *showMetrics {
 		fmt.Println("== Run metrics ==")
-		fmt.Print(results.MetricsSnapshot(true).Text())
+		fmt.Print(snap(true).Text())
 	}
 	switch *ext {
 	case "ttl":
@@ -188,5 +275,24 @@ func main() {
 		fmt.Println(analysis.FormatPatternBreakdown(analysis.BuildPatternBreakdown(results, "IPv6")))
 	case "population":
 		fmt.Println(analysis.FormatPopulation(analysis.BuildPopulation(results)))
+	}
+}
+
+// jsonlSink opens per-shard JSONL record sinks under the given path
+// prefix. On resume the shard's file is truncated back to its
+// checkpoint cursor (dropping records written after the last checkpoint
+// and any partial line the kill left) and reopened in append mode, so
+// the finished file is byte-identical to an uninterrupted run's.
+func jsonlSink(prefix string) func(k, workers, resumedAt int) (study.RecordSink, error) {
+	return func(k, workers, resumedAt int) (study.RecordSink, error) {
+		path := fmt.Sprintf("%s.shard%d-of-%d.jsonl", prefix, k, workers)
+		if err := study.TruncateSinkFile(path, resumedAt, false); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return study.NewJSONLSink(f), nil
 	}
 }

@@ -11,7 +11,6 @@ import (
 	"sort"
 	"strings"
 
-	"github.com/dnswatch/dnsloc/internal/core"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
 	"github.com/dnswatch/dnsloc/internal/study"
 )
@@ -39,57 +38,20 @@ type Table4 struct {
 	DistinctIntercepted int
 }
 
+// foldAll feeds every record of a completed run through a throwaway
+// accumulator — the slice-based builders below are thin wrappers over
+// the streaming fold, so both paths share one aggregation definition.
+func foldAll(r *study.Results) *Accumulator {
+	a := NewAccumulator()
+	for _, rec := range r.Records {
+		a.Fold(rec)
+	}
+	return a
+}
+
 // BuildTable4 computes Table 4 from study results.
 func BuildTable4(r *study.Results) Table4 {
-	var t Table4
-	for _, id := range publicdns.All {
-		row := Table4Row{Resolver: id, Display: publicdns.Lookup(id).DisplayName}
-		for _, rec := range r.Records {
-			if rec.Responded[study.ExpKey{Resolver: id, Family: core.V4}] {
-				row.TotalV4++
-				if rec.InterceptedFor(id, core.V4) {
-					row.InterceptedV4++
-				}
-			}
-			if rec.Responded[study.ExpKey{Resolver: id, Family: core.V6}] {
-				row.TotalV6++
-				if rec.InterceptedFor(id, core.V6) {
-					row.InterceptedV6++
-				}
-			}
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	for _, rec := range r.Records {
-		if rec.RespondedAll4(core.V4) {
-			t.AllTotalV4++
-			all := true
-			for _, id := range publicdns.All {
-				if !rec.InterceptedFor(id, core.V4) {
-					all = false
-					break
-				}
-			}
-			if all {
-				t.AllInterceptedV4++
-			}
-		}
-		if rec.RespondedAll4(core.V6) {
-			t.AllTotalV6++
-			all := true
-			for _, id := range publicdns.All {
-				if !rec.InterceptedFor(id, core.V6) {
-					all = false
-					break
-				}
-			}
-			if all {
-				t.AllInterceptedV6++
-			}
-		}
-	}
-	t.DistinctIntercepted = len(r.Intercepted())
-	return t
+	return foldAll(r).Table4()
 }
 
 // Table5Row is one version.bind string group.
@@ -130,27 +92,17 @@ func GroupVersionString(s string) string {
 
 // BuildTable5 computes Table 5.
 func BuildTable5(r *study.Results) Table5 {
-	counts := map[string]int{}
-	total := 0
-	for _, rec := range r.Intercepted() {
-		if rec.Report.Verdict != core.VerdictCPE {
-			continue
+	return foldAll(r).Table5()
+}
+
+// sortTable5 orders groups by descending probe count, then name.
+func sortTable5(rows []Table5Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Probes != rows[j].Probes {
+			return rows[i].Probes > rows[j].Probes
 		}
-		total++
-		counts[GroupVersionString(rec.Report.CPEString)]++
-	}
-	var t Table5
-	t.CPETotal = total
-	for g, n := range counts {
-		t.Rows = append(t.Rows, Table5Row{Group: g, Probes: n})
-	}
-	sort.Slice(t.Rows, func(i, j int) bool {
-		if t.Rows[i].Probes != t.Rows[j].Probes {
-			return t.Rows[i].Probes > t.Rows[j].Probes
-		}
-		return t.Rows[i].Group < t.Rows[j].Group
+		return rows[i].Group < rows[j].Group
 	})
-	return t
 }
 
 // Figure3Row is one organization's transparency breakdown.
@@ -170,37 +122,17 @@ type Figure3 struct {
 
 // BuildFigure3 computes Figure 3 (top n organizations).
 func BuildFigure3(r *study.Results, n int) Figure3 {
-	byOrg := map[int]*Figure3Row{}
-	for _, rec := range r.Intercepted() {
-		row := byOrg[rec.Probe.ASN]
-		if row == nil {
-			row = &Figure3Row{Org: rec.Probe.Org, ASN: rec.Probe.ASN}
-			byOrg[rec.Probe.ASN] = row
-		}
-		row.Total++
-		switch rec.Report.Transparency {
-		case core.Transparent:
-			row.Transparent++
-		case core.StatusModified:
-			row.Modified++
-		case core.TransparencyBoth:
-			row.Both++
-		}
-	}
-	var rows []Figure3Row
-	for _, row := range byOrg {
-		rows = append(rows, *row)
-	}
+	return foldAll(r).Figure3(n)
+}
+
+// sortFigure3 orders organizations by descending total, then name.
+func sortFigure3(rows []Figure3Row) {
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Total != rows[j].Total {
 			return rows[i].Total > rows[j].Total
 		}
 		return rows[i].Org < rows[j].Org
 	})
-	if len(rows) > n {
-		rows = rows[:n]
-	}
-	return Figure3{Rows: rows}
 }
 
 // Figure4Row is one country's or organization's location breakdown.
@@ -223,41 +155,7 @@ type Figure4 struct {
 
 // BuildFigure4 computes Figure 4 (top n of each).
 func BuildFigure4(r *study.Results, n int) Figure4 {
-	byCountry := map[string]*Figure4Row{}
-	byOrg := map[string]*Figure4Row{}
-	var f Figure4
-	add := func(m map[string]*Figure4Row, label string, v core.Verdict) {
-		row := m[label]
-		if row == nil {
-			row = &Figure4Row{Label: label}
-			m[label] = row
-		}
-		row.Total++
-		switch v {
-		case core.VerdictCPE:
-			row.CPE++
-		case core.VerdictISP:
-			row.ISP++
-		default:
-			row.Unknown++
-		}
-	}
-	for _, rec := range r.Intercepted() {
-		v := rec.Report.Verdict
-		add(byCountry, rec.Probe.Country, v)
-		add(byOrg, rec.Probe.Org, v)
-		switch v {
-		case core.VerdictCPE:
-			f.CPE++
-		case core.VerdictISP:
-			f.ISP++
-		default:
-			f.Unknown++
-		}
-	}
-	f.Countries = topRows(byCountry, n)
-	f.Orgs = topRows(byOrg, n)
-	return f
+	return foldAll(r).Figure4(n)
 }
 
 // topRows sorts and truncates a row map.
@@ -295,38 +193,5 @@ type Accuracy struct {
 
 // BuildAccuracy computes the confusion matrix over responding probes.
 func BuildAccuracy(r *study.Results) Accuracy {
-	var a Accuracy
-	for _, rec := range r.Records {
-		if rec.Report == nil {
-			continue
-		}
-		truly := rec.Probe.Truth.Intercepted()
-		flagged := rec.Report.Intercepted()
-		switch {
-		case truly && flagged:
-			a.TruePositives++
-		case truly && !flagged:
-			a.FalseNegatives++
-		case !truly && flagged:
-			a.FalsePositives++
-		default:
-			a.TrueNegatives++
-		}
-		if !(truly && flagged) {
-			continue
-		}
-		switch loc, v := rec.Probe.Truth.Location, rec.Report.Verdict; {
-		case loc == "cpe" && v == core.VerdictCPE:
-			a.CorrectCPE++
-		case loc == "isp" && v == core.VerdictISP:
-			a.CorrectISP++
-		case loc == "transit" && v == core.VerdictUnknown:
-			a.CorrectUnknown++
-		case loc == "isp-hidden" && v == core.VerdictUnknown:
-			a.HiddenAsUnknown++
-		default:
-			a.Mislocated++
-		}
-	}
-	return a
+	return foldAll(r).Accuracy()
 }

@@ -65,6 +65,15 @@ type Config struct {
 	ResolverPersona dnsserver.ChaosPersona
 	// RootHints seed the ISP resolver's iteration.
 	RootHints []netip.Addr
+
+	// Overflow supplies an extra v4 /16 (and v6 /48) once the primary
+	// prefix's 255 segment slices are used up — large scaled worlds
+	// outgrow a single /16. block counts up from 1 and each block hosts
+	// the next 256 segments; the callback must be pure (same block, same
+	// prefixes) and is also the hook for routing the new block into
+	// whatever transit carries the primary prefixes. Without it,
+	// exhausting the primary prefix panics.
+	Overflow func(block int) (v4, v6 netip.Prefix)
 }
 
 // Network is a built ISP.
@@ -165,12 +174,21 @@ func (n *Network) ResolverAddrPort() netip.AddrPort {
 // AddSegment creates an access segment, optionally with a middlebox.
 func (n *Network) AddSegment(mb *MiddleboxSpec) *Segment {
 	idx := len(n.segments) + 1 // slice 0 is resolver infrastructure
+	v4base, v6base, off := n.Config.PrefixV4, n.Config.PrefixV6, idx
+	if idx > 255 {
+		if n.Config.Overflow == nil {
+			panic(fmt.Sprintf("isp: as%d exhausted %s at segment %d and has no Overflow allocator",
+				n.Config.ASN, n.Config.PrefixV4, idx))
+		}
+		v4base, v6base = n.Config.Overflow(idx / 256)
+		off = idx % 256 // overflow blocks have no infrastructure slice, so 0 is usable
+	}
 	seg := &Segment{
 		Index:     idx,
 		Router:    netsim.NewRouter(fmt.Sprintf("as%d-seg%d", n.Config.ASN, idx)),
 		Middlebox: mb,
-		PrefixV4:  slice24(n.Config.PrefixV4, idx),
-		PrefixV6:  slice56(n.Config.PrefixV6, idx),
+		PrefixV4:  slice24(v4base, off),
+		PrefixV6:  slice56(v6base, off),
 	}
 	seg.Router.Delay = time.Millisecond
 	seg.Router.RouterID = hostInPrefix4(seg.PrefixV4, 0, 254)

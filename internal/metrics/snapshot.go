@@ -68,6 +68,41 @@ func (r *Registry) Snapshot(includeDiagnostic bool) *Snapshot {
 	return snap
 }
 
+// AddSnapshot folds a previously captured snapshot back into the
+// registry: counters add, gauges max, histogram buckets add — the same
+// commutative operations Merge uses, so restoring a checkpointed
+// snapshot and then counting a run's remaining events lands on exactly
+// the totals an uninterrupted run would have counted. Metrics unknown
+// to the registry are created with the snapshot's recorded kind,
+// stability, and (for histograms) bucket edges. No-op on a nil registry
+// or snapshot.
+func (r *Registry) AddSnapshot(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	for _, m := range s.Metrics {
+		stab := Stable
+		if m.Diagnostic {
+			stab = Diagnostic
+		}
+		switch m.Kind {
+		case "counter":
+			r.Counter(m.Name, stab).Add(m.Value)
+		case "gauge":
+			r.Gauge(m.Name, stab).Observe(m.Value)
+		case "histogram":
+			h := r.Histogram(m.Name, stab, m.Edges)
+			for i, n := range m.Buckets {
+				if i < len(h.buckets) {
+					h.buckets[i].Add(n)
+				}
+			}
+			h.count.Add(m.Value)
+			h.sum.Add(m.Sum)
+		}
+	}
+}
+
 // JSON renders the snapshot as indented JSON with a trailing newline,
 // suitable for writing to a file and diffing.
 func (s *Snapshot) JSON() []byte {

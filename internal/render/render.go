@@ -129,6 +129,26 @@ type BarEntry struct {
 	Segments []BarSegment
 }
 
+// KV renders aligned key-value lines — the run-summary block the CLI
+// prints after a streamed study:
+//
+//	probes folded     9874
+//	probes skipped    126
+//	checkpoints       10
+func KV(pairs [][2]string) string {
+	width := 0
+	for _, p := range pairs {
+		if len(p[0]) > width {
+			width = len(p[0])
+		}
+	}
+	var sb strings.Builder
+	for _, p := range pairs {
+		fmt.Fprintf(&sb, "%-*s  %s\n", width, p[0], p[1])
+	}
+	return sb.String()
+}
+
 // CSV renders rows as comma-separated values with minimal quoting.
 func CSV(rows [][]string) string {
 	var sb strings.Builder

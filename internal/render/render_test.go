@@ -91,3 +91,17 @@ func TestCSVQuoting(t *testing.T) {
 		t.Errorf("CSV = %q, want %q", out, want)
 	}
 }
+
+func TestKVAlignment(t *testing.T) {
+	out := KV([][2]string{
+		{"probes folded", "9874"},
+		{"skipped", "126"},
+	})
+	want := "probes folded  9874\nskipped        126\n"
+	if out != want {
+		t.Errorf("KV = %q, want %q", out, want)
+	}
+	if KV(nil) != "" {
+		t.Errorf("KV(nil) = %q, want empty", KV(nil))
+	}
+}

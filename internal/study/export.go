@@ -1,7 +1,12 @@
 package study
 
 import (
+	"bufio"
+	"encoding/csv"
 	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
 
 	"github.com/dnswatch/dnsloc/internal/core"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
@@ -36,30 +41,36 @@ type ProbeExport struct {
 	TruthPersona  string `json:"truth_persona,omitempty"`
 }
 
+// ExportRecord flattens one record — the unit both the bulk Export and
+// the streaming sinks serialize.
+func ExportRecord(rec *ProbeRecord) ProbeExport {
+	e := ProbeExport{
+		ProbeID:       rec.Probe.ID,
+		Country:       rec.Probe.Country,
+		ASN:           rec.Probe.ASN,
+		Org:           rec.Probe.Org,
+		HasIPv6:       rec.Probe.HasIPv6,
+		Responded:     rec.Report != nil,
+		TruthLocation: rec.Probe.Truth.Location,
+		TruthPersona:  rec.Probe.Truth.Persona,
+	}
+	if rec.Report != nil {
+		e.Verdict = string(rec.Report.Verdict)
+		e.Transparency = string(rec.Report.Transparency)
+		e.InterceptedV4 = idsToStrings(rec.Report.InterceptedV4)
+		e.InterceptedV6 = idsToStrings(rec.Report.InterceptedV6)
+		e.CPEFingerprint = rec.Report.CPEString
+		e.InconclusiveSteps = rec.Report.InconclusiveSteps()
+	}
+	e.Error = rec.Err
+	return e
+}
+
 // Export flattens the results for JSON serialization.
 func (r *Results) Export() []ProbeExport {
 	out := make([]ProbeExport, 0, len(r.Records))
 	for _, rec := range r.Records {
-		e := ProbeExport{
-			ProbeID:       rec.Probe.ID,
-			Country:       rec.Probe.Country,
-			ASN:           rec.Probe.ASN,
-			Org:           rec.Probe.Org,
-			HasIPv6:       rec.Probe.HasIPv6,
-			Responded:     rec.Report != nil,
-			TruthLocation: rec.Probe.Truth.Location,
-			TruthPersona:  rec.Probe.Truth.Persona,
-		}
-		if rec.Report != nil {
-			e.Verdict = string(rec.Report.Verdict)
-			e.Transparency = string(rec.Report.Transparency)
-			e.InterceptedV4 = idsToStrings(rec.Report.InterceptedV4)
-			e.InterceptedV6 = idsToStrings(rec.Report.InterceptedV6)
-			e.CPEFingerprint = rec.Report.CPEString
-			e.InconclusiveSteps = rec.Report.InconclusiveSteps()
-		}
-		e.Error = rec.Err
-		out = append(out, e)
+		out = append(out, ExportRecord(rec))
 	}
 	return out
 }
@@ -81,6 +92,104 @@ func (r *Results) MarshalJSON() ([]byte, error) {
 
 // VerdictOf is a test helper mapping core verdicts to export strings.
 func VerdictOf(v core.Verdict) string { return string(v) }
+
+// RecordSink receives each record's export the moment its measurement
+// completes — the streaming pipeline's alternative to retaining raw
+// records in RAM. A sink is owned by exactly one shard, so Append is
+// never called concurrently on the same sink; shard k's appends arrive
+// in that shard's deterministic probe order.
+type RecordSink interface {
+	Append(ProbeExport) error
+	Close() error
+}
+
+// JSONLSink streams exports as one JSON object per line. Opened in
+// append mode by a resumed run, a shard's file ends up byte-identical
+// to an uninterrupted run's.
+type JSONLSink struct {
+	w  *bufio.Writer
+	c  io.Closer
+	er *json.Encoder
+}
+
+// NewJSONLSink wraps a writer; Close flushes, and closes w if it is an
+// io.Closer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{w: bw, er: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Append implements RecordSink. json.Encoder terminates each object
+// with a newline, giving the JSONL framing for free.
+func (s *JSONLSink) Append(e ProbeExport) error { return s.er.Encode(e) }
+
+// Close flushes and releases the underlying writer.
+func (s *JSONLSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// csvHeader is the CSVSink column order.
+var csvHeader = []string{
+	"probe_id", "country", "asn", "org", "has_ipv6", "responded",
+	"verdict", "transparency", "intercepted_v4", "intercepted_v6",
+	"cpe_fingerprint", "error", "truth_location", "truth_persona",
+}
+
+// CSVSink streams exports as CSV rows. Multi-valued fields are joined
+// with "+" so the row count stays one per probe.
+type CSVSink struct {
+	w *csv.Writer
+	c io.Closer
+}
+
+// NewCSVSink wraps a writer. With header true the first Append is
+// preceded by the column header row (a resumed shard appends to an
+// existing file and passes false).
+func NewCSVSink(w io.Writer, header bool) (*CSVSink, error) {
+	s := &CSVSink{w: csv.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	if header {
+		if err := s.w.Write(csvHeader); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Append implements RecordSink.
+func (s *CSVSink) Append(e ProbeExport) error {
+	return s.w.Write([]string{
+		strconv.Itoa(e.ProbeID), e.Country, strconv.Itoa(e.ASN), e.Org,
+		strconv.FormatBool(e.HasIPv6), strconv.FormatBool(e.Responded),
+		e.Verdict, e.Transparency,
+		strings.Join(e.InterceptedV4, "+"), strings.Join(e.InterceptedV6, "+"),
+		e.CPEFingerprint, e.Error, e.TruthLocation, e.TruthPersona,
+	})
+}
+
+// Close flushes and releases the underlying writer.
+func (s *CSVSink) Close() error {
+	s.w.Flush()
+	err := s.w.Error()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // idsToStrings converts operator IDs.
 func idsToStrings(ids []publicdns.ID) []string {

@@ -36,6 +36,14 @@ type studyMetrics struct {
 	phasePredrawMs *metrics.Gauge // availability pre-draw, slowest shard
 	phaseMeasureMs *metrics.Gauge // detection sweep, slowest shard
 	throughput     *metrics.Gauge // probes/second, fastest shard
+
+	// Streaming-pipeline instruments. All Diagnostic: retention depends
+	// on the pipeline mode and worker count, and checkpoint/resume
+	// counters differ between an interrupted run and an uninterrupted
+	// one, while both must render the same Stable snapshot.
+	recordsRetained *metrics.Gauge   // peak ProbeRecords held at once, largest shard
+	checkpoints     *metrics.Counter // shard checkpoints written
+	resumeSkipped   *metrics.Counter // probes skipped on resume via checkpoints
 }
 
 func newStudyMetrics(reg *metrics.Registry) *studyMetrics {
@@ -51,6 +59,10 @@ func newStudyMetrics(reg *metrics.Registry) *studyMetrics {
 		phasePredrawMs: reg.Gauge("study.phase_predraw_ms", metrics.Diagnostic),
 		phaseMeasureMs: reg.Gauge("study.phase_measure_ms", metrics.Diagnostic),
 		throughput:     reg.Gauge("study.shard_probes_per_s", metrics.Diagnostic),
+
+		recordsRetained: reg.Gauge("study.records_retained", metrics.Diagnostic),
+		checkpoints:     reg.Counter("study.checkpoints_written", metrics.Diagnostic),
+		resumeSkipped:   reg.Counter("study.resume_probes_skipped", metrics.Diagnostic),
 	}
 }
 
@@ -87,6 +99,24 @@ func (sm *studyMetrics) observeBuild(d time.Duration) {
 func (sm *studyMetrics) observePredraw(d time.Duration) {
 	if sm != nil {
 		sm.phasePredrawMs.Observe(d.Milliseconds())
+	}
+}
+
+func (sm *studyMetrics) observeRetained(n int) {
+	if sm != nil {
+		sm.recordsRetained.Observe(int64(n))
+	}
+}
+
+func (sm *studyMetrics) noteCheckpoint() {
+	if sm != nil {
+		sm.checkpoints.Inc()
+	}
+}
+
+func (sm *studyMetrics) noteResumeSkipped(n int) {
+	if sm != nil {
+		sm.resumeSkipped.Add(int64(n))
 	}
 }
 

@@ -112,21 +112,53 @@ func availabilityDraws(probe *atlas.Probe) int {
 // included), so the Responded outcomes match the unsharded build; only
 // the shard's own probes produce records.
 func runRecords(w *World) []*ProbeRecord {
+	var records []*ProbeRecord
+	streamRecords(w, 0, func(rec *ProbeRecord) bool {
+		records = append(records, rec)
+		return true
+	})
+	w.studyMetrics.observeRetained(len(records))
+	return records
+}
+
+// streamRecords is the measurement sweep underneath both pipelines:
+// it yields each record the moment its measurement completes, retaining
+// nothing itself. The in-memory path's yield collects the records; the
+// streaming path folds each into an accumulator and lets it go. A false
+// return from yield stops the sweep (used to simulate crashes in
+// checkpoint tests).
+//
+// skip suppresses the first skip records the world would produce — a
+// resumed shard's already-checkpointed prefix. Skipped probes are not
+// measured, not yielded, and not counted in the engine's Stable
+// counters (the checkpoint's restored registry already carries their
+// contribution). Skipping is deterministic because a probe's
+// measurement outcome never depends on the measurements before it: the
+// availability stream is pre-drawn, fault decisions hash packet
+// content, and resolver cache warmth only moves Diagnostic RTTs.
+func streamRecords(w *World, skip int, yield func(*ProbeRecord) bool) {
 	sm := w.studyMetrics
 	predrawStart := time.Now()
 	table := w.Platform.PredrawResponses(availabilityDraws)
 	sm.observePredraw(time.Since(predrawStart))
 	measureStart := time.Now()
-	var records []*ProbeRecord
+	produced := 0
 	for _, probe := range w.Platform.Probes() {
 		if probe.Host == nil && w.Spec.ShardCount > 1 {
 			continue // foreign stub: its own shard records it
 		}
+		if produced < skip {
+			produced++
+			continue // checkpointed prefix: already folded and counted
+		}
+		produced++
 		rec := &ProbeRecord{Probe: probe, Responded: make(map[ExpKey]bool), Net: w.Net}
-		records = append(records, rec)
 		sm.noteRecord()
 		if probe.Availability == atlas.Dead {
 			sm.noteUnresponsive()
+			if !yield(rec) {
+				return
+			}
 			continue
 		}
 		// Per-experiment availability, replayed in the serial draw order:
@@ -150,13 +182,18 @@ func runRecords(w *World) []*ProbeRecord {
 		}
 		if !online {
 			sm.noteUnresponsive()
+			if !yield(rec) {
+				return
+			}
 			continue
 		}
 		rec.Report, rec.Err = measure(w, probe)
 		sm.noteMeasured(rec.Err != "")
+		if !yield(rec) {
+			return
+		}
 	}
-	sm.observeMeasure(time.Since(measureStart), len(records))
-	return records
+	sm.observeMeasure(time.Since(measureStart), produced-skip)
 }
 
 // measure runs the detector for one probe, containing any panic: a

@@ -1,0 +1,409 @@
+package study
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/metrics"
+)
+
+// Accumulator is the streaming pipeline's aggregation state: something
+// that can fold one completed record at a time, merge with a sibling
+// shard's state, and round-trip through bytes for a checkpoint.
+// internal/analysis provides the canonical implementation (every table,
+// figure, and accuracy aggregate of the paper); the interface lives
+// here so the engine can stream without importing the analysis layer.
+//
+// The engine's determinism contract extends to implementations: Fold
+// must be commutative in record order and Merge in shard order (pure
+// counting keyed on record-intrinsic fields satisfies both), or the
+// streamed pipeline loses the byte-identical-at-any-worker-count
+// guarantee the in-memory pipeline has.
+type Accumulator interface {
+	// Fold adds one record's contribution. The record is released after
+	// the call returns; implementations must not retain it.
+	Fold(rec *ProbeRecord)
+	// Merge folds another shard's accumulator (always the same concrete
+	// type) into this one.
+	Merge(other Accumulator) error
+	// MarshalState serializes the accumulated state for a checkpoint.
+	MarshalState() ([]byte, error)
+	// LoadState replaces the state with a checkpointed one.
+	LoadState(data []byte) error
+}
+
+// StreamOptions configure a streamed, bounded-memory study run.
+type StreamOptions struct {
+	// Workers is the shard count; <= 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one call per completed shard,
+	// serialized but in completion order.
+	Progress func(shard, workers, probes int, elapsed time.Duration)
+
+	// NewAccumulator builds shard k's accumulator; required. It is
+	// called once per shard before the shard's world builds, plus once
+	// with shard -1 for the final merge target.
+	NewAccumulator func(shard int) Accumulator
+
+	// NewSink, when non-nil, opens shard k's record sink: every
+	// completed record's export is appended to it, in the shard's
+	// deterministic probe order, instead of being retained in RAM.
+	// resumedAt is the number of records the shard's checkpoint already
+	// covers — 0 for a fresh run; a resuming caller must discard sink
+	// output beyond that count (see TruncateSinkFile) before appending.
+	NewSink func(shard, workers, resumedAt int) (RecordSink, error)
+
+	// CheckpointDir, when non-empty, enables shard-level checkpointing:
+	// every CheckpointEvery records each shard atomically persists its
+	// accumulator state, fold cursor, and metric registry snapshot to
+	// <dir>/shard-K-of-N.json, and a final checkpoint on completion.
+	CheckpointDir string
+	// CheckpointEvery is the records-per-checkpoint interval; <= 0
+	// means 1000.
+	CheckpointEvery int
+	// Resume loads each shard's checkpoint (when present) and skips the
+	// records it covers: the shard's world is rebuilt from the seed —
+	// replaying every RNG stream deterministically — and measurement
+	// restarts at the cursor, so the finished run is byte-identical to
+	// an uninterrupted one.
+	Resume bool
+
+	// StopAfterProbes, when > 0, halts each shard after folding that
+	// many records without writing a final checkpoint — a deterministic
+	// stand-in for a mid-flight kill, used by checkpoint tests and CI.
+	StopAfterProbes int
+}
+
+// StreamResults is a completed (or deliberately halted) streamed run.
+type StreamResults struct {
+	Spec Spec
+	// Acc is the shard accumulators merged in shard order.
+	Acc Accumulator
+	// Errors records contained shard-level failures, exactly as
+	// Results.Errors does for the in-memory engine.
+	Errors []string
+	// Metrics is the merged registry; nil when Spec.DisableMetrics.
+	Metrics *metrics.Registry
+	// Folded is the number of records folded this run; Skipped is the
+	// number restored from checkpoints instead of re-measured.
+	Folded, Skipped int
+	// Stopped reports that StopAfterProbes halted at least one shard.
+	Stopped bool
+}
+
+// MetricsSnapshot renders the run's merged registry, mirroring
+// Results.MetricsSnapshot.
+func (r *StreamResults) MetricsSnapshot(includeDiagnostic bool) *Snapshot {
+	return r.Metrics.Snapshot(includeDiagnostic)
+}
+
+// checkpointVersion guards the on-disk checkpoint layout.
+const checkpointVersion = 1
+
+// shardCheckpoint is one shard's persisted progress: everything needed
+// to resume measurement at Cursor and still finish with byte-identical
+// tables, CSV, and Stable metric snapshot.
+type shardCheckpoint struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	// Cursor counts the shard's folded records; on resume the first
+	// Cursor records are skipped.
+	Cursor int `json:"cursor"`
+	// Acc is the accumulator's MarshalState output at Cursor.
+	Acc json.RawMessage `json:"accumulator"`
+	// Metrics is the shard registry's full snapshot at Cursor; restored
+	// additively before the resumed sweep, so restored + re-counted
+	// events equal an uninterrupted run's totals.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// checkpointFingerprint ties a checkpoint to the exact run shape that
+// wrote it. The RNG "position" needs no field of its own: every stream
+// (world build, seat dealing, availability pre-draw) is replayed from
+// the seed on resume, and per-flow fault decisions hash packet content,
+// so the cursor is the only position that exists.
+func checkpointFingerprint(spec Spec, k, workers int) string {
+	return fmt.Sprintf("v%d seed=%d probes=%d seats=%d shard=%d/%d fault=%t retry=%t",
+		checkpointVersion, spec.Seed, spec.TotalProbes, spec.TotalSeats(), k, workers,
+		spec.Fault != nil && spec.Fault.Active(), spec.Retry != nil)
+}
+
+// CheckpointPath returns shard k's checkpoint file under dir.
+func CheckpointPath(dir string, k, workers int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.json", k, workers))
+}
+
+// readCheckpoint loads and validates a shard checkpoint; a missing file
+// returns (nil, nil) — a fresh start, not an error.
+func readCheckpoint(path, fingerprint string) (*shardCheckpoint, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ck shardCheckpoint
+	if err := json.Unmarshal(blob, &ck); err != nil {
+		return nil, fmt.Errorf("parsing checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if ck.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("checkpoint %s was written by a different run (%q, want %q)",
+			path, ck.Fingerprint, fingerprint)
+	}
+	return &ck, nil
+}
+
+// writeCheckpoint persists a shard checkpoint atomically (temp file +
+// rename), so a kill mid-write leaves the previous checkpoint intact.
+func writeCheckpoint(path, fingerprint string, cursor int, acc Accumulator, reg *metrics.Registry) error {
+	state, err := acc.MarshalState()
+	if err != nil {
+		return err
+	}
+	ck := shardCheckpoint{
+		Version:     checkpointVersion,
+		Fingerprint: fingerprint,
+		Cursor:      cursor,
+		Acc:         state,
+	}
+	if reg != nil {
+		ck.Metrics = reg.Snapshot(true)
+	}
+	blob, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RunStreamed executes the pilot study as a streaming, bounded-memory
+// pipeline: each shard folds every completed record into its
+// accumulator (and optional sink) and releases it, retaining no
+// O(probes) record slice. The determinism contract of RunSharded holds
+// unchanged — accumulator folding is commutative and the shard merge
+// runs in shard order, so the tables, figures, CSV, and Stable metric
+// snapshot rendered from the merged accumulator are byte-identical to
+// the in-memory pipeline's at any worker count, and a run killed and
+// resumed from its checkpoints finishes with byte-identical output.
+func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
+	if opts.NewAccumulator == nil {
+		return nil, fmt.Errorf("study: StreamOptions.NewAccumulator is required")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if spec.TotalProbes > 0 && workers > spec.TotalProbes {
+		workers = spec.TotalProbes
+	}
+	if opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("study: creating checkpoint dir: %w", err)
+		}
+	}
+
+	tpl := NewWorldTemplate(spec)
+	accs := make([]Accumulator, workers)
+	shardRegs := make([]*metrics.Registry, workers)
+	shardErrs := make([]string, workers)
+	folded := make([]int, workers)
+	skipped := make([]int, workers)
+	stopped := make([]bool, workers)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					shardErrs[k] = fmt.Sprintf("shard %d/%d panicked: %v", k, workers, r)
+					accs[k] = nil
+				}
+			}()
+			start := time.Now()
+			reg, n, skip, halt, err := runStreamShard(tpl, spec, k, workers, opts, &accs[k])
+			shardRegs[k], folded[k], skipped[k], stopped[k] = reg, n, skip, halt
+			if err != nil {
+				shardErrs[k] = fmt.Sprintf("shard %d/%d: %v", k, workers, err)
+				accs[k] = nil
+				return
+			}
+			if opts.Progress != nil {
+				progressMu.Lock()
+				opts.Progress(k, workers, n+skip, time.Since(start))
+				progressMu.Unlock()
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	res := &StreamResults{Spec: spec, Acc: opts.NewAccumulator(-1)}
+	for k := 0; k < workers; k++ {
+		if shardErrs[k] != "" {
+			res.Errors = append(res.Errors, shardErrs[k])
+			continue
+		}
+		if accs[k] != nil {
+			if err := res.Acc.Merge(accs[k]); err != nil {
+				return nil, err
+			}
+		}
+		res.Folded += folded[k]
+		res.Skipped += skipped[k]
+		res.Stopped = res.Stopped || stopped[k]
+	}
+	if !spec.DisableMetrics {
+		res.Metrics = metrics.New()
+		for _, r := range shardRegs {
+			res.Metrics.Merge(r)
+		}
+	}
+	return res, nil
+}
+
+// runStreamShard measures one shard's probes, streaming each record
+// into the accumulator and sink. It returns the shard registry, the
+// records folded this run, the records skipped via checkpoint, and
+// whether StopAfterProbes halted the sweep. The accumulator is passed
+// by pointer so a partially folded state survives a contained panic
+// (the caller discards it, but the slot must not hold a stale value).
+func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOptions, accSlot *Accumulator) (reg *metrics.Registry, folded, skip int, halted bool, err error) {
+	acc := opts.NewAccumulator(k)
+	*accSlot = acc
+
+	fingerprint := checkpointFingerprint(spec, k, workers)
+	ckPath := ""
+	if opts.CheckpointDir != "" {
+		ckPath = CheckpointPath(opts.CheckpointDir, k, workers)
+	}
+	var restored *metrics.Snapshot
+	if opts.Resume && ckPath != "" {
+		ck, cerr := readCheckpoint(ckPath, fingerprint)
+		if cerr != nil {
+			return nil, 0, 0, false, cerr
+		}
+		if ck != nil {
+			if lerr := acc.LoadState(ck.Acc); lerr != nil {
+				return nil, 0, 0, false, lerr
+			}
+			skip = ck.Cursor
+			restored = ck.Metrics
+		}
+	}
+
+	world := tpl.Build(spec.Shard(k, workers))
+	reg = world.Metrics
+	if restored != nil {
+		reg.AddSnapshot(restored)
+	}
+	world.studyMetrics.noteResumeSkipped(skip)
+
+	var sink RecordSink
+	if opts.NewSink != nil {
+		sink, err = opts.NewSink(k, workers, skip)
+		if err != nil {
+			return reg, 0, skip, false, err
+		}
+	}
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 1000
+	}
+
+	var ioErr error
+	streamRecords(world, skip, func(rec *ProbeRecord) bool {
+		acc.Fold(rec)
+		if sink != nil && ioErr == nil {
+			ioErr = sink.Append(ExportRecord(rec))
+		}
+		folded++
+		if ckPath != "" && folded%every == 0 && ioErr == nil {
+			if ioErr = writeCheckpoint(ckPath, fingerprint, skip+folded, acc, reg); ioErr == nil {
+				world.studyMetrics.noteCheckpoint()
+			}
+		}
+		if opts.StopAfterProbes > 0 && folded >= opts.StopAfterProbes {
+			halted = true
+			return false
+		}
+		return ioErr == nil
+	})
+	if sink != nil {
+		if cerr := sink.Close(); ioErr == nil {
+			ioErr = cerr
+		}
+	}
+	if ioErr != nil {
+		return reg, folded, skip, halted, ioErr
+	}
+	// The final checkpoint marks the shard complete; a resumed run skips
+	// straight to the merge. Deliberately omitted after a simulated
+	// crash — a real kill would not have written it either.
+	if ckPath != "" && !halted {
+		if err := writeCheckpoint(ckPath, fingerprint, skip+folded, acc, reg); err != nil {
+			return reg, folded, skip, halted, err
+		}
+		world.studyMetrics.noteCheckpoint()
+	}
+	return reg, folded, skip, halted, nil
+}
+
+// TruncateSinkFile trims a line-oriented sink file (JSONL or CSV) back
+// to the first records entries — the prefix a shard's checkpoint
+// covers. header reserves one leading header line (CSV). A resuming
+// caller runs this before reopening the file in append mode, discarding
+// both whole records written after the last checkpoint and any partial
+// line the kill left behind; the finished file is then byte-identical
+// to an uninterrupted run's. A missing file is a no-op.
+func TruncateSinkFile(path string, records int, header bool) error {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	keep := records
+	if header {
+		keep++
+	}
+	off, lines := 0, 0
+	for ; lines < keep; lines++ {
+		j := indexByte(blob[off:], '\n')
+		if j < 0 {
+			// Fewer complete lines than the checkpoint covers: the file
+			// is shorter than the checkpoint claims, which means the
+			// sink and checkpoint disagree — refuse to guess.
+			return fmt.Errorf("study: %s has only %d complete lines, checkpoint covers %d", path, lines, keep)
+		}
+		off += j + 1
+	}
+	if off == len(blob) {
+		return nil
+	}
+	return os.WriteFile(path, blob[:off], 0o644)
+}
+
+// indexByte is bytes.IndexByte without the import.
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}

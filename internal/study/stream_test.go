@@ -1,0 +1,367 @@
+package study_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/analysis"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// streamSpec is the streaming tests' shared run shape: small enough to
+// re-run many times, large enough that every shard holds interceptions.
+func streamSpec() study.Spec { return study.PaperSpec().Scale(0.0128) } // ~128 probes
+
+func streamOpts(workers int) study.StreamOptions {
+	return study.StreamOptions{
+		Workers:        workers,
+		NewAccumulator: func(int) study.Accumulator { return analysis.NewAccumulator() },
+	}
+}
+
+// renderStream renders a streamed run's full deterministic surface:
+// every table and figure from the merged accumulator plus the Stable
+// metric snapshot.
+func renderStream(t *testing.T, res *study.StreamResults) string {
+	t.Helper()
+	if len(res.Errors) != 0 {
+		t.Fatalf("stream errors: %v", res.Errors)
+	}
+	acc := res.Acc.(*analysis.Accumulator)
+	t4 := acc.Table4()
+	return analysis.FormatTable4(t4) + analysis.CSVTable4(t4) +
+		analysis.FormatTable5(acc.Table5()) +
+		analysis.FormatFigure3(acc.Figure3(10)) +
+		analysis.FormatFigure4(acc.Figure4(10)) +
+		analysis.FormatAccuracy(acc.Accuracy()) +
+		string(res.MetricsSnapshot(false).JSON())
+}
+
+// renderInMemory renders the identical surface from the in-memory
+// pipeline's record slice.
+func renderInMemory(t *testing.T, res *study.Results) string {
+	t.Helper()
+	if len(res.Errors) != 0 {
+		t.Fatalf("shard errors: %v", res.Errors)
+	}
+	t4 := analysis.BuildTable4(res)
+	return analysis.FormatTable4(t4) + analysis.CSVTable4(t4) +
+		analysis.FormatTable5(analysis.BuildTable5(res)) +
+		analysis.FormatFigure3(analysis.BuildFigure3(res, 10)) +
+		analysis.FormatFigure4(analysis.BuildFigure4(res, 10)) +
+		analysis.FormatAccuracy(analysis.BuildAccuracy(res)) +
+		string(res.MetricsSnapshot(false).JSON())
+}
+
+// TestStreamedMatchesInMemory is the tentpole's acceptance property:
+// the streamed pipeline at 1 and 4 workers renders byte-identical
+// tables, figures, CSV, and Stable metric snapshot to the in-memory
+// pipeline.
+func TestStreamedMatchesInMemory(t *testing.T) {
+	spec := streamSpec()
+	want := renderInMemory(t, study.RunSharded(spec, study.EngineOptions{Workers: 2}))
+	for _, workers := range []int{1, 4} {
+		res, err := study.RunStreamed(spec, streamOpts(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := renderStream(t, res); got != want {
+			t.Errorf("streamed workers=%d diverges from in-memory pipeline:\n--- in-memory ---\n%s--- streamed ---\n%s",
+				workers, want, got)
+		}
+		if res.Folded == 0 {
+			t.Errorf("workers=%d: folded no records", workers)
+		}
+	}
+}
+
+// TestStreamedRetainsNoRecords: the streaming pipeline's records
+// retained gauge stays at zero — no shard ever accumulates a record
+// slice — while the in-memory pipeline's equals its record count.
+func TestStreamedRetainsNoRecords(t *testing.T) {
+	spec := streamSpec()
+	res, err := study.RunStreamed(spec, streamOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gaugeValue(t, res.MetricsSnapshot(true), "study.records_retained"); got != 0 {
+		t.Errorf("streamed records_retained = %d, want 0", got)
+	}
+	mem := study.RunSharded(spec, study.EngineOptions{Workers: 2})
+	if got := gaugeValue(t, mem.MetricsSnapshot(true), "study.records_retained"); got == 0 {
+		t.Error("in-memory records_retained = 0, want the largest shard's record count")
+	}
+}
+
+func gaugeValue(t *testing.T, snap *study.Snapshot, name string) int64 {
+	t.Helper()
+	for _, m := range snap.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %q not in snapshot", name)
+	return 0
+}
+
+// sinkPath returns shard k's JSONL file under dir.
+func sinkPath(dir string, k, workers int) string {
+	return filepath.Join(dir, fmt.Sprintf("records-%d-of-%d.jsonl", k, workers))
+}
+
+// fileSinks wires per-shard JSONL file sinks into StreamOptions,
+// truncating each file back to its checkpoint cursor on resume — the
+// caller-side half of the sink resume contract.
+func fileSinks(t *testing.T, dir string) func(k, workers, resumedAt int) (study.RecordSink, error) {
+	t.Helper()
+	return func(k, workers, resumedAt int) (study.RecordSink, error) {
+		path := sinkPath(dir, k, workers)
+		if err := study.TruncateSinkFile(path, resumedAt, false); err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return study.NewJSONLSink(f), nil
+	}
+}
+
+// readSinks concatenates the shard sink files in shard order.
+func readSinks(t *testing.T, dir string, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for k := 0; k < workers; k++ {
+		blob, err := os.ReadFile(sinkPath(dir, k, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(blob)
+	}
+	return buf.String()
+}
+
+// TestStreamSinkMatchesExport: a single-shard streamed run's JSONL sink
+// holds exactly the in-memory pipeline's export, line for line.
+func TestStreamSinkMatchesExport(t *testing.T) {
+	spec := streamSpec()
+	dir := t.TempDir()
+	opts := streamOpts(1)
+	opts.NewSink = fileSinks(t, dir)
+	res, err := study.RunStreamed(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("stream errors: %v", res.Errors)
+	}
+
+	mem := study.Run(study.BuildWorld(spec))
+	var want bytes.Buffer
+	sink := study.NewJSONLSink(&want)
+	for _, e := range mem.Export() {
+		if err := sink.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSinks(t, dir, 1); got != want.String() {
+		t.Errorf("sink output diverges from Export():\n--- want %d bytes, got %d bytes ---", want.Len(), len(got))
+	}
+}
+
+// TestStreamCheckpointResume is the kill-and-resume acceptance test:
+// a run halted mid-flight (no final checkpoint, exactly as a kill -9
+// would leave the directory) and resumed from its shard checkpoints
+// finishes with byte-identical tables, Stable metrics, and sink files
+// to an uninterrupted streamed run.
+func TestStreamCheckpointResume(t *testing.T) {
+	spec := streamSpec()
+	const workers = 2
+
+	// Uninterrupted reference run, with sinks.
+	refDir := t.TempDir()
+	ref := streamOpts(workers)
+	ref.NewSink = fileSinks(t, refDir)
+	refRes, err := study.RunStreamed(spec, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderStream(t, refRes)
+	wantSinks := readSinks(t, refDir, workers)
+
+	// Killed run: checkpoint every 10 records, halt each shard at 25 —
+	// between checkpoints, so the sink files run ahead of the cursor.
+	ckDir := t.TempDir()
+	sinkDir := t.TempDir()
+	killed := streamOpts(workers)
+	killed.CheckpointDir = ckDir
+	killed.CheckpointEvery = 10
+	killed.StopAfterProbes = 25
+	killed.NewSink = fileSinks(t, sinkDir)
+	kRes, err := study.RunStreamed(spec, killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kRes.Stopped {
+		t.Fatal("StopAfterProbes did not halt the run")
+	}
+	if got := counterValue(t, kRes.MetricsSnapshot(true), "study.checkpoints_written"); got == 0 {
+		t.Error("killed run wrote no checkpoints")
+	}
+
+	// Resume from the checkpoints and finish.
+	resumed := streamOpts(workers)
+	resumed.CheckpointDir = ckDir
+	resumed.CheckpointEvery = 10
+	resumed.Resume = true
+	resumed.NewSink = fileSinks(t, sinkDir)
+	rRes, err := study.RunStreamed(spec, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRes.Skipped == 0 {
+		t.Error("resumed run skipped no probes — checkpoints were not loaded")
+	}
+	if got := renderStream(t, rRes); got != want {
+		t.Errorf("resumed run diverges from uninterrupted run:\n--- uninterrupted ---\n%s--- resumed ---\n%s",
+			want, got)
+	}
+	if got := readSinks(t, sinkDir, workers); got != wantSinks {
+		t.Errorf("resumed sink files diverge from uninterrupted run's (%d vs %d bytes)",
+			len(got), len(wantSinks))
+	}
+}
+
+// TestStreamResumeRejectsForeignCheckpoint: a checkpoint written by a
+// different run shape must fail the shard, not silently seed it with
+// wrong state.
+func TestStreamResumeRejectsForeignCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	first := streamOpts(1)
+	first.CheckpointDir = dir
+	if _, err := study.RunStreamed(streamSpec(), first); err != nil {
+		t.Fatal(err)
+	}
+	other := streamSpec()
+	other.Seed++
+	resumed := streamOpts(1)
+	resumed.CheckpointDir = dir
+	resumed.Resume = true
+	res, err := study.RunStreamed(other, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) == 0 {
+		t.Error("resume with a different seed accepted the foreign checkpoint")
+	}
+}
+
+// TestStreamResumeOfCompletedRun: resuming a run that already finished
+// skips every probe and still renders the same output.
+func TestStreamResumeOfCompletedRun(t *testing.T) {
+	spec := streamSpec()
+	dir := t.TempDir()
+	opts := streamOpts(2)
+	opts.CheckpointDir = dir
+	res, err := study.RunStreamed(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderStream(t, res)
+
+	again := streamOpts(2)
+	again.CheckpointDir = dir
+	again.Resume = true
+	res2, err := study.RunStreamed(spec, again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Folded != 0 {
+		t.Errorf("resume of a completed run re-measured %d probes", res2.Folded)
+	}
+	if got := renderStream(t, res2); got != want {
+		t.Errorf("resume of a completed run drifted:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func counterValue(t *testing.T, snap *study.Snapshot, name string) int64 {
+	t.Helper()
+	return gaugeValue(t, snap, name)
+}
+
+// TestTruncateSinkFile pins the truncation helper's contract, including
+// the partial trailing line a kill -9 leaves in a buffered file.
+func TestTruncateSinkFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "records.jsonl")
+	write := func(s string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func() string {
+		t.Helper()
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+
+	write("a\nb\nc\nd\npart")
+	if err := study.TruncateSinkFile(path, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != "a\nb\n" {
+		t.Errorf("truncate to 2 lines = %q", got)
+	}
+
+	write("hdr\nr1\nr2\npartial")
+	if err := study.TruncateSinkFile(path, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != "hdr\nr1\n" {
+		t.Errorf("truncate with header = %q", got)
+	}
+
+	write("a\n")
+	if err := study.TruncateSinkFile(path, 3, false); err == nil {
+		t.Error("truncating past the file's line count did not error")
+	}
+	if err := study.TruncateSinkFile(filepath.Join(dir, "missing"), 5, false); err != nil {
+		t.Errorf("missing file should be a no-op, got %v", err)
+	}
+}
+
+// TestCSVSinkRoundTrip: the CSV sink writes a header plus one row per
+// record and survives a header-less resumed append.
+func TestCSVSinkRoundTrip(t *testing.T) {
+	mem := study.Run(study.BuildWorld(study.PaperSpec().Scale(0.0032)))
+	var buf bytes.Buffer
+	sink, err := study.NewCSVSink(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range mem.Export() {
+		if err := sink.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte{'\n'})
+	if want := len(mem.Records) + 1; lines != want {
+		t.Errorf("CSV sink wrote %d lines, want %d (header + records)", lines, want)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("probe_id,")) {
+		t.Errorf("CSV sink missing header: %q", bytes.Split(buf.Bytes(), []byte{'\n'})[0])
+	}
+}

@@ -86,6 +86,30 @@ func (w *World) buildISPs(orgs []geo.Org) {
 			PrefixV6:        netip.PrefixFrom(netip.AddrFrom16([16]byte{0x2a, 0x00, 0x00, byte(i + 1)}), 48),
 			ResolverPersona: ispResolverPersonas[i%len(ispResolverPersonas)],
 		}
+		// Overflow banks for orgs whose scaled quota outgrows one /16:
+		// bank b puts the org at {33+b}.i.0.0/16 / 2a0b:00ii::/48 —
+		// parallel to the primary layout, so no existing address moves
+		// and banks never collide across orgs. Routed like the primary
+		// prefix the first time a bank is touched.
+		region, idx, asn := cfg.Region, i, org.ASN
+		routed := map[int]bool{}
+		cfg.Overflow = func(block int) (netip.Prefix, netip.Prefix) {
+			if block > 30 { // 64.x.0.0 belongs to the transit resolvers
+				panic(fmt.Sprintf("study: as%d outgrew every v4 overflow bank", asn))
+			}
+			v4 := netip.PrefixFrom(netip.AddrFrom4([4]byte{33 + byte(block), byte(idx), 0, 0}), 16)
+			v6 := netip.PrefixFrom(netip.AddrFrom16([16]byte{0x2a, byte(block), 0x00, byte(idx + 1)}), 48)
+			if !routed[block] {
+				routed[block] = true
+				border := w.ISPs[asn].Border
+				regional := w.Backbone.Regional[region]
+				regional.AddRoute(v4, border)
+				w.Backbone.Core.AddRoute(v4, regional)
+				regional.AddRoute(v6, border)
+				w.Backbone.Core.AddRoute(v6, regional)
+			}
+			return v4, v6
+		}
 		n := w.Backbone.AttachISP(cfg)
 		n.Resolver.ChaosCache = w.chaosCache
 		n.Refusing.ChaosCache = w.chaosCache
@@ -370,7 +394,8 @@ func (w *World) populateOrg(org geo.Org, probes int, seats []*seat, probeID *int
 	region := publicdns.RegionForCountry(org.Country)
 
 	// Group middlebox seats by identical interception config; each group
-	// becomes one access segment.
+	// gets its own run of access segments, rolled over like clean
+	// segments so a scaled-up group never outgrows its /24.
 	mbGroups := make(map[string][]*seat)
 	var plainSeats []*seat // CPE + transit seats live on clean segments
 	for _, s := range seats {
@@ -392,8 +417,11 @@ func (w *World) populateOrg(org geo.Org, probes int, seats []*seat, probeID *int
 	created := 0
 	for _, k := range keys {
 		group := mbGroups[k]
-		seg := network.AddSegment(w.middleboxSpec(group[0]))
-		for _, s := range group {
+		var seg *isp.Segment
+		for gi, s := range group {
+			if gi%maxHomesPerSegment == 0 {
+				seg = network.AddSegment(w.middleboxSpec(group[0]))
+			}
 			w.addProbe(network, seg, org, region, s, probeID, rng)
 			created++
 		}

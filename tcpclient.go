@@ -2,6 +2,7 @@ package dnsloc
 
 import (
 	"errors"
+	"io"
 	"net"
 	"net/netip"
 	"syscall"
@@ -34,10 +35,7 @@ func (c *TCPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 	}
 	conn, err := net.DialTimeout("tcp", server.String(), timeout)
 	if err != nil {
-		if errors.Is(err, syscall.ECONNREFUSED) {
-			return nil, 0, core.ErrRefused
-		}
-		return nil, 0, core.ErrTimeout
+		return nil, 0, classifyTCPDialError(err)
 	}
 	defer conn.Close()
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
@@ -49,12 +47,59 @@ func (c *TCPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 	}
 	m, err := dnswire.ReadTCP(conn)
 	if err != nil {
-		return nil, 0, core.ErrTimeout
+		return nil, 0, classifyTCPReadError(err)
 	}
 	if m.Header.ID != query.Header.ID {
 		return nil, 0, core.ErrGarbage
 	}
 	return []*dnswire.Message{m}, time.Since(start), nil
+}
+
+// classifyTCPDialError maps a dial failure onto the detector's error
+// vocabulary. The distinction matters for retry semantics: a refused or
+// timed-out dial is transient and worth another attempt, while an
+// unreachable network is permanent for this measurement —
+// core.RetryPolicy.Classify stops retrying on ErrNoRoute, exactly the
+// case of probing a v6 resolver from a v4-only vantage point.
+func classifyTCPDialError(err error) error {
+	switch {
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return core.ErrRefused
+	case errors.Is(err, syscall.ENETUNREACH),
+		errors.Is(err, syscall.EHOSTUNREACH),
+		errors.Is(err, syscall.EADDRNOTAVAIL):
+		return core.ErrNoRoute
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return core.ErrTimeout
+	}
+	// The connection never established and it was not a timeout: there
+	// is no path to this server.
+	return core.ErrNoRoute
+}
+
+// classifyTCPReadError maps a framed-read failure. Only a genuine
+// deadline expiry is a timeout; a connection the server closed
+// mid-frame (EOF before the length prefix's worth of octets arrived) or
+// a frame that fails to parse is garbage — evidence of a broken or
+// interfering middlebox, which the detector treats very differently
+// from silence.
+func classifyTCPReadError(err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return core.ErrTimeout
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) {
+		return core.ErrGarbage
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return core.ErrRefused
+	}
+	// Parse failures from dnswire.Unpack land here: a well-framed but
+	// unparseable message is garbage, not a timeout.
+	return core.ErrGarbage
 }
 
 // FallbackClient queries over UDP and retries over TCP when the answer
@@ -86,11 +131,26 @@ func (c *FallbackClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Messa
 	if err != nil {
 		return nil, 0, err
 	}
-	if len(resps) > 0 && resps[0].Header.Truncated {
+	if anyTruncated(resps) {
 		if tcp, trtt, err := c.TCP.ExchangeRTT(server, query); err == nil {
 			return tcp, trtt, nil
 		}
 		// TCP failed: return the truncated UDP answer, as stubs do.
 	}
 	return resps, rtt, nil
+}
+
+// anyTruncated reports whether any collected response carries the TC
+// bit. The UDP client's replication window can return several answers —
+// on an intercepted path, the interceptor's and the real resolver's —
+// and truncation on any of them means some responder had more to say
+// than a datagram holds, so the TCP retry must fire even when the
+// first-arriving answer was complete.
+func anyTruncated(resps []*dnswire.Message) bool {
+	for _, m := range resps {
+		if m.Header.Truncated {
+			return true
+		}
+	}
+	return false
 }

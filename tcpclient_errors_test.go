@@ -1,0 +1,228 @@
+package dnsloc_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// closedLoopbackPort reserves a loopback TCP port and closes it, so a
+// dial hits a port with no listener — a kernel-level RST, not a mock.
+func closedLoopbackPort(t *testing.T) netip.AddrPort {
+	t.Helper()
+	l, err := net.ListenTCP("tcp", &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), uint16(port))
+}
+
+// misbehavingTCP accepts one connection at a time and hands it to serve.
+func misbehavingTCP(t *testing.T, serve func(net.Conn)) netip.AddrPort {
+	t.Helper()
+	l, err := net.ListenTCP("tcp", &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go serve(conn)
+		}
+	}()
+	return netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), uint16(l.Addr().(*net.TCPAddr).Port))
+}
+
+// TestTCPClientDialRefusedIsRefused: a dial to a closed port must
+// classify as ErrRefused, not timeout.
+func TestTCPClientDialRefusedIsRefused(t *testing.T) {
+	c := &dnsloc.TCPClient{Timeout: 2 * time.Second}
+	_, _, err := c.ExchangeRTT(closedLoopbackPort(t), dnsloc.NewAQuery(31, "x.example.com"))
+	if !errors.Is(err, core.ErrRefused) {
+		t.Errorf("dial to closed port = %v, want core.ErrRefused", err)
+	}
+}
+
+// TestTCPClientShortFrameIsGarbage: a server that reads the query and
+// closes without answering leaves the client an EOF before any frame —
+// garbage, not a timeout. This was the regression: every read failure
+// used to collapse into ErrTimeout.
+func TestTCPClientShortFrameIsGarbage(t *testing.T) {
+	addr := misbehavingTCP(t, func(conn net.Conn) {
+		defer conn.Close()
+		buf := make([]byte, 512)
+		conn.Read(buf) //nolint:errcheck
+	})
+	c := &dnsloc.TCPClient{Timeout: 2 * time.Second}
+	_, _, err := c.ExchangeRTT(addr, dnsloc.NewAQuery(32, "x.example.com"))
+	if !errors.Is(err, core.ErrGarbage) {
+		t.Errorf("close-without-answer = %v, want core.ErrGarbage", err)
+	}
+}
+
+// TestTCPClientTruncatedFrameIsGarbage: a length prefix promising more
+// octets than the server sends (connection closed mid-frame) is
+// garbage.
+func TestTCPClientTruncatedFrameIsGarbage(t *testing.T) {
+	addr := misbehavingTCP(t, func(conn net.Conn) {
+		defer conn.Close()
+		buf := make([]byte, 512)
+		conn.Read(buf) //nolint:errcheck
+		frame := make([]byte, 2+10)
+		binary.BigEndian.PutUint16(frame[:2], 100) // promise 100, deliver 10
+		conn.Write(frame)                          //nolint:errcheck
+	})
+	c := &dnsloc.TCPClient{Timeout: 2 * time.Second}
+	_, _, err := c.ExchangeRTT(addr, dnsloc.NewAQuery(33, "x.example.com"))
+	if !errors.Is(err, core.ErrGarbage) {
+		t.Errorf("mid-frame close = %v, want core.ErrGarbage", err)
+	}
+}
+
+// TestTCPClientUnparseableFrameIsGarbage: a well-framed body that fails
+// DNS parsing is garbage.
+func TestTCPClientUnparseableFrameIsGarbage(t *testing.T) {
+	addr := misbehavingTCP(t, func(conn net.Conn) {
+		defer conn.Close()
+		buf := make([]byte, 512)
+		conn.Read(buf) //nolint:errcheck
+		body := []byte{0xde, 0xad, 0xbe, 0xef}
+		frame := make([]byte, 2, 2+len(body))
+		binary.BigEndian.PutUint16(frame[:2], uint16(len(body)))
+		conn.Write(append(frame, body...)) //nolint:errcheck
+	})
+	c := &dnsloc.TCPClient{Timeout: 2 * time.Second}
+	_, _, err := c.ExchangeRTT(addr, dnsloc.NewAQuery(34, "x.example.com"))
+	if !errors.Is(err, core.ErrGarbage) {
+		t.Errorf("unparseable frame = %v, want core.ErrGarbage", err)
+	}
+}
+
+// TestTCPClientSilentServerIsTimeout: an accepted connection that never
+// answers is the one case that still classifies as a timeout.
+func TestTCPClientSilentServerIsTimeout(t *testing.T) {
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	addr := misbehavingTCP(t, func(conn net.Conn) {
+		defer conn.Close()
+		<-block
+	})
+	c := &dnsloc.TCPClient{Timeout: 300 * time.Millisecond}
+	_, _, err := c.ExchangeRTT(addr, dnsloc.NewAQuery(35, "x.example.com"))
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Errorf("silent server = %v, want core.ErrTimeout", err)
+	}
+}
+
+// twoResponseDNS answers each UDP query twice — first a complete small
+// answer, then a truncated one — the shape an intercepted path produces
+// when the CPE's answer fits a datagram but the real resolver's does
+// not. Its TCP sibling serves the full answer.
+type twoResponseDNS struct {
+	udp      *net.UDPConn
+	tcp      *net.TCPListener
+	addrPort netip.AddrPort
+}
+
+func startTwoResponseDNS(t *testing.T) *twoResponseDNS {
+	t.Helper()
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := udp.LocalAddr().(*net.UDPAddr).Port
+	tcp, err := net.ListenTCP("tcp", &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port})
+	if err != nil {
+		udp.Close()
+		t.Skipf("tcp listen on same port: %v", err)
+	}
+	s := &twoResponseDNS{udp: udp, tcp: tcp,
+		addrPort: netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), uint16(port))}
+	t.Cleanup(func() { udp.Close(); tcp.Close() })
+	go s.serveUDP()
+	go s.serveTCP()
+	return s
+}
+
+func (s *twoResponseDNS) serveUDP() {
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue
+		}
+		// First response: small, complete, TC clear.
+		small := dnswire.NewResponse(query, dnswire.RCodeSuccess)
+		small.Answers = append(small.Answers, dnswire.Record{
+			Name: query.Question().Name, Class: dnswire.ClassINET, TTL: 0,
+			Data: dnswire.TXTRData{Strings: []string{"short"}},
+		})
+		if wire, err := small.Pack(); err == nil {
+			s.udp.WriteToUDP(wire, from) //nolint:errcheck
+		}
+		// Second response: the big answer, truncated to fit a datagram.
+		if wire, err := dnswire.PackWithTruncation(bigTXT(query), 512); err == nil {
+			s.udp.WriteToUDP(wire, from) //nolint:errcheck
+		}
+	}
+}
+
+func (s *twoResponseDNS) serveTCP() {
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+			query, err := dnswire.ReadTCP(conn)
+			if err != nil {
+				return
+			}
+			dnswire.WriteTCP(conn, bigTXT(query)) //nolint:errcheck
+		}()
+	}
+}
+
+// TestFallbackFiresWhenAnyResponseTruncated is the regression for the
+// first-response-only truncation check: the replication window collects
+// a complete answer first and a truncated one second, and the fallback
+// must still retry over TCP.
+func TestFallbackFiresWhenAnyResponseTruncated(t *testing.T) {
+	srv := startTwoResponseDNS(t)
+
+	c := dnsloc.NewFallbackClient(2 * time.Second)
+	// Keep the default replication window so both responses are collected.
+	q := dnsloc.NewAQuery(36, "big.example.com")
+	resps, _, err := c.ExchangeRTT(srv.addrPort, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 1 {
+		t.Fatalf("resps = %d, want the single TCP answer", len(resps))
+	}
+	if resps[0].Header.Truncated {
+		t.Error("fallback returned a truncated answer")
+	}
+	if len(resps[0].Answers) != 5 {
+		t.Errorf("answers = %d, want 5 (full TCP response)", len(resps[0].Answers))
+	}
+}

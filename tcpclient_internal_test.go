@@ -1,0 +1,93 @@
+package dnsloc
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// opErr wraps a syscall errno the way the net package surfaces it, so
+// the classifiers are exercised against realistic error chains rather
+// than bare errnos.
+func opErr(op string, errno syscall.Errno) error {
+	return &net.OpError{Op: op, Net: "tcp", Err: os.NewSyscallError(op, errno)}
+}
+
+// TestClassifyTCPDialError pins the dial-failure classification the
+// retry policy depends on: refusal and timeout are transient, an
+// unreachable network is permanent (ErrNoRoute), and nothing collapses
+// into ErrTimeout by default anymore.
+func TestClassifyTCPDialError(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"refused", opErr("connect", syscall.ECONNREFUSED), core.ErrRefused},
+		{"net-unreachable", opErr("connect", syscall.ENETUNREACH), core.ErrNoRoute},
+		{"host-unreachable", opErr("connect", syscall.EHOSTUNREACH), core.ErrNoRoute},
+		{"addr-not-avail", opErr("connect", syscall.EADDRNOTAVAIL), core.ErrNoRoute},
+		{"dial-timeout", &net.OpError{Op: "dial", Net: "tcp", Err: os.ErrDeadlineExceeded}, core.ErrTimeout},
+		{"unknown", errors.New("socket: too many open files"), core.ErrNoRoute},
+	}
+	for _, tc := range cases {
+		if got := classifyTCPDialError(tc.err); !errors.Is(got, tc.want) {
+			t.Errorf("%s: classifyTCPDialError(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestClassifyTCPReadError pins the framed-read classification: only a
+// deadline expiry is a timeout; a short or unparseable frame is
+// garbage — the middlebox evidence the detector keys on.
+func TestClassifyTCPReadError(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"deadline", &net.OpError{Op: "read", Net: "tcp", Err: os.ErrDeadlineExceeded}, core.ErrTimeout},
+		{"eof-before-prefix", io.EOF, core.ErrGarbage},
+		{"eof-mid-frame", io.ErrUnexpectedEOF, core.ErrGarbage},
+		{"reset", opErr("read", syscall.ECONNRESET), core.ErrGarbage},
+		{"refused", opErr("read", syscall.ECONNREFUSED), core.ErrRefused},
+		{"parse-failure", errors.New("dnswire: message too short"), core.ErrGarbage},
+	}
+	for _, tc := range cases {
+		if got := classifyTCPReadError(tc.err); !errors.Is(got, tc.want) {
+			t.Errorf("%s: classifyTCPReadError(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestAnyTruncated covers the fallback trigger over multi-response
+// windows.
+func TestAnyTruncated(t *testing.T) {
+	tc := func(truncated ...bool) []*dnswire.Message {
+		var out []*dnswire.Message
+		for _, tr := range truncated {
+			m := &dnswire.Message{}
+			m.Header.Truncated = tr
+			out = append(out, m)
+		}
+		return out
+	}
+	if anyTruncated(nil) {
+		t.Error("anyTruncated(nil) = true")
+	}
+	if anyTruncated(tc(false, false)) {
+		t.Error("anyTruncated with no TC bits = true")
+	}
+	if !anyTruncated(tc(false, true)) {
+		t.Error("anyTruncated missed a TC bit on the second response")
+	}
+	if !anyTruncated(tc(true)) {
+		t.Error("anyTruncated missed a TC bit on the only response")
+	}
+}

@@ -1,0 +1,220 @@
+package dnsloc_test
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// Retry/replication-window interplay tests. The UDPClient keeps two
+// overlapping mechanisms on one socket — per-attempt retransmission
+// (Retry) and the post-answer replication window (Window) — and their
+// interaction around refusals and deadlines is where a stub resolver's
+// behaviour gets subtle. Run with -race: the client shares its fixtures
+// with server goroutines.
+
+// TestUDPClientRefusalThenAnswerReturnsAnswer: an attempt that lands on
+// a closed port surfaces ECONNREFUSED (the kernel's ICMP port
+// unreachable) on the connected socket; when a later attempt is
+// answered, the recorded refusal must not override the answer — the
+// refusal sentinel is only the verdict when the exchange ends with
+// nothing collected.
+func TestUDPClientRefusalThenAnswerReturnsAnswer(t *testing.T) {
+	// Reserve a loopback port, then close it so the first attempt's
+	// datagram draws a port-unreachable.
+	rsv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := rsv.LocalAddr().(*net.UDPAddr)
+	rsv.Close()
+	addrPort := netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), uint16(addr.Port))
+
+	// Bind the real server on that port mid-backoff, so a later attempt
+	// is answered.
+	serverUp := make(chan *net.UDPConn, 1)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			serverUp <- nil
+			return
+		}
+		serverUp <- conn
+		buf := make([]byte, 4096)
+		for {
+			n, from, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			query, err := dnswire.Unpack(buf[:n])
+			if err != nil {
+				continue
+			}
+			resp := dnswire.NewTXTResponse(query, "late-bind")
+			if payload, err := resp.Pack(); err == nil {
+				conn.WriteToUDP(payload, from) //nolint:errcheck
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		if conn := <-serverUp; conn != nil {
+			conn.Close()
+		}
+	})
+
+	c := dnsloc.NewUDPClient(5 * time.Second) // default 150ms replication window
+	c.Retry = &core.RetryPolicy{
+		MaxAttempts:    6,
+		AttemptTimeout: 250 * time.Millisecond,
+		Backoff:        100 * time.Millisecond,
+		BackoffMax:     250 * time.Millisecond,
+		JitterSeed:     7,
+	}
+	q := dnsloc.NewVersionBindQuery(41)
+	resps, _, err := c.ExchangeRTT(addrPort, q)
+	if err != nil {
+		t.Fatalf("refusal before answer leaked out as the verdict: %v", err)
+	}
+	if txt, ok := resps[0].FirstTXT(); !ok || txt != "late-bind" {
+		t.Errorf("answer = %q, want the late-bound server's", txt)
+	}
+}
+
+// TestUDPClientRefusedOnlyIsErrRefused: the complement — when every
+// attempt draws port-unreachable and nothing is ever collected, the
+// exchange must classify as ErrRefused, not ErrTimeout.
+func TestUDPClientRefusedOnlyIsErrRefused(t *testing.T) {
+	rsv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrPort := rsv.LocalAddr().(*net.UDPAddr).AddrPort()
+	rsv.Close()
+
+	c := dnsloc.NewUDPClient(500 * time.Millisecond)
+	c.Retry = &core.RetryPolicy{MaxAttempts: 2, AttemptTimeout: 150 * time.Millisecond,
+		Backoff: 10 * time.Millisecond, JitterSeed: 7}
+	_, _, err = c.ExchangeRTT(addrPort, dnsloc.NewVersionBindQuery(42))
+	if !errors.Is(err, core.ErrRefused) {
+		t.Errorf("all-refused exchange = %v, want core.ErrRefused", err)
+	}
+}
+
+// TestUDPClientAttemptClippedAtOverallDeadline: an AttemptTimeout far
+// longer than the overall Timeout must be clipped — the exchange ends
+// at the overall deadline after a single send, instead of letting one
+// attempt overstay.
+func TestUDPClientAttemptClippedAtOverallDeadline(t *testing.T) {
+	srv := startDroppyDNS(t, 1<<30) // swallow everything
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(300 * time.Millisecond)
+	c.Window = 0
+	c.Retry = &core.RetryPolicy{
+		MaxAttempts:    3,
+		AttemptTimeout: 5 * time.Second, // would blow way past Timeout unclipped
+		Backoff:        5 * time.Millisecond,
+		JitterSeed:     7,
+	}
+	start := time.Now()
+	_, _, err := c.ExchangeRTT(srv.addrPort, dnsloc.NewVersionBindQuery(43))
+	elapsed := time.Since(start)
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("silent server = %v, want core.ErrTimeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("exchange took %v; the 5s AttemptTimeout was not clipped to the 300ms overall deadline", elapsed)
+	}
+	if got := srv.datagrams(); got != 1 {
+		t.Errorf("server saw %d datagrams, want 1 — the overall deadline expired during attempt 1", got)
+	}
+}
+
+// TestUDPClientWindowCollectsReplicasAfterRetransmit: the replication
+// window still collects duplicate answers when the answered attempt was
+// a retransmission — retry and window compose rather than exclude each
+// other.
+func TestUDPClientWindowCollectsReplicasAfterRetransmit(t *testing.T) {
+	srv := startDropReplicatingDNS(t, 1, 2) // drop first datagram, then answer twice
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(2 * time.Second)
+	c.Window = 250 * time.Millisecond
+	c.Retry = &core.RetryPolicy{
+		MaxAttempts:    3,
+		AttemptTimeout: 200 * time.Millisecond,
+		Backoff:        5 * time.Millisecond,
+		JitterSeed:     7,
+	}
+	resps, _, err := c.ExchangeRTT(srv.addrPort, dnsloc.NewVersionBindQuery(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Errorf("collected %d responses, want 2 — the window must stay open after a retransmitted attempt", len(resps))
+	}
+	if got := srv.datagrams(); got != 2 {
+		t.Errorf("server saw %d datagrams, want 2 (original + retransmission)", got)
+	}
+}
+
+// dropReplicatingDNS swallows the first drop datagrams, then answers
+// each query replicas times — loss in front of a replicated-answer path
+// (the combination replication_test.go's fixture doesn't cover), over a
+// real socket.
+type dropReplicatingDNS struct {
+	*droppyDNS
+}
+
+func startDropReplicatingDNS(t *testing.T, drop, replicas int) *dropReplicatingDNS {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &dropReplicatingDNS{droppyDNS: &droppyDNS{
+		conn:     conn,
+		addrPort: conn.LocalAddr().(*net.UDPAddr).AddrPort(),
+		done:     make(chan struct{}),
+		drop:     drop,
+	}}
+	go s.serveReplicating(replicas)
+	return s
+}
+
+func (s *dropReplicatingDNS) serveReplicating(replicas int) {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.arrived++
+		swallow := s.arrived <= s.drop
+		s.mu.Unlock()
+		if swallow {
+			continue
+		}
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue
+		}
+		resp := dnswire.NewTXTResponse(query, "replicated")
+		payload, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		for i := 0; i < replicas; i++ {
+			s.conn.WriteToUDP(payload, from) //nolint:errcheck
+		}
+	}
+}
