@@ -13,6 +13,7 @@ package dnsloc_test
 
 import (
 	"fmt"
+	"io"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -195,6 +196,40 @@ func BenchmarkPilotParallel(b *testing.B) {
 				res := study.RunSharded(spec, study.EngineOptions{Workers: workers})
 				if len(res.Intercepted()) == 0 {
 					b.Fatal("no interception found")
+				}
+			}
+			b.ReportMetric(float64(spec.TotalProbes), "probes/op")
+		})
+	}
+}
+
+// BenchmarkPilotStreamed is BenchmarkPilotParallel's bounded-memory
+// twin: the same 1,000-probe sweep through the streaming pipeline —
+// per-record accumulator folds plus a JSONL sink write per probe,
+// retaining no record slice — at 1 and 4 workers. The delta against
+// BenchmarkPilotParallel at the same worker count is the whole cost of
+// streaming; BENCH_pilot.json records both so the streamed/in-memory
+// ratio is tracked release over release.
+func BenchmarkPilotStreamed(b *testing.B) {
+	spec := study.PaperSpec().Scale(0.1)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := study.RunStreamed(spec, study.StreamOptions{
+					Workers: workers,
+					NewAccumulator: func(int) study.Accumulator {
+						return analysis.NewAccumulator()
+					},
+					NewSink: func(int, int, int) (study.RecordSink, error) {
+						return study.NewJSONLSink(io.Discard), nil
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Errors) != 0 {
+					b.Fatalf("stream errors: %v", res.Errors)
 				}
 			}
 			b.ReportMetric(float64(spec.TotalProbes), "probes/op")

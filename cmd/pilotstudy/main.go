@@ -12,6 +12,7 @@
 //	pilotstudy -metrics         # print the run's full metric snapshot
 //	pilotstudy -metrics-json f  # write the deterministic snapshot ("-" = stdout)
 //	pilotstudy -pprof p         # capture p.cpu / p.heap profiles of the sweep
+//	pilotstudy -trace f         # capture a runtime/trace of the sweep to f
 //	pilotstudy -stream          # bounded-memory pipeline: fold records, retain none
 //	pilotstudy -stream -records p      # also stream per-probe JSONL to p.shardK-of-N.jsonl
 //	pilotstudy -stream -checkpoint-dir d       # persist shard checkpoints under d
@@ -25,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"github.com/dnswatch/dnsloc/internal/analysis"
@@ -49,6 +51,7 @@ func main() {
 		showMetrics = flag.Bool("metrics", false, "print the full metric snapshot (stable + diagnostic) after the run")
 		metricsJSON = flag.String("metrics-json", "", "write the deterministic (stable-only) metric snapshot as JSON to this file; '-' for stdout")
 		pprofPrefix = flag.String("pprof", "", "capture CPU and heap profiles of the sweep to <prefix>.cpu and <prefix>.heap")
+		tracePath   = flag.String("trace", "", "capture a runtime/trace of the sweep to this file (go tool trace <file>)")
 
 		stream     = flag.Bool("stream", false, "streaming bounded-memory pipeline: fold each record into the aggregates on completion instead of retaining it; output is byte-identical to the in-memory pipeline")
 		recordsOut = flag.String("records", "", "(with -stream) stream per-probe records as JSONL to <prefix>.shardK-of-N.jsonl, one file per shard")
@@ -133,6 +136,18 @@ func main() {
 		}
 		defer f.Close()
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pilotstudy: creating trace file: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pilotstudy: starting trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
 	start := time.Now()
 	progress := func(shard, workers, probes int, elapsed time.Duration) {
 		fmt.Fprintf(os.Stderr, "shard %d/%d: %d probes measured in %v\n",
@@ -185,6 +200,10 @@ func main() {
 		}
 		snap = results.MetricsSnapshot
 		measured = len(results.Records)
+	}
+	if *tracePath != "" {
+		trace.Stop()
+		fmt.Fprintf(os.Stderr, "wrote %s (view with: go tool trace %s)\n", *tracePath, *tracePath)
 	}
 	if *pprofPrefix != "" {
 		pprof.StopCPUProfile()

@@ -58,22 +58,36 @@ func (n Name) IsSubdomainOf(zone Name) bool {
 }
 
 // validateName checks presentation-format constraints before encoding.
+// It runs on every name pack, so it scans bytes in place rather than
+// splitting into a label slice.
 func validateName(n Name) error {
 	s := strings.TrimSuffix(string(n), ".")
 	if s == "" {
 		return nil // root
 	}
-	wire := 1 // terminal root byte
-	for _, label := range strings.Split(s, ".") {
-		if label == "" {
+	labelLen := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '.' {
+			labelLen++
+			continue
+		}
+		if labelLen == 0 {
 			return ErrEmptyName
 		}
-		if len(label) > maxLabel {
+		if labelLen > maxLabel {
 			return ErrLabelTooLong
 		}
-		wire += 1 + len(label)
+		labelLen = 0
 	}
-	if wire > maxNameWire {
+	if labelLen == 0 {
+		return ErrEmptyName
+	}
+	if labelLen > maxLabel {
+		return ErrLabelTooLong
+	}
+	// Each label encodes as 1+len bytes (dots become length bytes, plus
+	// one leading length byte), then the terminal root byte: len(s)+2.
+	if len(s)+2 > maxNameWire {
 		return ErrNameTooLong
 	}
 	return nil

@@ -1,0 +1,196 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// eventHeap is the scheduler the calendar queue replaced: a hand-rolled
+// binary heap ordered by (at, seq). It survives here as the reference
+// implementation for the order-invariance property test — the calendar
+// queue must pop events in exactly the order the heap would.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	for j := len(q) - 1; j > 0; {
+		i := (j - 1) / 2 // parent
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	ev := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		j := 2*i + 1 // left child
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && q.less(r, j) {
+			j = r
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+	return ev
+}
+
+// drainCal pops the calendar queue to exhaustion, one batch at a time,
+// returning the flattened event order.
+func drainCal(q *calQueue) []event {
+	var out []event
+	var batch []event
+	for q.Len() > 0 {
+		batch = q.popBatch(batch[:0])
+		out = append(out, batch...)
+	}
+	return out
+}
+
+// TestCalQueueMatchesHeapOrder is the scheduler-order-invariance
+// property test: randomized bursts — heavy on same-timestamp
+// collisions, with a tail beyond the ring horizon to exercise overflow
+// re-binning — must pop from the calendar queue in exactly the heap's
+// (at, seq) order.
+func TestCalQueueMatchesHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		// A handful of hot timestamps per trial forces same-tick FIFO
+		// collisions; the occasional far-future event lands in overflow.
+		hot := make([]time.Duration, 1+rng.Intn(8))
+		for i := range hot {
+			hot[i] = time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+		}
+		var cal calQueue
+		var heap eventHeap
+		seq := 0
+		push := func(at time.Duration) {
+			seq++
+			ev := event{at: at, seq: seq}
+			cal.push(ev)
+			heap.push(ev)
+		}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0, 1: // collide on a hot timestamp
+				push(hot[rng.Intn(len(hot))])
+			case 2: // anywhere within the ring horizon
+				push(time.Duration(rng.Int63n(int64(200 * time.Millisecond))))
+			default: // beyond the horizon: overflow path
+				push(time.Duration(int64(300*time.Millisecond) + rng.Int63n(int64(5*time.Second))))
+			}
+		}
+		got := drainCal(&cal)
+		if len(got) != n {
+			t.Fatalf("trial %d: calendar queue returned %d events, pushed %d", trial, len(got), n)
+		}
+		for i := range got {
+			want := heap.pop()
+			if got[i].at != want.at || got[i].seq != want.seq {
+				t.Fatalf("trial %d: pop %d = (at %v, seq %d), heap order wants (at %v, seq %d)",
+					trial, i, got[i].at, got[i].seq, want.at, want.seq)
+			}
+		}
+	}
+}
+
+// TestCalQueueInterleavedPushPop mirrors Run's actual access pattern:
+// pops interleaved with pushes at or after the last popped timestamp
+// (the simulator's at >= now invariant), including same-timestamp
+// re-enqueues (Loopback) that must drain after the current batch.
+func TestCalQueueInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		var cal calQueue
+		var heap eventHeap
+		seq := 0
+		now := time.Duration(0)
+		push := func(at time.Duration) {
+			seq++
+			ev := event{at: at, seq: seq}
+			cal.push(ev)
+			heap.push(ev)
+		}
+		for i := 0; i < 20; i++ {
+			push(now + time.Duration(rng.Int63n(int64(3*time.Millisecond))))
+		}
+		var batch []event
+		for cal.Len() > 0 {
+			batch = cal.popBatch(batch[:0])
+			if len(batch) == 0 {
+				t.Fatal("popBatch returned nothing from a nonempty queue")
+			}
+			now = batch[0].at
+			for _, got := range batch {
+				want := heap.pop()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("trial %d: got (at %v, seq %d), want (at %v, seq %d)",
+						trial, got.at, got.seq, want.at, want.seq)
+				}
+				if got.at != now {
+					t.Fatalf("trial %d: batch mixes timestamps %v and %v", trial, now, got.at)
+				}
+				// Simulate Receive: sometimes loop back at now, sometimes
+				// forward with a delay, occasionally far future.
+				switch rng.Intn(6) {
+				case 0:
+					push(now) // Loopback
+				case 1, 2:
+					push(now + time.Millisecond) // Forward
+				case 3:
+					push(now + time.Duration(rng.Int63n(int64(400*time.Millisecond))))
+				}
+			}
+		}
+		if heap.Len() != 0 {
+			t.Fatalf("trial %d: calendar queue drained but heap holds %d events", trial, heap.Len())
+		}
+	}
+}
+
+// TestCalQueueEmptyJump: after a full drain, a push far in the future
+// must not pay a bucket-by-bucket scan — the ring jumps. This is a
+// behavioural smoke test (it would time out if the jump regressed to a
+// linear scan over ~1e9 buckets).
+func TestCalQueueEmptyJump(t *testing.T) {
+	var q calQueue
+	q.push(event{at: time.Millisecond, seq: 1})
+	if got := q.popBatch(nil); len(got) != 1 {
+		t.Fatalf("popBatch = %d events, want 1", len(got))
+	}
+	q.push(event{at: 20 * time.Minute, seq: 2})
+	if got := q.peekAt(); got != 20*time.Minute {
+		t.Fatalf("peekAt = %v, want 20m", got)
+	}
+	got := q.popBatch(nil)
+	if len(got) != 1 || got[0].seq != 2 {
+		t.Fatalf("popBatch after idle gap = %+v", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue size %d after draining everything", q.Len())
+	}
+}

@@ -124,66 +124,15 @@ type event struct {
 	pkt Packet
 }
 
-// eventHeap orders events by time, then arrival order. The sift
-// operations are hand-rolled rather than container/heap so events are
-// never boxed in an interface — the queue churns hundreds of thousands
-// of events per study run, and heap.Push/heap.Pop would cost an
-// allocation each.
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-// push appends an event and restores the heap invariant.
-func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	q := *h
-	for j := len(q) - 1; j > 0; {
-		i := (j - 1) / 2 // parent
-		if !q.less(j, i) {
-			break
-		}
-		q[i], q[j] = q[j], q[i]
-		j = i
-	}
-}
-
-// pop removes and returns the earliest event.
-func (h *eventHeap) pop() event {
-	q := *h
-	ev := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q[n] = event{} // release the Device and Payload references
-	q = q[:n]
-	*h = q
-	for i := 0; ; {
-		j := 2*i + 1 // left child
-		if j >= n {
-			break
-		}
-		if r := j + 1; r < n && q.less(r, j) {
-			j = r
-		}
-		if !q.less(j, i) {
-			break
-		}
-		q[i], q[j] = q[j], q[i]
-		i = j
-	}
-	return ev
-}
-
-// Network is the virtual-time event loop tying devices together.
+// Network is the virtual-time event loop tying devices together. The
+// event queue is a calendar queue (see calqueue.go); events are totally
+// ordered by (at, seq), so delivery order is deterministic and
+// independent of the queue's internal layout.
 type Network struct {
-	queue    eventHeap
-	seq      int // trace sequence
-	eventSeq int // event tiebreak sequence
+	queue    calQueue
+	batch    []event // reused popBatch buffer
+	seq      int     // trace sequence
+	eventSeq int     // event tiebreak sequence
 	now      time.Duration
 	taps     []func(TraceEvent)
 
@@ -276,7 +225,6 @@ func (n *Network) lose() bool {
 // NewNetwork returns an empty network with a generous event budget.
 func NewNetwork() *Network {
 	return &Network{
-		queue:              make(eventHeap, 0, 256),
 		MaxEvents:          1 << 20,
 		DefaultEgressDelay: time.Millisecond,
 	}
@@ -340,6 +288,13 @@ var ErrEventBudget = errors.New("netsim: event budget exhausted (forwarding loop
 
 // Run drains the event queue in virtual-time order. It returns the
 // number of events processed.
+//
+// Events are drained in batches sharing one timestamp: the clock
+// advances once per batch and the per-event work reduces to the
+// dispatch itself. Receives may enqueue new events at the same
+// timestamp (Loopback); those carry higher seqs than the whole batch,
+// so processing them in the next batch preserves the (at, seq) total
+// order.
 func (n *Network) Run() (int, error) {
 	processed := 0
 	// One Ctx serves the whole drain: devices only use it synchronously
@@ -347,17 +302,23 @@ func (n *Network) Run() (int, error) {
 	// allocation per delivery.
 	ctx := Ctx{net: n}
 	for n.queue.Len() > 0 {
-		if processed >= n.MaxEvents {
-			return processed, fmt.Errorf("%w after %d events", ErrEventBudget, processed)
+		n.batch = n.queue.popBatch(n.batch[:0])
+		if at := n.batch[0].at; at > n.now {
+			n.now = at
 		}
-		ev := n.queue.pop()
-		if ev.at > n.now {
-			n.now = ev.at
+		for i := range n.batch {
+			if processed >= n.MaxEvents {
+				return processed, fmt.Errorf("%w after %d events", ErrEventBudget, processed)
+			}
+			processed++
+			ev := &n.batch[i]
+			ctx.dev = ev.dev
+			n.trace(ev.dev, TraceRecv, ev.pkt, "")
+			ev.dev.Receive(&ctx, ev.pkt)
+			// Release the Device and Payload references so the reused
+			// batch buffer never pins a processed packet's storage.
+			*ev = event{}
 		}
-		processed++
-		ctx.dev = ev.dev
-		n.trace(ev.dev, TraceRecv, ev.pkt, "")
-		ev.dev.Receive(&ctx, ev.pkt)
 	}
 	return processed, nil
 }

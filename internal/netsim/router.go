@@ -112,6 +112,43 @@ type Router struct {
 	lengths4 []int // descending, rebuilt when stale
 	lengths6 []int
 	stale    bool
+
+	// cache4/cache6 memoize recent lookupRoute results. Routers forward
+	// long runs of packets between the same few endpoints (a probe's
+	// WAN address and a handful of resolvers), so a tiny cache converts
+	// the per-length prefix-map probes into a few address compares.
+	// Invalidated with the lengths whenever the table changes.
+	cache4 lookupCache
+	cache6 lookupCache
+}
+
+// lookupCacheSlots is the per-family memo size: big enough for the
+// endpoints of one in-flight exchange (client, resolver, next hop,
+// ICMP source), small enough to scan in a few compares.
+const lookupCacheSlots = 4
+
+// lookupCache is a tiny round-robin memo of lookupRoute results. A hit
+// may carry a nil route — "no route" is as cacheable as a match.
+type lookupCache struct {
+	dst  [lookupCacheSlots]netip.Addr
+	rt   [lookupCacheSlots]*Route
+	ok   [lookupCacheSlots]bool
+	next int
+}
+
+func (c *lookupCache) get(d netip.Addr) (*Route, bool) {
+	for i := range c.dst {
+		if c.ok[i] && c.dst[i] == d {
+			return c.rt[i], true
+		}
+	}
+	return nil, false
+}
+
+func (c *lookupCache) put(d netip.Addr, rt *Route) {
+	i := c.next
+	c.dst[i], c.rt[i], c.ok[i] = d, rt, true
+	c.next = (i + 1) % lookupCacheSlots
 }
 
 // NewRouter returns a router with the given local addresses.
@@ -227,28 +264,38 @@ func (r *Router) AddDefaultRouteFiltered(next Device, filter func(Packet) (bool,
 	r.AddRouteFiltered(netip.MustParsePrefix("::/0"), next, filter)
 }
 
-// lookupRoute performs longest-prefix-match over the table.
+// lookupRoute performs longest-prefix-match over the table, memoized
+// per destination. The memo is pure: it only short-circuits a repeat of
+// the identical lookup, and any table change invalidates it via stale.
 func (r *Router) lookupRoute(dst netip.Addr) *Route {
 	if r.stale {
 		r.lengths4 = sortedLengthsDesc(r.routes4)
 		r.lengths6 = sortedLengthsDesc(r.routes6)
+		r.cache4 = lookupCache{}
+		r.cache6 = lookupCache{}
 		r.stale = false
 	}
 	d := dst.Unmap()
-	table, lengths := r.routes4, r.lengths4
+	table, lengths, cache := r.routes4, r.lengths4, &r.cache4
 	if d.Is6() {
-		table, lengths = r.routes6, r.lengths6
+		table, lengths, cache = r.routes6, r.lengths6, &r.cache6
 	}
+	if rt, ok := cache.get(d); ok {
+		return rt
+	}
+	var hit *Route
 	for _, bits := range lengths {
 		p, err := d.Prefix(bits)
 		if err != nil {
 			continue
 		}
 		if rt, ok := table[bits][p]; ok {
-			return rt
+			hit = rt
+			break
 		}
 	}
-	return nil
+	cache.put(d, hit)
+	return hit
 }
 
 // sortedLengthsDesc lists a table's prefix lengths, longest first.

@@ -62,7 +62,14 @@ func RunSharded(spec Spec, opts EngineOptions) *Results {
 	// One template backs every shard: the signed zones, org roster, and
 	// dealt seats are immutable after construction, so the goroutines
 	// below only read it (the happens-before edge is goroutine creation).
+	// Shard builds already run concurrently, so each gets its share of
+	// the machine for its own parallel org population.
 	tpl := NewWorldTemplate(spec)
+	if bw := runtime.GOMAXPROCS(0) / workers; bw > 1 {
+		tpl.BuildWorkers = bw
+	} else {
+		tpl.BuildWorkers = 1
+	}
 
 	shards := make([][]*ProbeRecord, workers)
 	shardRegs := make([]*metrics.Registry, workers)

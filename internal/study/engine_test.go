@@ -2,6 +2,7 @@ package study_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -36,6 +37,43 @@ func respondedTotals(res *study.Results) map[study.ExpKey]int {
 		}
 	}
 	return out
+}
+
+// TestParallelBuildMatchesSerial pins the parallel world build: a
+// world populated with many org-build workers renders byte-identical
+// output to one populated serially. GOMAXPROCS is not part of the
+// determinism surface, so the worker counts are forced explicitly —
+// this is what exercises the parallel path on single-core CI.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	spec := study.PaperSpec().Scale(0.05)
+
+	serialTpl := study.NewWorldTemplate(spec)
+	serialTpl.BuildWorkers = 1
+	want := renderAll(study.Run(serialTpl.Build(spec)))
+
+	for _, workers := range []int{4, 16} {
+		tpl := study.NewWorldTemplate(spec)
+		tpl.BuildWorkers = workers
+		if got := renderAll(study.Run(tpl.Build(spec))); got != want {
+			t.Errorf("BuildWorkers=%d world diverges from serial build:\n%s\n---\n%s", workers, got, want)
+		}
+	}
+
+	// Sharded worlds built in parallel must agree with the serial world
+	// too (stubs, address allocators, and RNG replay all line up).
+	tpl := study.NewWorldTemplate(spec)
+	tpl.BuildWorkers = 8
+	var merged []*study.ProbeRecord
+	for k := 0; k < 3; k++ {
+		merged = append(merged, study.Run(tpl.Build(spec.Shard(k, 3))).Records...)
+	}
+	sharded := &study.Results{World: serialTpl.Build(spec), Records: merged}
+	sort.Slice(sharded.Records, func(i, j int) bool {
+		return sharded.Records[i].Probe.ID < sharded.Records[j].Probe.ID
+	})
+	if got := renderAll(sharded); got != want {
+		t.Error("parallel-built shard worlds diverge from the serial build")
+	}
 }
 
 // TestShardedEngineDeterministic runs the study serially and at several

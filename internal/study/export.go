@@ -44,7 +44,20 @@ type ProbeExport struct {
 // ExportRecord flattens one record — the unit both the bulk Export and
 // the streaming sinks serialize.
 func ExportRecord(rec *ProbeRecord) ProbeExport {
-	e := ProbeExport{
+	var e ProbeExport
+	ExportRecordInto(rec, &e)
+	return e
+}
+
+// ExportRecordInto flattens one record into an existing export,
+// reusing its slice capacity — the streaming pipeline's per-record
+// path, which serializes one probe at a time and would otherwise pay
+// two slice allocations per intercepted probe. Every field is
+// overwritten; the slices alias the export's previous backing arrays,
+// so the caller must serialize the export before the next call.
+func ExportRecordInto(rec *ProbeRecord, e *ProbeExport) {
+	v4, v6 := e.InterceptedV4[:0], e.InterceptedV6[:0]
+	*e = ProbeExport{
 		ProbeID:       rec.Probe.ID,
 		Country:       rec.Probe.Country,
 		ASN:           rec.Probe.ASN,
@@ -57,13 +70,12 @@ func ExportRecord(rec *ProbeRecord) ProbeExport {
 	if rec.Report != nil {
 		e.Verdict = string(rec.Report.Verdict)
 		e.Transparency = string(rec.Report.Transparency)
-		e.InterceptedV4 = idsToStrings(rec.Report.InterceptedV4)
-		e.InterceptedV6 = idsToStrings(rec.Report.InterceptedV6)
+		e.InterceptedV4 = appendIDStrings(v4, rec.Report.InterceptedV4)
+		e.InterceptedV6 = appendIDStrings(v6, rec.Report.InterceptedV6)
 		e.CPEFingerprint = rec.Report.CPEString
 		e.InconclusiveSteps = rec.Report.InconclusiveSteps()
 	}
 	e.Error = rec.Err
-	return e
 }
 
 // Export flattens the results for JSON serialization.
@@ -103,29 +115,52 @@ type RecordSink interface {
 	Close() error
 }
 
+// sinkBufSize is the write-buffer size shared by the file sinks. Rows
+// are ~200 bytes, so a quarter-megabyte buffer turns per-record writes
+// into one syscall per ~1300 records; the streaming engine flushes
+// before every checkpoint, so durability is bounded by the checkpoint
+// interval, not the buffer.
+const sinkBufSize = 1 << 18
+
+// SinkFlusher is implemented by sinks whose Append buffers rows in
+// memory. The streaming engine flushes before writing each checkpoint
+// so the checkpoint cursor never runs ahead of the sink's durable
+// bytes (the resume protocol truncates surplus rows, but can never
+// reconstruct missing ones).
+type SinkFlusher interface {
+	Flush() error
+}
+
 // JSONLSink streams exports as one JSON object per line. Opened in
 // append mode by a resumed run, a shard's file ends up byte-identical
 // to an uninterrupted run's.
 type JSONLSink struct {
-	w  *bufio.Writer
-	c  io.Closer
-	er *json.Encoder
+	w   *bufio.Writer
+	c   io.Closer
+	buf []byte // reused per-line encode buffer
 }
 
 // NewJSONLSink wraps a writer; Close flushes, and closes w if it is an
 // io.Closer.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	bw := bufio.NewWriter(w)
-	s := &JSONLSink{w: bw, er: json.NewEncoder(bw)}
+	s := &JSONLSink{w: bufio.NewWriterSize(w, sinkBufSize)}
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
 	return s
 }
 
-// Append implements RecordSink. json.Encoder terminates each object
-// with a newline, giving the JSONL framing for free.
-func (s *JSONLSink) Append(e ProbeExport) error { return s.er.Encode(e) }
+// Append implements RecordSink via the hand-rolled encoder in
+// jsonl.go, which is byte-identical to json.Encoder including the
+// newline framing.
+func (s *JSONLSink) Append(e ProbeExport) error {
+	s.buf = appendExportJSONLine(s.buf[:0], &e)
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// Flush implements SinkFlusher.
+func (s *JSONLSink) Flush() error { return s.w.Flush() }
 
 // Close flushes and releases the underlying writer.
 func (s *JSONLSink) Close() error {
@@ -148,15 +183,18 @@ var csvHeader = []string{
 // CSVSink streams exports as CSV rows. Multi-valued fields are joined
 // with "+" so the row count stays one per probe.
 type CSVSink struct {
-	w *csv.Writer
-	c io.Closer
+	w   *csv.Writer
+	bw  *bufio.Writer
+	c   io.Closer
+	row []string // reused per-append row buffer
 }
 
 // NewCSVSink wraps a writer. With header true the first Append is
 // preceded by the column header row (a resumed shard appends to an
 // existing file and passes false).
 func NewCSVSink(w io.Writer, header bool) (*CSVSink, error) {
-	s := &CSVSink{w: csv.NewWriter(w)}
+	bw := bufio.NewWriterSize(w, sinkBufSize)
+	s := &CSVSink{w: csv.NewWriter(bw), bw: bw}
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
@@ -170,19 +208,29 @@ func NewCSVSink(w io.Writer, header bool) (*CSVSink, error) {
 
 // Append implements RecordSink.
 func (s *CSVSink) Append(e ProbeExport) error {
-	return s.w.Write([]string{
+	s.row = append(s.row[:0],
 		strconv.Itoa(e.ProbeID), e.Country, strconv.Itoa(e.ASN), e.Org,
 		strconv.FormatBool(e.HasIPv6), strconv.FormatBool(e.Responded),
 		e.Verdict, e.Transparency,
 		strings.Join(e.InterceptedV4, "+"), strings.Join(e.InterceptedV6, "+"),
 		e.CPEFingerprint, e.Error, e.TruthLocation, e.TruthPersona,
-	})
+	)
+	return s.w.Write(s.row)
+}
+
+// Flush implements SinkFlusher: both the csv.Writer's internal buffer
+// and the byte buffer beneath it.
+func (s *CSVSink) Flush() error {
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		return err
+	}
+	return s.bw.Flush()
 }
 
 // Close flushes and releases the underlying writer.
 func (s *CSVSink) Close() error {
-	s.w.Flush()
-	err := s.w.Error()
+	err := s.Flush()
 	if s.c != nil {
 		if cerr := s.c.Close(); err == nil {
 			err = cerr
@@ -196,9 +244,17 @@ func idsToStrings(ids []publicdns.ID) []string {
 	if len(ids) == 0 {
 		return nil
 	}
-	out := make([]string, len(ids))
-	for i, id := range ids {
-		out[i] = string(id)
+	return appendIDStrings(nil, ids)
+}
+
+// appendIDStrings appends operator IDs to dst, returning nil for an
+// empty set so omitempty JSON stays identical to idsToStrings' output.
+func appendIDStrings(dst []string, ids []publicdns.ID) []string {
+	if len(ids) == 0 {
+		return nil
 	}
-	return out
+	for _, id := range ids {
+		dst = append(dst, string(id))
+	}
+	return dst
 }

@@ -1,0 +1,157 @@
+package study
+
+import (
+	"strconv"
+	"unicode/utf8"
+)
+
+// Hand-rolled JSONL encoding for ProbeExport. The streaming pipeline
+// serializes one export per completed probe; encoding/json's reflective
+// encoder was a measurable slice of that per-record cost. This encoder
+// produces output byte-identical to json.Encoder (field order, omitempty
+// behaviour, HTML-escaping of < > &, U+FFFD escape sequences for
+// invalid UTF-8, and the trailing newline), which TestAppendExportJSONMatchesEncodingJSON
+// enforces against randomized exports — any drift between ProbeExport's
+// tags and this encoder fails that test.
+
+// jsonSafeSet marks the ASCII bytes json.Encoder emits verbatim inside
+// a string: printable, minus the JSON metacharacters and the
+// HTML-escaped trio.
+var jsonSafeSet = func() (safe [utf8.RuneSelf]bool) {
+	// 0x7F (DEL) is deliberately in range: encoding/json does not escape it.
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		safe[b] = true
+	}
+	for _, b := range []byte{'"', '\\', '<', '>', '&'} {
+		safe[b] = false
+	}
+	return
+}()
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, replicating
+// encoding/json's default (HTML-escaping) encoder byte for byte.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafeSet[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			default:
+				// Control bytes and the HTML trio: \u00XX-style escapes
+				// (<, >, & for < > &).
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[b>>4], jsonHex[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', jsonHex[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONStrings appends a []string as a JSON array.
+func appendJSONStrings(dst []byte, ss []string) []byte {
+	dst = append(dst, '[')
+	for i, s := range ss {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, s)
+	}
+	return append(dst, ']')
+}
+
+func appendJSONBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendExportJSONLine appends one export as a JSONL line (object plus
+// newline), matching json.Encoder.Encode(e) exactly.
+func appendExportJSONLine(dst []byte, e *ProbeExport) []byte {
+	dst = append(dst, `{"probe_id":`...)
+	dst = strconv.AppendInt(dst, int64(e.ProbeID), 10)
+	dst = append(dst, `,"country":`...)
+	dst = appendJSONString(dst, e.Country)
+	dst = append(dst, `,"asn":`...)
+	dst = strconv.AppendInt(dst, int64(e.ASN), 10)
+	dst = append(dst, `,"org":`...)
+	dst = appendJSONString(dst, e.Org)
+	dst = append(dst, `,"has_ipv6":`...)
+	dst = appendJSONBool(dst, e.HasIPv6)
+	dst = append(dst, `,"responded":`...)
+	dst = appendJSONBool(dst, e.Responded)
+	if e.Verdict != "" {
+		dst = append(dst, `,"verdict":`...)
+		dst = appendJSONString(dst, e.Verdict)
+	}
+	if e.Transparency != "" {
+		dst = append(dst, `,"transparency":`...)
+		dst = appendJSONString(dst, e.Transparency)
+	}
+	if len(e.InterceptedV4) > 0 {
+		dst = append(dst, `,"intercepted_v4":`...)
+		dst = appendJSONStrings(dst, e.InterceptedV4)
+	}
+	if len(e.InterceptedV6) > 0 {
+		dst = append(dst, `,"intercepted_v6":`...)
+		dst = appendJSONStrings(dst, e.InterceptedV6)
+	}
+	if e.CPEFingerprint != "" {
+		dst = append(dst, `,"cpe_fingerprint":`...)
+		dst = appendJSONString(dst, e.CPEFingerprint)
+	}
+	if e.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, e.Error)
+	}
+	if len(e.InconclusiveSteps) > 0 {
+		dst = append(dst, `,"inconclusive_steps":`...)
+		dst = appendJSONStrings(dst, e.InconclusiveSteps)
+	}
+	dst = append(dst, `,"truth_location":`...)
+	dst = appendJSONString(dst, e.TruthLocation)
+	if e.TruthPersona != "" {
+		dst = append(dst, `,"truth_persona":`...)
+		dst = appendJSONString(dst, e.TruthPersona)
+	}
+	return append(dst, '}', '\n')
+}

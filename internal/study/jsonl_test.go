@@ -1,0 +1,127 @@
+package study
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// jsonNasty is the adversarial string corpus for the encoder property
+// test: every escaping class encoding/json distinguishes — quotes,
+// backslashes, the HTML trio, named and numeric control escapes, DEL,
+// multi-byte UTF-8, the JS line separators U+2028/U+2029, and invalid
+// UTF-8 byte sequences.
+var jsonNasty = []string{
+	"",
+	"plain ascii",
+	`with "quotes" and \backslashes\`,
+	"<script>&amp;</script>",
+	"a<b>c&d",
+	"tab\there\nnewline\rcarriage",
+	"ctrl\x00\x01\x1f bytes",
+	"del\x7fchar",
+	"héllo wörld 日本語",
+	"line\u2028and\u2029separators",
+	"invalid\xff\xfe utf8",
+	"trunc\xc3 continuation",
+	"mixed <&> \x02 \xe2\x28\xa1 end",
+	"emoji \U0001f389 tail",
+}
+
+// randomNasty assembles a string from random corpus pieces and raw
+// random bytes, so concatenation seams (escape at start/end, adjacent
+// escapes) are exercised too.
+func randomNasty(rng *rand.Rand) string {
+	var sb bytes.Buffer
+	for n := rng.Intn(4); n >= 0; n-- {
+		if rng.Intn(3) == 0 {
+			for b := rng.Intn(6); b >= 0; b-- {
+				sb.WriteByte(byte(rng.Intn(256)))
+			}
+		} else {
+			sb.WriteString(jsonNasty[rng.Intn(len(jsonNasty))])
+		}
+	}
+	return sb.String()
+}
+
+// randomStrings returns nil, empty, or a populated slice — all three
+// omitempty-relevant shapes.
+func randomStrings(rng *rand.Rand) []string {
+	switch rng.Intn(4) {
+	case 0:
+		return nil
+	case 1:
+		return []string{}
+	default:
+		out := make([]string, rng.Intn(3)+1)
+		for i := range out {
+			out[i] = randomNasty(rng)
+		}
+		return out
+	}
+}
+
+func randomExport(rng *rand.Rand) ProbeExport {
+	maybe := func() string {
+		if rng.Intn(2) == 0 {
+			return ""
+		}
+		return randomNasty(rng)
+	}
+	return ProbeExport{
+		ProbeID:           rng.Intn(1 << 20),
+		Country:           randomNasty(rng),
+		ASN:               rng.Intn(1 << 17),
+		Org:               randomNasty(rng),
+		HasIPv6:           rng.Intn(2) == 0,
+		Responded:         rng.Intn(2) == 0,
+		Verdict:           maybe(),
+		Transparency:      maybe(),
+		InterceptedV4:     randomStrings(rng),
+		InterceptedV6:     randomStrings(rng),
+		CPEFingerprint:    maybe(),
+		Error:             maybe(),
+		InconclusiveSteps: randomStrings(rng),
+		TruthLocation:     randomNasty(rng),
+		TruthPersona:      maybe(),
+	}
+}
+
+// TestAppendExportJSONMatchesEncodingJSON pins the hand-rolled JSONL
+// encoder to json.Encoder byte for byte, across randomized adversarial
+// exports. Any drift — a new ProbeExport field, changed tag order, an
+// escaping difference — fails here before it can corrupt a sink file's
+// byte-identity guarantees.
+func TestAppendExportJSONMatchesEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	var wantBuf bytes.Buffer
+	enc := json.NewEncoder(&wantBuf)
+	var got []byte
+	for trial := 0; trial < 5000; trial++ {
+		e := randomExport(rng)
+		wantBuf.Reset()
+		if err := enc.Encode(&e); err != nil {
+			t.Fatalf("trial %d: json.Encoder: %v", trial, err)
+		}
+		got = appendExportJSONLine(got[:0], &e)
+		if !bytes.Equal(got, wantBuf.Bytes()) {
+			t.Fatalf("trial %d: encoder drift\nexport: %+v\n got: %q\nwant: %q",
+				trial, e, got, wantBuf.Bytes())
+		}
+	}
+}
+
+// TestAppendExportJSONZeroValue covers the all-omitted shape explicitly.
+func TestAppendExportJSONZeroValue(t *testing.T) {
+	var e ProbeExport
+	want, err := json.Marshal(&e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := appendExportJSONLine(nil, &e)
+	if string(got) != string(want)+"\n" {
+		t.Fatalf("zero value: got %q, want %q", got, string(want)+"\n")
+	}
+}

@@ -216,6 +216,13 @@ func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
 	}
 
 	tpl := NewWorldTemplate(spec)
+	// Shard builds run concurrently; split the machine between them for
+	// each one's parallel org population.
+	if bw := runtime.GOMAXPROCS(0) / workers; bw > 1 {
+		tpl.BuildWorkers = bw
+	} else {
+		tpl.BuildWorkers = 1
+	}
 	accs := make([]Accumulator, workers)
 	shardRegs := make([]*metrics.Registry, workers)
 	shardErrs := make([]string, workers)
@@ -324,16 +331,33 @@ func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOp
 		every = 1000
 	}
 
+	var flusher SinkFlusher
+	if f, ok := sink.(SinkFlusher); ok {
+		flusher = f
+	}
+
 	var ioErr error
+	var exp ProbeExport // reused across records; serialized before the next fill
 	streamRecords(world, skip, func(rec *ProbeRecord) bool {
 		acc.Fold(rec)
 		if sink != nil && ioErr == nil {
-			ioErr = sink.Append(ExportRecord(rec))
+			ExportRecordInto(rec, &exp)
+			ioErr = sink.Append(exp)
 		}
 		folded++
 		if ckPath != "" && folded%every == 0 && ioErr == nil {
-			if ioErr = writeCheckpoint(ckPath, fingerprint, skip+folded, acc, reg); ioErr == nil {
-				world.studyMetrics.noteCheckpoint()
+			// The checkpoint cursor must never run ahead of the sink's
+			// durable rows: flush buffered appends first, so a kill right
+			// after the checkpoint leaves at least cursor rows on disk
+			// (surplus rows are truncated on resume; missing rows would be
+			// unrecoverable).
+			if flusher != nil {
+				ioErr = flusher.Flush()
+			}
+			if ioErr == nil {
+				if ioErr = writeCheckpoint(ckPath, fingerprint, skip+folded, acc, reg); ioErr == nil {
+					world.studyMetrics.noteCheckpoint()
+				}
 			}
 		}
 		if opts.StopAfterProbes > 0 && folded >= opts.StopAfterProbes {

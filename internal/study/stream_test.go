@@ -238,6 +238,97 @@ func TestStreamCheckpointResume(t *testing.T) {
 	}
 }
 
+// killSink wraps a JSONL sink but models a kill -9 at shutdown: Close
+// closes the file WITHOUT flushing the sink's buffer, so every row
+// appended since the last explicit Flush is lost — exactly what a
+// buffered sink leaves behind when the process dies.
+type killSink struct {
+	inner *study.JSONLSink
+	f     *os.File
+}
+
+func (s *killSink) Append(e study.ProbeExport) error { return s.inner.Append(e) }
+func (s *killSink) Flush() error                     { return s.inner.Flush() }
+func (s *killSink) Close() error                     { return s.f.Close() }
+
+// TestStreamKillSinkResume is the sink-buffering half of the kill
+// contract: rows buffered in a sink when the process dies are lost,
+// but because each checkpoint flushes the sink first, the file always
+// holds at least the cursor's rows. Resume truncates the surplus and
+// appends; the finished files are byte-identical to an uninterrupted
+// run's — no row duplicated, none lost. Before the flush-before-
+// checkpoint fix this test failed in TruncateSinkFile: the checkpoint
+// cursor claimed rows the dead sink's buffer never wrote.
+func TestStreamKillSinkResume(t *testing.T) {
+	spec := streamSpec()
+	const workers = 2
+
+	refDir := t.TempDir()
+	ref := streamOpts(workers)
+	ref.NewSink = fileSinks(t, refDir)
+	refRes, err := study.RunStreamed(spec, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderStream(t, refRes)
+	wantSinks := readSinks(t, refDir, workers)
+
+	// Killed run: checkpoints at 10 and 20, halt at 25 — five rows die
+	// in the sink buffer because killSink.Close never flushes.
+	ckDir := t.TempDir()
+	sinkDir := t.TempDir()
+	killed := streamOpts(workers)
+	killed.CheckpointDir = ckDir
+	killed.CheckpointEvery = 10
+	killed.StopAfterProbes = 25
+	killed.NewSink = func(k, workers, resumedAt int) (study.RecordSink, error) {
+		path := sinkPath(sinkDir, k, workers)
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &killSink{inner: study.NewJSONLSink(f), f: f}, nil
+	}
+	kRes, err := study.RunStreamed(spec, killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kRes.Stopped {
+		t.Fatal("StopAfterProbes did not halt the run")
+	}
+	for k := 0; k < workers; k++ {
+		blob, err := os.ReadFile(sinkPath(sinkDir, k, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The checkpoint-time flushes persisted exactly the cursor's 20
+		// rows; the 5 appended after the last checkpoint died buffered.
+		if lines := bytes.Count(blob, []byte{'\n'}); lines != 20 {
+			t.Errorf("shard %d sink holds %d rows after kill, want the checkpoint cursor's 20", k, lines)
+		}
+	}
+
+	resumed := streamOpts(workers)
+	resumed.CheckpointDir = ckDir
+	resumed.CheckpointEvery = 10
+	resumed.Resume = true
+	resumed.NewSink = fileSinks(t, sinkDir)
+	rRes, err := study.RunStreamed(spec, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRes.Skipped == 0 {
+		t.Error("resumed run skipped no probes — checkpoints were not loaded")
+	}
+	if got := renderStream(t, rRes); got != want {
+		t.Errorf("resume after buffered-sink kill diverges from uninterrupted run")
+	}
+	if got := readSinks(t, sinkDir, workers); got != wantSinks {
+		t.Errorf("sink files after buffered-sink kill + resume diverge (%d vs %d bytes)",
+			len(got), len(wantSinks))
+	}
+}
+
 // TestStreamResumeRejectsForeignCheckpoint: a checkpoint written by a
 // different run shape must fail the shard, not silently seed it with
 // wrong state.

@@ -1,8 +1,8 @@
 package study
 
 import (
-	"math/rand"
 	"net/netip"
+	"runtime"
 	"time"
 
 	"github.com/dnswatch/dnsloc/internal/atlas"
@@ -34,6 +34,19 @@ type WorldTemplate struct {
 	orgs         []geo.Org
 	probesPerOrg map[int]int
 	seats        map[int][]*seat
+
+	// plans is the frozen population plan: per org, the segment layout,
+	// seat placement, and every Seed+1 RNG draw the serial build would
+	// make, in order. Worlds replay it instead of drawing, which is what
+	// makes the per-org parallel population below deterministic.
+	plans []orgPlan
+
+	// BuildWorkers caps the goroutines one Build uses to populate orgs
+	// in parallel; <= 0 means GOMAXPROCS. The sharded engines set it to
+	// GOMAXPROCS/workers so concurrent shard builds do not oversubscribe
+	// the machine. Set before the first Build; the template is read-only
+	// during builds.
+	BuildWorkers int
 }
 
 // NewWorldTemplate precomputes the shard-invariant parts of a world.
@@ -43,12 +56,14 @@ type WorldTemplate struct {
 func NewWorldTemplate(spec Spec) *WorldTemplate {
 	orgs := geo.Orgs() // descending weight, deterministic
 	probesPerOrg := probeQuota(spec.TotalProbes, orgs)
+	seats := dealSeats(spec, orgs, probesPerOrg)
 	return &WorldTemplate{
 		spec:         spec,
 		zones:        backbone.BuildZones(),
 		orgs:         orgs,
 		probesPerOrg: probesPerOrg,
-		seats:        dealSeats(spec, orgs, probesPerOrg),
+		seats:        seats,
+		plans:        planOrgs(spec, orgs, probesPerOrg, seats),
 	}
 }
 
@@ -83,19 +98,18 @@ func (t *WorldTemplate) Build(spec Spec) *World {
 	w.Platform = atlas.NewPlatform(w.Net, spec.Seed)
 	w.Platform.Retry = spec.Retry
 	w.Platform.Metrics = core.NewMetricSet(w.Metrics)
-	rng := rand.New(rand.NewSource(spec.Seed + 1))
 
-	w.buildISPs(t.orgs)
+	w.buildISPs(t.orgs, t.plans)
 	w.buildTransitInterceptors()
-
-	probeID := 1000
-	for _, org := range t.orgs {
-		n := t.probesPerOrg[org.ASN]
-		if n == 0 {
-			continue
-		}
-		w.populateOrg(org, n, t.seats[org.ASN], &probeID, rng)
-	}
+	w.populatePlans(t.plans, t.buildWorkers())
 	w.studyMetrics.observeBuild(time.Since(buildStart))
 	return w
+}
+
+// buildWorkers resolves the population parallelism for one Build.
+func (t *WorldTemplate) buildWorkers() int {
+	if t.BuildWorkers > 0 {
+		return t.BuildWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }

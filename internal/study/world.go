@@ -6,6 +6,8 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/dnswatch/dnsloc/internal/atlas"
 	"github.com/dnswatch/dnsloc/internal/backbone"
@@ -73,8 +75,25 @@ func BuildWorld(spec Spec) *World {
 	return NewWorldTemplate(spec).Build(spec)
 }
 
-// buildISPs attaches one AS per organization.
-func (w *World) buildISPs(orgs []geo.Org) {
+// overflowPrefixes is the overflow bank layout: bank b puts org i at
+// {33+b}.i.0.0/16 / 2a0b:00ii::/48 — parallel to the primary layout,
+// so no existing address moves and banks never collide across orgs.
+func overflowPrefixes(block, idx int) (v4, v6 netip.Prefix) {
+	v4 = netip.PrefixFrom(netip.AddrFrom4([4]byte{33 + byte(block), byte(idx), 0, 0}), 16)
+	v6 = netip.PrefixFrom(netip.AddrFrom16([16]byte{0x2a, byte(block), 0x00, byte(idx + 1)}), 48)
+	return v4, v6
+}
+
+// buildISPs attaches one AS per organization. Overflow banks for orgs
+// whose scaled quota outgrows one /16 are routed here, up front, from
+// the planned segment counts: bank routing mutates the shared backbone
+// routers, which must not happen during the parallel population phase,
+// so the Overflow callback itself is pure address arithmetic.
+func (w *World) buildISPs(orgs []geo.Org, plans []orgPlan) {
+	plannedSegs := make(map[int]int, len(plans))
+	for i := range plans {
+		plannedSegs[plans[i].org.ASN] = len(plans[i].segSpecs)
+	}
 	for i, org := range orgs {
 		country, _ := geo.CountryByCode(org.Country)
 		cfg := isp.Config{
@@ -86,34 +105,34 @@ func (w *World) buildISPs(orgs []geo.Org) {
 			PrefixV6:        netip.PrefixFrom(netip.AddrFrom16([16]byte{0x2a, 0x00, 0x00, byte(i + 1)}), 48),
 			ResolverPersona: ispResolverPersonas[i%len(ispResolverPersonas)],
 		}
-		// Overflow banks for orgs whose scaled quota outgrows one /16:
-		// bank b puts the org at {33+b}.i.0.0/16 / 2a0b:00ii::/48 —
-		// parallel to the primary layout, so no existing address moves
-		// and banks never collide across orgs. Routed like the primary
-		// prefix the first time a bank is touched.
+		// banks is how many overflow banks the org's plan will touch:
+		// segment idx needs bank idx/256, so the highest planned index
+		// bounds the range. A request beyond it means the plan and the
+		// build drifted — fail loudly rather than route packets nowhere.
 		region, idx, asn := cfg.Region, i, org.ASN
-		routed := map[int]bool{}
+		banks := plannedSegs[asn] / 256
 		cfg.Overflow = func(block int) (netip.Prefix, netip.Prefix) {
 			if block > 30 { // 64.x.0.0 belongs to the transit resolvers
 				panic(fmt.Sprintf("study: as%d outgrew every v4 overflow bank", asn))
 			}
-			v4 := netip.PrefixFrom(netip.AddrFrom4([4]byte{33 + byte(block), byte(idx), 0, 0}), 16)
-			v6 := netip.PrefixFrom(netip.AddrFrom16([16]byte{0x2a, byte(block), 0x00, byte(idx + 1)}), 48)
-			if !routed[block] {
-				routed[block] = true
-				border := w.ISPs[asn].Border
-				regional := w.Backbone.Regional[region]
-				regional.AddRoute(v4, border)
-				w.Backbone.Core.AddRoute(v4, regional)
-				regional.AddRoute(v6, border)
-				w.Backbone.Core.AddRoute(v6, regional)
+			if block > banks {
+				panic(fmt.Sprintf("study: as%d requested unplanned overflow bank %d (planned %d)", asn, block, banks))
 			}
-			return v4, v6
+			return overflowPrefixes(block, idx)
 		}
 		n := w.Backbone.AttachISP(cfg)
 		n.Resolver.ChaosCache = w.chaosCache
 		n.Refusing.ChaosCache = w.chaosCache
 		w.ISPs[org.ASN] = n
+
+		regional := w.Backbone.Regional[region]
+		for b := 1; b <= banks && b <= 30; b++ {
+			v4, v6 := overflowPrefixes(b, idx)
+			regional.AddRoute(v4, n.Border)
+			w.Backbone.Core.AddRoute(v4, regional)
+			regional.AddRoute(v6, n.Border)
+			w.Backbone.Core.AddRoute(v6, regional)
+		}
 	}
 }
 
@@ -387,15 +406,79 @@ func dealSeats(spec Spec, orgs []geo.Org, probesPerOrg map[int]int) map[int][]*s
 	return out
 }
 
-// populateOrg creates the org's probes: seat probes first, then clean
-// homes, spread over access segments.
-func (w *World) populateOrg(org geo.Org, probes int, seats []*seat, probeID *int, rng *rand.Rand) {
-	network := w.ISPs[org.ASN]
-	region := publicdns.RegionForCountry(org.Country)
+// plannedProbe is one probe's shard-invariant build decisions: its
+// seat, which of the org's segments it lives on, and the RNG draws
+// (v6, availability) that the serial build made from the Seed+1
+// stream. Capturing the draws at plan time is what lets shard worlds
+// build their orgs concurrently — no RNG call crosses a goroutine
+// because no RNG call happens during population at all.
+type plannedProbe struct {
+	seat     *seat
+	segIndex int // index into the org plan's segSpecs
+	hasV6    bool
+	avail    atlas.Availability
+}
 
-	// Group middlebox seats by identical interception config; each group
-	// gets its own run of access segments, rolled over like clean
-	// segments so a scaled-up group never outgrows its /24.
+// orgPlan is one organization's complete population plan, computed
+// once per template and replayed read-only by every shard world.
+type orgPlan struct {
+	org     geo.Org
+	region  publicdns.Region
+	startID int
+	// segSpecs lists the org's access segments in creation (index)
+	// order; each entry is the seat whose interception config the
+	// segment's middlebox compiles from, nil for a clean segment.
+	segSpecs []*seat
+	probes   []plannedProbe
+}
+
+// planOrgs consumes the Seed+1 RNG stream in the exact order the
+// serial build did — per probe: the v6 draw always, the availability
+// draw only for clean probes — and freezes the result into per-org
+// plans. Probe IDs are assigned by prefix sum: org boundaries fall at
+// the same IDs as the serial build's single running counter.
+func planOrgs(spec Spec, orgs []geo.Org, probesPerOrg map[int]int, seats map[int][]*seat) []orgPlan {
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	plans := make([]orgPlan, 0, len(orgs))
+	nextID := 1000
+	for _, org := range orgs {
+		n := probesPerOrg[org.ASN]
+		if n == 0 {
+			continue
+		}
+		p := planOrg(spec, org, n, seats[org.ASN], rng)
+		p.startID = nextID
+		nextID += n
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// planOrg lays out one org: seat probes first, then clean homes,
+// spread over access segments. Middlebox seats are grouped by
+// identical interception config; each group gets its own run of
+// segments, rolled over like clean segments so a scaled-up group
+// never outgrows its /24.
+func planOrg(spec Spec, org geo.Org, probes int, seats []*seat, rng *rand.Rand) orgPlan {
+	p := orgPlan{org: org, region: publicdns.RegionForCountry(org.Country)}
+	draw := func(s *seat) {
+		pp := plannedProbe{seat: s, segIndex: len(p.segSpecs) - 1, avail: atlas.Full}
+		pp.hasV6 = rng.Float64() < spec.V6Share
+		if s != nil && len(s.PatternV6) > 0 {
+			pp.hasV6 = true
+		}
+		if s == nil {
+			switch r := rng.Float64(); {
+			case r < spec.FullShare:
+			case r < spec.FullShare+spec.PartialShare:
+				pp.avail = atlas.Partial
+			default:
+				pp.avail = atlas.Dead
+			}
+		}
+		p.probes = append(p.probes, pp)
+	}
+
 	mbGroups := make(map[string][]*seat)
 	var plainSeats []*seat // CPE + transit seats live on clean segments
 	for _, s := range seats {
@@ -417,40 +500,139 @@ func (w *World) populateOrg(org geo.Org, probes int, seats []*seat, probeID *int
 	created := 0
 	for _, k := range keys {
 		group := mbGroups[k]
-		var seg *isp.Segment
 		for gi, s := range group {
 			if gi%maxHomesPerSegment == 0 {
-				seg = network.AddSegment(w.middleboxSpec(group[0]))
+				p.segSpecs = append(p.segSpecs, group[0])
 			}
-			w.addProbe(network, seg, org, region, s, probeID, rng)
+			draw(s)
 			created++
 		}
 	}
 
-	// Clean segments host everything else.
-	var seg *isp.Segment
+	// Clean segments host everything else. The first is opened even for
+	// an all-seat org, mirroring the serial build's segment numbering.
+	p.segSpecs = append(p.segSpecs, nil)
 	inSeg := 0
-	nextSeg := func() {
-		seg = network.AddSegment(nil)
-		inSeg = 0
-	}
-	nextSeg()
 	for _, s := range plainSeats {
 		if inSeg >= maxHomesPerSegment {
-			nextSeg()
+			p.segSpecs = append(p.segSpecs, nil)
+			inSeg = 0
 		}
-		w.addProbe(network, seg, org, region, s, probeID, rng)
+		draw(s)
 		inSeg++
 		created++
 	}
 	for created < probes {
 		if inSeg >= maxHomesPerSegment {
-			nextSeg()
+			p.segSpecs = append(p.segSpecs, nil)
+			inSeg = 0
 		}
-		w.addProbe(network, seg, org, region, nil, probeID, rng)
+		draw(nil)
 		inSeg++
 		created++
 	}
+	return p
+}
+
+// transitEntry is one transit seat's DNAT match entry, collected
+// during parallel population and installed serially afterwards.
+type transitEntry struct {
+	region publicdns.Region
+	addr   netip.Addr
+	pat    Pattern
+}
+
+// orgPopulation is one org's population output: the platform roster
+// entries and transit seat patterns it contributes to shared state,
+// applied serially after the parallel phase.
+type orgPopulation struct {
+	probes  []*atlas.Probe
+	transit []transitEntry
+}
+
+// populatePlans builds every org's probes, fanning orgs out over
+// workers goroutines. Everything an org touches during population is
+// org-local (its ISP network, its segments, its CPE devices) or
+// collected into the returned orgPopulation; the shared platform
+// roster and transit pattern tables are filled in serially below, in
+// org order, so the built world is identical to a serial build's.
+func (w *World) populatePlans(plans []orgPlan, workers int) {
+	results := make([]orgPopulation, len(plans))
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers <= 1 {
+		for i := range plans {
+			results[i] = w.populateOrgPlan(&plans[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		panics := make([]any, workers)
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				// A population panic must surface on the Build goroutine,
+				// where the engine's per-shard recover quarantines it.
+				defer func() { panics[wk] = recover() }()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(plans) {
+						return
+					}
+					results[i] = w.populateOrgPlan(&plans[i])
+				}
+			}(wk)
+		}
+		wg.Wait()
+		for _, pv := range panics {
+			if pv != nil {
+				panic(pv)
+			}
+		}
+	}
+	for i := range results {
+		for _, pr := range results[i].probes {
+			w.Platform.Add(pr)
+		}
+		for _, te := range results[i].transit {
+			w.transitSeatPatterns[te.region][te.addr] = te.pat
+		}
+	}
+}
+
+// populateOrgPlan replays one org's plan: segments are created in
+// index order, probes in plan order, exactly as the serial build
+// interleaved them.
+func (w *World) populateOrgPlan(plan *orgPlan) orgPopulation {
+	network := w.ISPs[plan.org.ASN]
+	out := orgPopulation{probes: make([]*atlas.Probe, 0, len(plan.probes))}
+	nextSeg := 0
+	var seg *isp.Segment
+	addSeg := func() {
+		var mb *isp.MiddleboxSpec
+		if s := plan.segSpecs[nextSeg]; s != nil {
+			mb = w.middleboxSpec(s)
+		}
+		seg = network.AddSegment(mb)
+		nextSeg++
+	}
+	id := plan.startID
+	for i := range plan.probes {
+		pp := &plan.probes[i]
+		for nextSeg <= pp.segIndex {
+			addSeg()
+		}
+		w.buildProbe(network, seg, plan, pp, id, &out)
+		id++
+	}
+	// Trailing segments no probe landed on (an all-seat org's empty
+	// clean segment) still exist in the serial layout.
+	for nextSeg < len(plan.segSpecs) {
+		addSeg()
+	}
+	return out
 }
 
 // middleboxSpec compiles a seat's interception into middlebox rules.
@@ -481,27 +663,11 @@ func (w *World) middleboxSpec(s *seat) *isp.MiddleboxSpec {
 	return mb
 }
 
-// addProbe creates one home (CPE + probe host) on a segment. A nil seat
-// is a clean probe.
-func (w *World) addProbe(network *isp.Network, seg *isp.Segment, org geo.Org, region publicdns.Region, s *seat, probeID *int, rng *rand.Rand) {
-	id := *probeID
-	*probeID++
-
-	hasV6 := rng.Float64() < w.Spec.V6Share
-	if s != nil && len(s.PatternV6) > 0 {
-		hasV6 = true
-	}
-	avail := atlas.Full
-	if s == nil {
-		switch r := rng.Float64(); {
-		case r < w.Spec.FullShare:
-			avail = atlas.Full
-		case r < w.Spec.FullShare+w.Spec.PartialShare:
-			avail = atlas.Partial
-		default:
-			avail = atlas.Dead
-		}
-	}
+// buildProbe creates one home (CPE + probe host) on a segment from
+// its plan entry. A nil planned seat is a clean probe.
+func (w *World) buildProbe(network *isp.Network, seg *isp.Segment, plan *orgPlan, pp *plannedProbe, id int, out *orgPopulation) {
+	org, region, s := plan.org, plan.region, pp.seat
+	hasV6, avail := pp.hasV6, pp.avail
 
 	// Every probe consumes a home allocation, stub or not: AllocHome is
 	// pure address arithmetic, and burning it unconditionally keeps WAN
@@ -517,7 +683,7 @@ func (w *World) addProbe(network *isp.Network, seg *isp.Segment, org geo.Org, re
 	// happens. Stub records never leave their shard — the owning shard
 	// produces the real one.
 	if !w.Spec.owns(id) {
-		w.Platform.Add(&atlas.Probe{
+		out.probes = append(out.probes, &atlas.Probe{
 			ID:           id,
 			Country:      org.Country,
 			ASN:          org.ASN,
@@ -578,10 +744,10 @@ func (w *World) addProbe(network *isp.Network, seg *isp.Segment, org geo.Org, re
 	host := device.AttachHost(fmt.Sprintf("probe-%d", id), 0)
 
 	if s != nil && s.Loc == LocTransit {
-		w.transitSeatPatterns[region][home.WANv4] = s.PatternV4
+		out.transit = append(out.transit, transitEntry{region: region, addr: home.WANv4, pat: s.PatternV4})
 	}
 
-	w.Platform.Add(&atlas.Probe{
+	out.probes = append(out.probes, &atlas.Probe{
 		ID:           id,
 		Country:      org.Country,
 		ASN:          org.ASN,
