@@ -14,6 +14,7 @@ package dnsloc_test
 import (
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"github.com/dnswatch/dnsloc/internal/dnssec"
 	"github.com/dnswatch/dnsloc/internal/dnswire"
 	"github.com/dnswatch/dnsloc/internal/dotsim"
+	"github.com/dnswatch/dnsloc/internal/faultfs"
 	"github.com/dnswatch/dnsloc/internal/homelab"
 	"github.com/dnswatch/dnsloc/internal/netsim"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
@@ -196,6 +198,68 @@ func BenchmarkPilotParallel(b *testing.B) {
 				res := study.RunSharded(spec, study.EngineOptions{Workers: workers})
 				if len(res.Intercepted()) == 0 {
 					b.Fatal("no interception found")
+				}
+			}
+			b.ReportMetric(float64(spec.TotalProbes), "probes/op")
+		})
+	}
+}
+
+// nosyncFile/nosyncFS strip the fsync calls from the checkpoint write
+// protocol while keeping every other byte of work identical — the
+// control arm for measuring what durability itself costs.
+type nosyncFile struct{ faultfs.File }
+
+func (nosyncFile) Sync() error { return nil }
+
+type nosyncFS struct{ faultfs.OS }
+
+func (fs nosyncFS) OpenFile(name string, flag int, perm iofs.FileMode) (faultfs.File, error) {
+	f, err := fs.OS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return nosyncFile{f}, nil
+}
+
+func (nosyncFS) SyncDir(string) error { return nil }
+
+// BenchmarkPilotStreamedCheckpointed is BenchmarkPilotStreamed at one
+// worker with checkpoints every 250 records — each a sink flush plus
+// the A/B slot write protocol. The fsync=on/fsync=off pair isolates
+// the cost of the durability calls themselves (file fsync + directory
+// fsync per checkpoint) from the rest of the checkpoint work; the
+// acceptance bar for that delta is < 3%.
+func BenchmarkPilotStreamedCheckpointed(b *testing.B) {
+	spec := study.PaperSpec().Scale(0.1)
+	for _, bc := range []struct {
+		name string
+		fs   faultfs.FS
+	}{
+		{"fsync=on", faultfs.OS{}},
+		{"fsync=off", nosyncFS{}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := study.RunStreamed(spec, study.StreamOptions{
+					Workers: 1,
+					NewAccumulator: func(int) study.Accumulator {
+						return analysis.NewAccumulator()
+					},
+					NewSink: func(int, int, int) (study.RecordSink, error) {
+						return study.NewJSONLSink(io.Discard), nil
+					},
+					CheckpointDir:   dir,
+					CheckpointEvery: 250,
+					FS:              bc.fs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Errors) != 0 {
+					b.Fatalf("stream errors: %v", res.Errors)
 				}
 			}
 			b.ReportMetric(float64(spec.TotalProbes), "probes/op")

@@ -17,6 +17,7 @@
 //	pilotstudy -stream -records p      # also stream per-probe JSONL to p.shardK-of-N.jsonl
 //	pilotstudy -stream -checkpoint-dir d       # persist shard checkpoints under d
 //	pilotstudy -stream -checkpoint-dir d -resume  # resume a killed run, byte-identical output
+//	pilotstudy -torture-seed 20260808 -scale 0.0128  # crash-torture campaign: kill/corrupt/resume cycles
 package main
 
 import (
@@ -59,6 +60,9 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 1000, "(with -stream -checkpoint-dir) records per checkpoint")
 		resume     = flag.Bool("resume", false, "(with -stream -checkpoint-dir) resume from the directory's checkpoints; the finished run is byte-identical to an uninterrupted one")
 		stopAfter  = flag.Int("stop-after", 0, "(with -stream) halt each shard after this many records without a final checkpoint — simulates a mid-flight kill for checkpoint testing")
+
+		tortureSeed   = flag.Int64("torture-seed", 0, "run the crash-torture campaign with this fault-schedule seed: repeated kill/corrupt/resume cycles whose final output must be byte-identical to an undisturbed run (reproduces the CI crash-torture job locally)")
+		tortureCycles = flag.Int("torture-cycles", 0, "(with -torture-seed) kill/corrupt/resume cycles to run (0 = 30)")
 	)
 	flag.Parse()
 
@@ -108,6 +112,15 @@ func main() {
 	nWorkers := *workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	if *tortureSeed != 0 {
+		runTorture(spec, nWorkers, *tortureSeed, *tortureCycles)
+		return
+	}
+	if *tortureCycles != 0 {
+		fmt.Fprintln(os.Stderr, "pilotstudy: -torture-cycles requires -torture-seed")
+		os.Exit(2)
 	}
 
 	if *faults {
@@ -294,6 +307,54 @@ func main() {
 		fmt.Println(analysis.FormatPatternBreakdown(analysis.BuildPatternBreakdown(results, "IPv6")))
 	case "population":
 		fmt.Println(analysis.FormatPopulation(analysis.BuildPopulation(results)))
+	}
+}
+
+// runTorture drives the randomized crash-torture campaign: an
+// undisturbed reference run, then repeated kill/corrupt/resume cycles
+// on fault-injected filesystems, ending with a byte-level diff of the
+// tables, Stable metrics, and sink files. Exits non-zero on any
+// divergence or fatal abort.
+func runTorture(spec study.Spec, workers int, seed int64, cycles int) {
+	dir, err := os.MkdirTemp("", "pilotstudy-torture-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pilotstudy: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Fprintf(os.Stderr, "crash-torture: %d probes, %d workers, seed %d, scratch %s\n",
+		spec.TotalProbes, workers, seed, dir)
+	start := time.Now()
+	rep, err := study.RunTorture(study.TortureOptions{
+		Spec:           spec,
+		Workers:        workers,
+		Cycles:         cycles,
+		Seed:           seed,
+		Dir:            dir,
+		NewAccumulator: func(int) study.Accumulator { return analysis.NewAccumulator() },
+		Render: func(res *study.StreamResults) string {
+			acc := res.Acc.(*analysis.Accumulator)
+			t4 := acc.Table4()
+			return analysis.FormatTable4(t4) + analysis.CSVTable4(t4) +
+				analysis.FormatTable5(acc.Table5()) +
+				analysis.FormatFigure3(acc.Figure3(10)) +
+				analysis.FormatFigure4(acc.Figure4(10)) +
+				analysis.FormatAccuracy(acc.Accuracy()) +
+				string(res.MetricsSnapshot(false).JSON())
+		},
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "crash-torture: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pilotstudy: torture campaign aborted: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.Summary())
+	fmt.Fprintf(os.Stderr, "crash-torture complete in %v\n", time.Since(start).Round(time.Millisecond))
+	if !rep.Passed() {
+		fmt.Fprintf(os.Stderr, "pilotstudy: tortured run DIVERGED from undisturbed run:\n%s\n", rep.Diff)
+		os.Exit(1)
 	}
 }
 

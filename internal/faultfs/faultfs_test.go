@@ -1,0 +1,270 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+// writeAll opens path through fsys, writes blob, syncs, and closes,
+// returning the first error.
+func writeAll(fsys FS, path string, blob []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	return f.Close()
+}
+
+// TestOSPassthrough: the OS implementation is a faithful filesystem —
+// write, sync, rename, dir sync, remove.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	tmp := filepath.Join(dir, "a.tmp")
+	final := filepath.Join(dir, "a")
+	if err := writeAll(fsys, tmp, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(final)
+	if err != nil || string(blob) != "hello" {
+		t.Fatalf("read back %q, %v", blob, err)
+	}
+	if err := fsys.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "x/y"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultDeterminism: with the same seed and the same per-path
+// operation sequence, the injected fault pattern — including torn-write
+// prefix lengths — is identical run over run; a different seed
+// diverges. (The schedule hashes the full path, so both runs share one
+// directory.)
+func TestFaultDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	exact := func(seed int64) (errs []string, sizes []int64) {
+		fsys := New(Schedule{Seed: seed, Rates: map[Class]float64{
+			TornWrite: 0.3, WriteEIO: 0.2, SyncFail: 0.2,
+		}})
+		for i := 0; i < 20; i++ {
+			path := filepath.Join(dir, "f")
+			err := writeAll(fsys, path, bytes.Repeat([]byte("x"), 100))
+			if err != nil {
+				errs = append(errs, err.Error())
+			} else {
+				errs = append(errs, "")
+			}
+			st, serr := os.Stat(path)
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			sizes = append(sizes, st.Size())
+		}
+		return
+	}
+	ea, sa := exact(7)
+	eb, sb := exact(7)
+	for i := range ea {
+		if ea[i] != eb[i] || sa[i] != sb[i] {
+			t.Fatalf("op %d diverged between identical-seed runs: (%q,%d) vs (%q,%d)",
+				i, ea[i], sa[i], eb[i], sb[i])
+		}
+	}
+	ec, _ := exact(8)
+	same := true
+	for i := range ea {
+		if ea[i] != ec[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 injected identical fault patterns over 20 ops — schedule ignores the seed")
+	}
+}
+
+// TestFaultClasses: each class fires with its documented error and
+// side effect when its rate is 1.0.
+func TestFaultClasses(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+
+	t.Run("enospc", func(t *testing.T) {
+		fsys := New(Schedule{Seed: 1, Rates: map[Class]float64{WriteENOSPC: 1}})
+		err := writeAll(fsys, path, []byte("data"))
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("want ENOSPC, got %v", err)
+		}
+		if got := fsys.Counts()[WriteENOSPC]; got == 0 {
+			t.Error("ENOSPC not counted")
+		}
+	})
+	t.Run("eio", func(t *testing.T) {
+		fsys := New(Schedule{Seed: 1, Rates: map[Class]float64{WriteEIO: 1}})
+		err := writeAll(fsys, path, []byte("data"))
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("want EIO, got %v", err)
+		}
+		if errors.Is(err, syscall.ENOSPC) {
+			t.Error("EIO must not classify as ENOSPC")
+		}
+	})
+	t.Run("torn-write", func(t *testing.T) {
+		fsys := New(Schedule{Seed: 3, Rates: map[Class]float64{TornWrite: 1}})
+		err := writeAll(fsys, path, bytes.Repeat([]byte("y"), 1000))
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("want EIO from torn write, got %v", err)
+		}
+		st, serr := os.Stat(path)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if st.Size() >= 1000 {
+			t.Errorf("torn write landed all %d bytes", st.Size())
+		}
+	})
+	t.Run("sync-fail", func(t *testing.T) {
+		fsys := New(Schedule{Seed: 1, Rates: map[Class]float64{SyncFail: 1}})
+		err := writeAll(fsys, path, []byte("data"))
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("want EIO from sync, got %v", err)
+		}
+		if err := fsys.SyncDir(dir); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("want EIO from dir sync, got %v", err)
+		}
+	})
+	t.Run("rename-fail", func(t *testing.T) {
+		fsys := New(Schedule{Seed: 1, Rates: map[Class]float64{RenameFail: 1}})
+		if err := writeAll(fsys, path, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.Rename(path, path+".2"); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("want EIO from rename, got %v", err)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Error("failed rename must leave the old path intact")
+		}
+	})
+	t.Run("zero-rates-clean", func(t *testing.T) {
+		fsys := New(Schedule{Seed: 1})
+		for i := 0; i < 50; i++ {
+			if err := writeAll(fsys, path, []byte("data")); err != nil {
+				t.Fatalf("zero-rate schedule faulted: %v", err)
+			}
+		}
+		if n := len(fsys.Counts()); n != 0 {
+			t.Errorf("zero-rate schedule counted %d fault classes", n)
+		}
+	})
+}
+
+// TestFaultConcurrentPaths: concurrent writers on disjoint paths see
+// the same per-path fault pattern as serial writers — goroutine
+// interleaving must not move faults between files.
+func TestFaultConcurrentPaths(t *testing.T) {
+	dir := t.TempDir()
+	sched := Schedule{Seed: 11, Rates: map[Class]float64{TornWrite: 0.25, WriteEIO: 0.25}}
+	const paths, opsPer = 8, 12
+
+	collect := func(parallel bool) [][]bool {
+		fsys := New(sched)
+		out := make([][]bool, paths)
+		var wg sync.WaitGroup
+		for p := 0; p < paths; p++ {
+			out[p] = make([]bool, opsPer)
+			run := func(p int) {
+				for i := 0; i < opsPer; i++ {
+					err := writeAll(fsys, filepath.Join(dir, "shard-"+string(rune('a'+p))), []byte("0123456789"))
+					out[p][i] = err != nil
+				}
+			}
+			if parallel {
+				wg.Add(1)
+				go func(p int) { defer wg.Done(); run(p) }(p)
+			} else {
+				run(p)
+			}
+		}
+		wg.Wait()
+		return out
+	}
+
+	serial := collect(false)
+	conc := collect(true)
+	for p := range serial {
+		for i := range serial[p] {
+			if serial[p][i] != conc[p][i] {
+				t.Fatalf("path %d op %d: serial fault=%v, concurrent fault=%v — schedule depends on interleaving",
+					p, i, serial[p][i], conc[p][i])
+			}
+		}
+	}
+}
+
+// TestCorruptionHelpers: bit flips, tail truncation, and garbage
+// appends mutate files the way the torture harness expects.
+func TestCorruptionHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("abcdef\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 17); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := os.ReadFile(path)
+	if string(blob) == "abcdef\n" {
+		t.Error("FlipBit changed nothing")
+	}
+	if len(blob) != 7 {
+		t.Errorf("FlipBit changed the length: %d", len(blob))
+	}
+	if err := TruncateTail(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := os.Stat(path); st.Size() != 4 {
+		t.Errorf("TruncateTail(3) left %d bytes, want 4", st.Size())
+	}
+	if err := TruncateTail(path, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := os.Stat(path); st.Size() != 0 {
+		t.Errorf("over-long TruncateTail left %d bytes", st.Size())
+	}
+	if err := AppendGarbage(path, []byte(`{"probe_id":12,"cou`)); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = os.ReadFile(path)
+	if string(blob) != `{"probe_id":12,"cou` {
+		t.Errorf("AppendGarbage left %q", blob)
+	}
+	// Missing files: FlipBit and TruncateTail are no-ops.
+	missing := filepath.Join(dir, "missing")
+	if err := FlipBit(missing, 3); err != nil {
+		t.Errorf("FlipBit on missing file: %v", err)
+	}
+	if err := TruncateTail(missing, 3); err != nil {
+		t.Errorf("TruncateTail on missing file: %v", err)
+	}
+}

@@ -44,6 +44,17 @@ type studyMetrics struct {
 	recordsRetained *metrics.Gauge   // peak ProbeRecords held at once, largest shard
 	checkpoints     *metrics.Counter // shard checkpoints written
 	resumeSkipped   *metrics.Counter // probes skipped on resume via checkpoints
+
+	// Self-healing instruments. Diagnostic for the same reason as the
+	// checkpoint counters: recovery activity depends on the fault
+	// history, not the spec, while a healed run and an undisturbed one
+	// must still render the same Stable snapshot. (study.shard_restarts
+	// is the odd one out: supervision happens above the shard registries,
+	// so RunStreamed adds it to the merged registry post-merge.)
+	checkpointRecoveries *metrics.Counter // corrupt/foreign checkpoints healed around
+	checkpointWriteFails *metrics.Counter // checkpoint stores that failed (retried next interval)
+	sinkRetries          *metrics.Counter // sink heal attempts (close/repair/reopen/replay)
+	sinksDegraded        *metrics.Counter // sinks permanently dropped (ENOSPC)
 }
 
 func newStudyMetrics(reg *metrics.Registry) *studyMetrics {
@@ -63,6 +74,11 @@ func newStudyMetrics(reg *metrics.Registry) *studyMetrics {
 		recordsRetained: reg.Gauge("study.records_retained", metrics.Diagnostic),
 		checkpoints:     reg.Counter("study.checkpoints_written", metrics.Diagnostic),
 		resumeSkipped:   reg.Counter("study.resume_probes_skipped", metrics.Diagnostic),
+
+		checkpointRecoveries: reg.Counter("study.checkpoint_recoveries", metrics.Diagnostic),
+		checkpointWriteFails: reg.Counter("study.checkpoint_write_failures", metrics.Diagnostic),
+		sinkRetries:          reg.Counter("study.sink_retries", metrics.Diagnostic),
+		sinksDegraded:        reg.Counter("study.sinks_degraded", metrics.Diagnostic),
 	}
 }
 
@@ -117,6 +133,30 @@ func (sm *studyMetrics) noteCheckpoint() {
 func (sm *studyMetrics) noteResumeSkipped(n int) {
 	if sm != nil {
 		sm.resumeSkipped.Add(int64(n))
+	}
+}
+
+func (sm *studyMetrics) noteCheckpointRecovery() {
+	if sm != nil {
+		sm.checkpointRecoveries.Inc()
+	}
+}
+
+func (sm *studyMetrics) noteCheckpointWriteFailure() {
+	if sm != nil {
+		sm.checkpointWriteFails.Inc()
+	}
+}
+
+// noteSinkHealing folds a closed sink's self-healing stats into the
+// shard registry.
+func (sm *studyMetrics) noteSinkHealing(st SinkStats) {
+	if sm == nil {
+		return
+	}
+	sm.sinkRetries.Add(st.Retries)
+	if st.Degraded {
+		sm.sinksDegraded.Inc()
 	}
 }
 

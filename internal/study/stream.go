@@ -1,14 +1,13 @@
 package study
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"github.com/dnswatch/dnsloc/internal/faultfs"
 	"github.com/dnswatch/dnsloc/internal/metrics"
 )
 
@@ -56,12 +55,15 @@ type StreamOptions struct {
 	// resumedAt is the number of records the shard's checkpoint already
 	// covers — 0 for a fresh run; a resuming caller must discard sink
 	// output beyond that count (see TruncateSinkFile) before appending.
+	// The supervisor re-invokes it when a restarted shard resumes, so
+	// it must be safe to call more than once per shard.
 	NewSink func(shard, workers, resumedAt int) (RecordSink, error)
 
 	// CheckpointDir, when non-empty, enables shard-level checkpointing:
-	// every CheckpointEvery records each shard atomically persists its
-	// accumulator state, fold cursor, and metric registry snapshot to
-	// <dir>/shard-K-of-N.json, and a final checkpoint on completion.
+	// every CheckpointEvery records each shard durably persists its
+	// accumulator state, fold cursor, and metric registry snapshot into
+	// its alternating checkpoint slots (see DESIGN.md §12), and a final
+	// checkpoint on completion.
 	CheckpointDir string
 	// CheckpointEvery is the records-per-checkpoint interval; <= 0
 	// means 1000.
@@ -70,8 +72,30 @@ type StreamOptions struct {
 	// records it covers: the shard's world is rebuilt from the seed —
 	// replaying every RNG stream deterministically — and measurement
 	// restarts at the cursor, so the finished run is byte-identical to
-	// an uninterrupted one.
+	// an uninterrupted one. Corrupt or foreign checkpoints never fail
+	// the run: the shard falls back to an older generation or restarts
+	// from cursor 0, classified and counted in
+	// study.checkpoint_recoveries.
 	Resume bool
+
+	// MaxShardRestarts bounds the shard supervisor: a worker that
+	// panics or fails on I/O is restarted from its last good checkpoint
+	// (from scratch when checkpointing is off) up to this many times
+	// before the failure lands in StreamResults.Errors. 0 means the
+	// default (3); negative disables supervision.
+	MaxShardRestarts int
+
+	// FS, when non-nil, is the filesystem checkpoint I/O goes through —
+	// a faultfs.Fault in the crash-torture harness. Nil means the real
+	// filesystem. (Sink I/O is owned by NewSink; a harness injects
+	// faults there by opening sink files through its own faultfs.)
+	FS faultfs.FS
+
+	// Warnf, when non-nil, receives each self-healing warning (corrupt
+	// checkpoints recovered, failed checkpoint writes, shard restarts)
+	// as it happens. Warnings are also collected into
+	// StreamResults.Warnings regardless.
+	Warnf func(format string, args ...any)
 
 	// StopAfterProbes, when > 0, halts each shard after folding that
 	// many records without writing a final checkpoint — a deterministic
@@ -84,9 +108,16 @@ type StreamResults struct {
 	Spec Spec
 	// Acc is the shard accumulators merged in shard order.
 	Acc Accumulator
-	// Errors records contained shard-level failures, exactly as
-	// Results.Errors does for the in-memory engine.
+	// Errors records contained shard-level failures — after the
+	// supervisor exhausted its restarts — exactly as Results.Errors
+	// does for the in-memory engine.
 	Errors []string
+	// Warnings are the self-healing events the run recovered from
+	// (corrupt checkpoints, failed checkpoint writes, shard restarts).
+	// Non-empty Warnings with empty Errors means degraded-but-correct.
+	Warnings []string
+	// Restarts counts supervisor-driven shard worker restarts.
+	Restarts int
 	// Metrics is the merged registry; nil when Spec.DisableMetrics.
 	Metrics *metrics.Registry
 	// Folded is the number of records folded this run; Skipped is the
@@ -102,93 +133,6 @@ func (r *StreamResults) MetricsSnapshot(includeDiagnostic bool) *Snapshot {
 	return r.Metrics.Snapshot(includeDiagnostic)
 }
 
-// checkpointVersion guards the on-disk checkpoint layout.
-const checkpointVersion = 1
-
-// shardCheckpoint is one shard's persisted progress: everything needed
-// to resume measurement at Cursor and still finish with byte-identical
-// tables, CSV, and Stable metric snapshot.
-type shardCheckpoint struct {
-	Version     int    `json:"version"`
-	Fingerprint string `json:"fingerprint"`
-	// Cursor counts the shard's folded records; on resume the first
-	// Cursor records are skipped.
-	Cursor int `json:"cursor"`
-	// Acc is the accumulator's MarshalState output at Cursor.
-	Acc json.RawMessage `json:"accumulator"`
-	// Metrics is the shard registry's full snapshot at Cursor; restored
-	// additively before the resumed sweep, so restored + re-counted
-	// events equal an uninterrupted run's totals.
-	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
-}
-
-// checkpointFingerprint ties a checkpoint to the exact run shape that
-// wrote it. The RNG "position" needs no field of its own: every stream
-// (world build, seat dealing, availability pre-draw) is replayed from
-// the seed on resume, and per-flow fault decisions hash packet content,
-// so the cursor is the only position that exists.
-func checkpointFingerprint(spec Spec, k, workers int) string {
-	return fmt.Sprintf("v%d seed=%d probes=%d seats=%d shard=%d/%d fault=%t retry=%t",
-		checkpointVersion, spec.Seed, spec.TotalProbes, spec.TotalSeats(), k, workers,
-		spec.Fault != nil && spec.Fault.Active(), spec.Retry != nil)
-}
-
-// CheckpointPath returns shard k's checkpoint file under dir.
-func CheckpointPath(dir string, k, workers int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.json", k, workers))
-}
-
-// readCheckpoint loads and validates a shard checkpoint; a missing file
-// returns (nil, nil) — a fresh start, not an error.
-func readCheckpoint(path, fingerprint string) (*shardCheckpoint, error) {
-	blob, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	var ck shardCheckpoint
-	if err := json.Unmarshal(blob, &ck); err != nil {
-		return nil, fmt.Errorf("parsing checkpoint %s: %w", path, err)
-	}
-	if ck.Version != checkpointVersion {
-		return nil, fmt.Errorf("checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
-	}
-	if ck.Fingerprint != fingerprint {
-		return nil, fmt.Errorf("checkpoint %s was written by a different run (%q, want %q)",
-			path, ck.Fingerprint, fingerprint)
-	}
-	return &ck, nil
-}
-
-// writeCheckpoint persists a shard checkpoint atomically (temp file +
-// rename), so a kill mid-write leaves the previous checkpoint intact.
-func writeCheckpoint(path, fingerprint string, cursor int, acc Accumulator, reg *metrics.Registry) error {
-	state, err := acc.MarshalState()
-	if err != nil {
-		return err
-	}
-	ck := shardCheckpoint{
-		Version:     checkpointVersion,
-		Fingerprint: fingerprint,
-		Cursor:      cursor,
-		Acc:         state,
-	}
-	if reg != nil {
-		ck.Metrics = reg.Snapshot(true)
-	}
-	blob, err := json.Marshal(ck)
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
 // RunStreamed executes the pilot study as a streaming, bounded-memory
 // pipeline: each shard folds every completed record into its
 // accumulator (and optional sink) and releases it, retaining no
@@ -198,6 +142,10 @@ func writeCheckpoint(path, fingerprint string, cursor int, acc Accumulator, reg 
 // snapshot rendered from the merged accumulator are byte-identical to
 // the in-memory pipeline's at any worker count, and a run killed and
 // resumed from its checkpoints finishes with byte-identical output.
+//
+// Shards run under a supervisor: a worker that panics or fails on I/O
+// is restarted from its last good checkpoint (MaxShardRestarts times),
+// and determinism makes the re-measurement converge on the same bytes.
 func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
 	if opts.NewAccumulator == nil {
 		return nil, fmt.Errorf("study: StreamOptions.NewAccumulator is required")
@@ -209,10 +157,32 @@ func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
 	if spec.TotalProbes > 0 && workers > spec.TotalProbes {
 		workers = spec.TotalProbes
 	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
 	if opts.CheckpointDir != "" {
-		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+		if err := fsys.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("study: creating checkpoint dir: %w", err)
 		}
+	}
+	maxRestarts := opts.MaxShardRestarts
+	if maxRestarts == 0 {
+		maxRestarts = 3
+	} else if maxRestarts < 0 {
+		maxRestarts = 0
+	}
+
+	var warnMu sync.Mutex
+	var warnings []string
+	warnf := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		warnMu.Lock()
+		warnings = append(warnings, msg)
+		if opts.Warnf != nil {
+			opts.Warnf("%s", msg)
+		}
+		warnMu.Unlock()
 	}
 
 	tpl := NewWorldTemplate(spec)
@@ -229,37 +199,46 @@ func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
 	folded := make([]int, workers)
 	skipped := make([]int, workers)
 	stopped := make([]bool, workers)
+	restarts := make([]int, workers)
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					shardErrs[k] = fmt.Sprintf("shard %d/%d panicked: %v", k, workers, r)
-					accs[k] = nil
-				}
-			}()
 			start := time.Now()
-			reg, n, skip, halt, err := runStreamShard(tpl, spec, k, workers, opts, &accs[k])
-			shardRegs[k], folded[k], skipped[k], stopped[k] = reg, n, skip, halt
-			if err != nil {
-				shardErrs[k] = fmt.Sprintf("shard %d/%d: %v", k, workers, err)
+			for attempt := 0; ; attempt++ {
+				// Each attempt starts from a clean slot: a failed attempt's
+				// accumulator (and registry) is discarded wholesale, so
+				// nothing it half-counted can double into the merge.
 				accs[k] = nil
-				return
-			}
-			if opts.Progress != nil {
-				progressMu.Lock()
-				opts.Progress(k, workers, n+skip, time.Since(start))
-				progressMu.Unlock()
+				reg, n, skip, halt, err := runShardAttempt(tpl, spec, k, workers, opts, fsys, attempt, warnf, &accs[k])
+				if err == nil {
+					shardRegs[k], folded[k], skipped[k], stopped[k] = reg, n, skip, halt
+					if opts.Progress != nil {
+						progressMu.Lock()
+						opts.Progress(k, workers, n+skip, time.Since(start))
+						progressMu.Unlock()
+					}
+					return
+				}
+				if attempt >= maxRestarts {
+					shardErrs[k] = fmt.Sprintf("shard %d/%d: %v (after %d restarts)", k, workers, err, attempt)
+					shardRegs[k] = reg
+					accs[k] = nil
+					return
+				}
+				restarts[k]++
+				warnf("study: shard %d/%d failed: %v; restarting from last good checkpoint (restart %d/%d)",
+					k, workers, err, attempt+1, maxRestarts)
 			}
 		}(k)
 	}
 	wg.Wait()
 
-	res := &StreamResults{Spec: spec, Acc: opts.NewAccumulator(-1)}
+	res := &StreamResults{Spec: spec, Acc: opts.NewAccumulator(-1), Warnings: warnings}
 	for k := 0; k < workers; k++ {
+		res.Restarts += restarts[k]
 		if shardErrs[k] != "" {
 			res.Errors = append(res.Errors, shardErrs[k])
 			continue
@@ -278,37 +257,72 @@ func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
 		for _, r := range shardRegs {
 			res.Metrics.Merge(r)
 		}
+		// Supervision happens above the per-shard registries (a restarted
+		// attempt's registry is discarded), so the restart count lands on
+		// the merged registry directly. Diagnostic: an undisturbed run and
+		// a restarted one must render the same Stable snapshot.
+		res.Metrics.Counter("study.shard_restarts", metrics.Diagnostic).Add(int64(res.Restarts))
 	}
 	return res, nil
 }
 
+// runShardAttempt is one supervised execution of a shard worker,
+// converting a panic into an error the supervisor can restart on.
+func runShardAttempt(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOptions, fsys faultfs.FS, attempt int, warnf func(string, ...any), accSlot *Accumulator) (reg *metrics.Registry, folded, skip int, halted bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panicked: %v", r)
+		}
+	}()
+	return runStreamShard(tpl, spec, k, workers, opts, fsys, attempt, warnf, accSlot)
+}
+
 // runStreamShard measures one shard's probes, streaming each record
 // into the accumulator and sink. It returns the shard registry, the
-// records folded this run, the records skipped via checkpoint, and
+// records folded this attempt, the records skipped via checkpoint, and
 // whether StopAfterProbes halted the sweep. The accumulator is passed
 // by pointer so a partially folded state survives a contained panic
-// (the caller discards it, but the slot must not hold a stale value).
-func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOptions, accSlot *Accumulator) (reg *metrics.Registry, folded, skip int, halted bool, err error) {
+// (the supervisor discards it, but the slot must not hold a stale
+// value).
+func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOptions, fsys faultfs.FS, attempt int, warnf func(string, ...any), accSlot *Accumulator) (reg *metrics.Registry, folded, skip int, halted bool, err error) {
 	acc := opts.NewAccumulator(k)
 	*accSlot = acc
 
 	fingerprint := checkpointFingerprint(spec, k, workers)
-	ckPath := ""
+	var store *ckStore
 	if opts.CheckpointDir != "" {
-		ckPath = CheckpointPath(opts.CheckpointDir, k, workers)
+		store = newCkStore(fsys, opts.CheckpointDir, k, workers, fingerprint)
 	}
 	var restored *metrics.Snapshot
-	if opts.Resume && ckPath != "" {
-		ck, cerr := readCheckpoint(ckPath, fingerprint)
-		if cerr != nil {
-			return nil, 0, 0, false, cerr
-		}
-		if ck != nil {
-			if lerr := acc.LoadState(ck.Acc); lerr != nil {
-				return nil, 0, 0, false, lerr
+	recovery := ckFresh
+	if store != nil {
+		// A supervisor restart (attempt > 0) always resumes: the last
+		// good checkpoint is the whole point of restarting.
+		if opts.Resume || attempt > 0 {
+			ck, class, detail := store.load()
+			recovery = class
+			if detail != "" {
+				warnf("study: shard %d/%d checkpoint recovery (%s): %s", k, workers, class, detail)
 			}
-			skip = ck.Cursor
-			restored = ck.Metrics
+			if ck != nil {
+				if lerr := acc.LoadState(ck.Acc); lerr != nil {
+					// The envelope's CRC passed but the accumulator rejects
+					// the state (implementation drift): recoverable like any
+					// other corruption — restart from cursor 0.
+					warnf("study: shard %d/%d checkpoint state rejected (%v); restarting from cursor 0", k, workers, lerr)
+					acc = opts.NewAccumulator(k)
+					*accSlot = acc
+					recovery = ckAllCorrupt
+				} else {
+					skip = ck.Cursor
+					restored = ck.Metrics
+				}
+			}
+		} else {
+			// A fresh (non-resume) run invalidates whatever an earlier run
+			// left in the directory, so a later supervisor restart cannot
+			// resurrect a stale cursor from a previous identical spec.
+			store.clear()
 		}
 	}
 
@@ -318,6 +332,9 @@ func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOp
 		reg.AddSnapshot(restored)
 	}
 	world.studyMetrics.noteResumeSkipped(skip)
+	if recovery.recovered() {
+		world.studyMetrics.noteCheckpointRecovery()
+	}
 
 	var sink RecordSink
 	if opts.NewSink != nil {
@@ -345,7 +362,7 @@ func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOp
 			ioErr = sink.Append(exp)
 		}
 		folded++
-		if ckPath != "" && folded%every == 0 && ioErr == nil {
+		if store != nil && folded%every == 0 && ioErr == nil {
 			// The checkpoint cursor must never run ahead of the sink's
 			// durable rows: flush buffered appends first, so a kill right
 			// after the checkpoint leaves at least cursor rows on disk
@@ -355,7 +372,15 @@ func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOp
 				ioErr = flusher.Flush()
 			}
 			if ioErr == nil {
-				if ioErr = writeCheckpoint(ckPath, fingerprint, skip+folded, acc, reg); ioErr == nil {
+				// A failed checkpoint store is not fatal: the previous
+				// generation is still intact in the other slot, and the
+				// next interval retries. Worst case a crash re-measures one
+				// extra interval.
+				if cerr := store.store(skip+folded, acc, reg); cerr != nil {
+					world.studyMetrics.noteCheckpointWriteFailure()
+					warnf("study: shard %d/%d checkpoint write at cursor %d failed (retrying next interval): %v",
+						k, workers, skip+folded, cerr)
+				} else {
 					world.studyMetrics.noteCheckpoint()
 				}
 			}
@@ -367,8 +392,12 @@ func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOp
 		return ioErr == nil
 	})
 	if sink != nil {
-		if cerr := sink.Close(); ioErr == nil {
+		cerr := sink.Close()
+		if ioErr == nil {
 			ioErr = cerr
+		}
+		if ss, ok := sink.(SinkStatser); ok {
+			world.studyMetrics.noteSinkHealing(ss.SinkStats())
 		}
 	}
 	if ioErr != nil {
@@ -376,12 +405,16 @@ func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOp
 	}
 	// The final checkpoint marks the shard complete; a resumed run skips
 	// straight to the merge. Deliberately omitted after a simulated
-	// crash — a real kill would not have written it either.
-	if ckPath != "" && !halted {
-		if err := writeCheckpoint(ckPath, fingerprint, skip+folded, acc, reg); err != nil {
-			return reg, folded, skip, halted, err
+	// crash — a real kill would not have written it either. A failed
+	// final store is non-fatal too: a later resume re-measures the tail
+	// past the last durable cursor and lands on the same bytes.
+	if store != nil && !halted {
+		if cerr := store.store(skip+folded, acc, reg); cerr != nil {
+			world.studyMetrics.noteCheckpointWriteFailure()
+			warnf("study: shard %d/%d final checkpoint failed (a resume will re-measure the tail): %v", k, workers, cerr)
+		} else {
+			world.studyMetrics.noteCheckpoint()
 		}
-		world.studyMetrics.noteCheckpoint()
 	}
 	return reg, folded, skip, halted, nil
 }
@@ -419,7 +452,9 @@ func TruncateSinkFile(path string, records int, header bool) error {
 	if off == len(blob) {
 		return nil
 	}
-	return os.WriteFile(path, blob[:off], 0o644)
+	// Truncate in place rather than rewriting: the kept prefix is
+	// already durable, so shortening the file cannot tear it.
+	return os.Truncate(path, int64(off))
 }
 
 // indexByte is bytes.IndexByte without the import.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 
 	"github.com/dnswatch/dnsloc/internal/analysis"
@@ -329,18 +330,25 @@ func TestStreamKillSinkResume(t *testing.T) {
 	}
 }
 
-// TestStreamResumeRejectsForeignCheckpoint: a checkpoint written by a
-// different run shape must fail the shard, not silently seed it with
-// wrong state.
-func TestStreamResumeRejectsForeignCheckpoint(t *testing.T) {
+// TestStreamResumeForeignCheckpointRecovers: a checkpoint written by a
+// different run shape must neither seed the shard with wrong state nor
+// fail the run — the shard restarts from cursor 0 with a warning, and
+// the output matches a fresh run of the new spec exactly.
+func TestStreamResumeForeignCheckpointRecovers(t *testing.T) {
+	other := streamSpec()
+	other.Seed++
+	fresh, err := study.RunStreamed(other, streamOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderStream(t, fresh)
+
 	dir := t.TempDir()
 	first := streamOpts(1)
 	first.CheckpointDir = dir
 	if _, err := study.RunStreamed(streamSpec(), first); err != nil {
 		t.Fatal(err)
 	}
-	other := streamSpec()
-	other.Seed++
 	resumed := streamOpts(1)
 	resumed.CheckpointDir = dir
 	resumed.Resume = true
@@ -348,8 +356,21 @@ func TestStreamResumeRejectsForeignCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Errors) == 0 {
-		t.Error("resume with a different seed accepted the foreign checkpoint")
+	if len(res.Errors) != 0 {
+		t.Fatalf("foreign checkpoint failed the run instead of recovering: %v", res.Errors)
+	}
+	if len(res.Warnings) == 0 {
+		t.Error("foreign-checkpoint recovery logged no warning")
+	}
+	if res.Skipped != 0 {
+		t.Errorf("foreign checkpoint seeded the shard with %d skipped probes", res.Skipped)
+	}
+	if got := counterValue(t, res.MetricsSnapshot(true), "study.checkpoint_recoveries"); got == 0 {
+		t.Error("foreign-checkpoint recovery not counted in study.checkpoint_recoveries")
+	}
+	if got := renderStream(t, res); got != want {
+		t.Errorf("recovery from foreign checkpoint diverges from a fresh run:\n--- fresh ---\n%s--- recovered ---\n%s",
+			want, got)
 	}
 }
 
@@ -384,6 +405,188 @@ func TestStreamResumeOfCompletedRun(t *testing.T) {
 func counterValue(t *testing.T, snap *study.Snapshot, name string) int64 {
 	t.Helper()
 	return gaugeValue(t, snap, name)
+}
+
+// brittleSink fails its shard's nth Append with EIO, once per process
+// — modeling a one-off I/O failure a plain (non-retrying) sink cannot
+// absorb, so it must escalate to the shard supervisor.
+type brittleSink struct {
+	inner   study.RecordSink
+	n       int
+	count   int
+	tripped *bool
+}
+
+func (s *brittleSink) Append(e study.ProbeExport) error {
+	s.count++
+	if s.count == s.n && !*s.tripped {
+		*s.tripped = true
+		return &os.PathError{Op: "write", Path: "brittle", Err: syscall.EIO}
+	}
+	return s.inner.Append(e)
+}
+func (s *brittleSink) Flush() error {
+	if f, ok := s.inner.(study.SinkFlusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+func (s *brittleSink) Close() error { return s.inner.Close() }
+
+// TestStreamSupervisorRestartsFailedShard: a shard whose sink fails
+// hard mid-sweep is restarted from its last good checkpoint by the
+// supervisor; the run reports no errors, counts the restart, and its
+// output — tables, Stable metrics, sink files — is byte-identical to
+// an undisturbed run's.
+func TestStreamSupervisorRestartsFailedShard(t *testing.T) {
+	spec := streamSpec()
+	const workers = 2
+
+	refDir := t.TempDir()
+	ref := streamOpts(workers)
+	ref.NewSink = fileSinks(t, refDir)
+	refRes, err := study.RunStreamed(spec, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderStream(t, refRes)
+	wantSinks := readSinks(t, refDir, workers)
+
+	ckDir := t.TempDir()
+	sinkDir := t.TempDir()
+	tripped := false
+	opts := streamOpts(workers)
+	opts.CheckpointDir = ckDir
+	opts.CheckpointEvery = 10
+	opts.NewSink = func(k, workers, resumedAt int) (study.RecordSink, error) {
+		inner, err := fileSinks(t, sinkDir)(k, workers, resumedAt)
+		if err != nil {
+			return nil, err
+		}
+		if k == 0 {
+			// Fails once at the 15th append — past the cursor-10
+			// checkpoint, so the restart resumes mid-shard.
+			return &brittleSink{inner: inner, n: 15, tripped: &tripped}, nil
+		}
+		return inner, nil
+	}
+	res, err := study.RunStreamed(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("supervisor did not absorb the sink failure: %v", res.Errors)
+	}
+	if !tripped {
+		t.Fatal("the brittle sink never tripped — test exercised nothing")
+	}
+	if res.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", res.Restarts)
+	}
+	if len(res.Warnings) == 0 {
+		t.Error("shard restart logged no warning")
+	}
+	if got := counterValue(t, res.MetricsSnapshot(true), "study.shard_restarts"); got != 1 {
+		t.Errorf("study.shard_restarts = %d, want 1", got)
+	}
+	if got := renderStream(t, res); got != want {
+		t.Errorf("restarted run diverges from undisturbed run")
+	}
+	if got := readSinks(t, sinkDir, workers); got != wantSinks {
+		t.Errorf("restarted sink files diverge (%d vs %d bytes)", len(got), len(wantSinks))
+	}
+}
+
+// panicAcc panics on its shard's nth Fold — the contained-panic half
+// of the supervisor contract.
+type panicAcc struct {
+	study.Accumulator
+	n       int
+	count   int
+	tripped *bool
+}
+
+func (a *panicAcc) Fold(rec *study.ProbeRecord) {
+	a.count++
+	if a.count == a.n {
+		*a.tripped = true
+		panic("injected accumulator panic")
+	}
+	a.Accumulator.Fold(rec)
+}
+
+// TestStreamSupervisorRestartsPanickedShard: a panicking shard worker
+// restarts cleanly from its checkpoint; the poisoned attempt's
+// accumulator is discarded wholesale so nothing double-counts.
+func TestStreamSupervisorRestartsPanickedShard(t *testing.T) {
+	spec := streamSpec()
+	const workers = 2
+	want := renderStream(t, mustStream(t, spec, streamOpts(workers)))
+
+	// Only the first factory call for shard 0 gets the panicking
+	// wrapper: the supervisor's restart attempt — and the merge phase,
+	// which type-asserts — see plain accumulators.
+	tripped := false
+	handed := false
+	opts := streamOpts(workers)
+	opts.CheckpointDir = t.TempDir()
+	opts.CheckpointEvery = 10
+	opts.NewAccumulator = func(k int) study.Accumulator {
+		acc := analysis.NewAccumulator()
+		if k == 0 && !handed {
+			handed = true
+			return &panicAcc{Accumulator: acc, n: 15, tripped: &tripped}
+		}
+		return acc
+	}
+	res, err := study.RunStreamed(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("supervisor did not absorb the panic: %v", res.Errors)
+	}
+	if !tripped {
+		t.Fatal("the panicking accumulator never tripped")
+	}
+	if res.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", res.Restarts)
+	}
+	if got := renderStream(t, res); got != want {
+		t.Errorf("restart after panic diverges from undisturbed run")
+	}
+}
+
+// mustStream runs a streamed spec and fails the test on any error.
+func mustStream(t *testing.T, spec study.Spec, opts study.StreamOptions) *study.StreamResults {
+	t.Helper()
+	res, err := study.RunStreamed(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStreamShardFailureAfterRestartBudget: a deterministic failure
+// burns every restart and lands in Errors — supervision bounds, it
+// does not loop forever.
+func TestStreamShardFailureAfterRestartBudget(t *testing.T) {
+	spec := streamSpec()
+	opts := streamOpts(1)
+	opts.MaxShardRestarts = 2
+	opts.NewSink = func(k, workers, resumedAt int) (study.RecordSink, error) {
+		return nil, &os.PathError{Op: "open", Path: "doomed", Err: syscall.EIO}
+	}
+	res, err := study.RunStreamed(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) != 1 {
+		t.Fatalf("Errors = %v, want exactly one contained shard failure", res.Errors)
+	}
+	if res.Restarts != 2 {
+		t.Errorf("Restarts = %d, want the full budget of 2", res.Restarts)
+	}
 }
 
 // TestTruncateSinkFile pins the truncation helper's contract, including
@@ -428,6 +631,43 @@ func TestTruncateSinkFile(t *testing.T) {
 	}
 	if err := study.TruncateSinkFile(filepath.Join(dir, "missing"), 5, false); err != nil {
 		t.Errorf("missing file should be a no-op, got %v", err)
+	}
+
+	// Header-only file: zero records is exactly what the cursor claims,
+	// and the header line must survive the truncation untouched.
+	write("hdr\n")
+	if err := study.TruncateSinkFile(path, 0, true); err != nil {
+		t.Fatalf("header-only truncate to 0: %v", err)
+	}
+	if got := read(); got != "hdr\n" {
+		t.Errorf("header-only truncate = %q, want the header kept", got)
+	}
+
+	// Checkpoint claims records the file never got (buffered rows died
+	// before any flush): must error, not silently under-resume.
+	write("hdr\nr1\n")
+	if err := study.TruncateSinkFile(path, 4, true); err == nil {
+		t.Error("cursor beyond EOF with header did not error")
+	}
+
+	// Final line missing its newline: the complete lines before it are
+	// countable and keepable; the unterminated tail is cut.
+	write("a\nb\npartial-no-newline")
+	if err := study.TruncateSinkFile(path, 2, false); err != nil {
+		t.Fatalf("truncate with unterminated tail: %v", err)
+	}
+	if got := read(); got != "a\nb\n" {
+		t.Errorf("unterminated-tail truncate = %q, want %q", got, "a\nb\n")
+	}
+
+	// Torn CSV last row — a torn write left half a row with no newline;
+	// resuming at the cursor's row count drops exactly the torn tail.
+	write("probe_id,country\n1,nl\n2,de\n3,u")
+	if err := study.TruncateSinkFile(path, 2, true); err != nil {
+		t.Fatalf("torn CSV truncate: %v", err)
+	}
+	if got := read(); got != "probe_id,country\n1,nl\n2,de\n" {
+		t.Errorf("torn CSV truncate = %q", got)
 	}
 }
 

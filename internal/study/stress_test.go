@@ -50,6 +50,63 @@ func TestHeavyInterceptionSpec(t *testing.T) {
 	_ = publicdns.All
 }
 
+// renderTorture is the torture campaign's deterministic output
+// surface: every table, figure, and accuracy aggregate plus the Stable
+// metrics snapshot — the same bytes renderStream compares.
+func renderTorture(res *study.StreamResults) string {
+	acc := res.Acc.(*analysis.Accumulator)
+	t4 := acc.Table4()
+	return analysis.FormatTable4(t4) + analysis.CSVTable4(t4) +
+		analysis.FormatTable5(acc.Table5()) +
+		analysis.FormatFigure3(acc.Figure3(10)) +
+		analysis.FormatFigure4(acc.Figure4(10)) +
+		analysis.FormatAccuracy(acc.Accuracy()) +
+		string(res.MetricsSnapshot(false).JSON())
+}
+
+// TestCrashTortureStreamedPipeline is the robustness layer's headline
+// acceptance test: dozens of randomized kill/corrupt/resume cycles on
+// fault-injected filesystems — torn checkpoint writes, failed fsyncs,
+// bit-rotted checkpoint generations (including one round where BOTH
+// generations of a shard rot), torn and garbage-appended sink tails —
+// after which the tables, CSV sinks, and Stable metrics snapshot must
+// be byte-identical to an undisturbed 4-worker run, with zero fatal
+// aborts.
+func TestCrashTortureStreamedPipeline(t *testing.T) {
+	cycles := 32
+	if testing.Short() {
+		cycles = 6
+	}
+	rep, err := study.RunTorture(study.TortureOptions{
+		Spec:           study.PaperSpec().Scale(0.0128),
+		Workers:        4,
+		Cycles:         cycles,
+		Seed:           20260808,
+		Dir:            t.TempDir(),
+		NewAccumulator: func(int) study.Accumulator { return analysis.NewAccumulator() },
+		Render:         renderTorture,
+	})
+	if err != nil {
+		t.Fatalf("torture campaign aborted: %v", err)
+	}
+	t.Logf("\n%s", rep.Summary())
+	if !rep.Passed() {
+		t.Fatalf("tortured run diverged from undisturbed run: %s", rep.Diff)
+	}
+	if rep.Cycles != cycles || rep.Kills != cycles-1 {
+		t.Errorf("campaign ran %d cycles / %d kills, want %d / %d", rep.Cycles, rep.Kills, cycles, cycles-1)
+	}
+	if rep.Corruptions["both_generations_corrupt"] == 0 {
+		t.Error("the both-generations-corrupt case never ran")
+	}
+	if rep.CheckpointRecoveries == 0 {
+		t.Error("no checkpoint recovery was ever exercised")
+	}
+	if len(rep.FaultCounts) == 0 {
+		t.Error("the fault schedules injected nothing")
+	}
+}
+
 // TestScaleSpecInvariants checks Scale() never zeroes a nonempty group
 // and keeps persona coverage for CPE seats.
 func TestScaleSpecInvariants(t *testing.T) {
