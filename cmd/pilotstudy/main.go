@@ -48,6 +48,7 @@ func main() {
 		accuracy = flag.Bool("accuracy", false, "also print ground-truth accuracy scoring")
 		ext      = flag.String("ext", "", "extension experiment: 'ttl' (hop ladders), 'patterns' (§4.1.1 families), or 'population' (platform bias)")
 		faults   = flag.Bool("faults", false, "run the resilience sweep: verdict accuracy vs injected fault level")
+		advSweep = flag.Bool("adversary", false, "run the adversary sweep: detection accuracy vs interceptor evasion level (L0-L4), CHAOS-only vs chaos+cert+drift fusion")
 
 		showMetrics = flag.Bool("metrics", false, "print the full metric snapshot (stable + diagnostic) after the run")
 		metricsJSON = flag.String("metrics-json", "", "write the deterministic (stable-only) metric snapshot as JSON to this file; '-' for stdout")
@@ -67,8 +68,8 @@ func main() {
 	flag.Parse()
 
 	if *stream {
-		if *jsonOut != "" || *ext != "" || *faults {
-			fmt.Fprintln(os.Stderr, "pilotstudy: -stream retains no records; -json, -ext, and -faults need the in-memory pipeline (use -records for streamed per-probe output)")
+		if *jsonOut != "" || *ext != "" || *faults || *advSweep {
+			fmt.Fprintln(os.Stderr, "pilotstudy: -stream retains no records; -json, -ext, -faults, and -adversary need the in-memory pipeline (use -records for streamed per-probe output)")
 			os.Exit(2)
 		}
 	} else {
@@ -132,6 +133,17 @@ func main() {
 		rows := analysis.RunResilienceSweep(spec, study.EngineOptions{Workers: nWorkers}, levels, retry)
 		fmt.Fprintf(os.Stderr, "sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
 		fmt.Println(analysis.FormatResilience(rows))
+		return
+	}
+
+	if *advSweep {
+		levels := []int{0, 1, 2, 3, 4}
+		fmt.Fprintf(os.Stderr, "adversary sweep: %d probes x %d evasion levels, %d worker(s)...\n",
+			spec.TotalProbes, len(levels), nWorkers)
+		start := time.Now()
+		rows := analysis.RunAdversarySweep(spec, study.EngineOptions{Workers: nWorkers}, levels, nil)
+		fmt.Fprintf(os.Stderr, "sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(analysis.FormatAdversary(rows))
 		return
 	}
 

@@ -46,6 +46,13 @@ type Accumulator struct {
 	// Confusion matrix state.
 	Score Accuracy `json:"score"`
 
+	// FusedScore is the confusion matrix of the three-signal fusion
+	// (Report.FusedIntercepted) against the same ground truth. On runs
+	// without the cert/drift signals it equals Score's detection counts.
+	// Absent from old checkpoints, which unmarshal it as zero — Merge
+	// still adds correctly because zero is the empty tally.
+	FusedScore Accuracy `json:"fused_score"`
+
 	// Folded counts the records folded in (quarantined and unresponsive
 	// ones included) — the streaming engine's progress cursor.
 	Folded int `json:"folded"`
@@ -84,6 +91,7 @@ func (a *Accumulator) Fold(rec *study.ProbeRecord) {
 	a.Folded++
 	a.foldTable4(rec)
 	a.foldScore(rec)
+	a.foldFusedScore(rec)
 	if rec.Report == nil || !rec.Report.Intercepted() {
 		return
 	}
@@ -222,6 +230,28 @@ func (a *Accumulator) foldScore(rec *study.ProbeRecord) {
 	}
 }
 
+// foldFusedScore scores the signal fusion's detection verdict. Only the
+// confusion counts are filled: the cert and drift signals detect, they
+// do not localize, so the localization split stays Score's business.
+func (a *Accumulator) foldFusedScore(rec *study.ProbeRecord) {
+	if rec.Report == nil {
+		return
+	}
+	s := &a.FusedScore
+	truly := rec.Probe.Truth.Intercepted()
+	flagged := rec.Report.FusedIntercepted()
+	switch {
+	case truly && flagged:
+		s.TruePositives++
+	case truly && !flagged:
+		s.FalseNegatives++
+	case !truly && flagged:
+		s.FalsePositives++
+	default:
+		s.TrueNegatives++
+	}
+}
+
 // Merge folds another accumulator's state into this one. Every field is
 // an additive count, so merging is commutative and associative — shard
 // accumulators merged in any order equal one accumulator fed every
@@ -293,6 +323,10 @@ func (a *Accumulator) mergeFrom(o *Accumulator) {
 	a.Score.CorrectUnknown += o.Score.CorrectUnknown
 	a.Score.Mislocated += o.Score.Mislocated
 	a.Score.HiddenAsUnknown += o.Score.HiddenAsUnknown
+	a.FusedScore.TruePositives += o.FusedScore.TruePositives
+	a.FusedScore.FalsePositives += o.FusedScore.FalsePositives
+	a.FusedScore.TrueNegatives += o.FusedScore.TrueNegatives
+	a.FusedScore.FalseNegatives += o.FusedScore.FalseNegatives
 
 	a.Folded += o.Folded
 }
@@ -391,4 +425,10 @@ func (a *Accumulator) Figure4(n int) Figure4 {
 // Accuracy returns the accumulated confusion matrix.
 func (a *Accumulator) Accuracy() Accuracy {
 	return a.Score
+}
+
+// FusedAccuracy returns the three-signal fusion's confusion matrix
+// (detection counts only; see foldFusedScore).
+func (a *Accumulator) FusedAccuracy() Accuracy {
+	return a.FusedScore
 }

@@ -89,6 +89,14 @@ type Platform struct {
 	// platform builds, so all probes in a world share one registry.
 	Metrics *core.MetricSet
 
+	// CertOracle, when non-nil, supplies a per-probe certificate-
+	// consistency oracle; built detectors get it as their CertOracle.
+	CertOracle func(*Probe) core.CertOracle
+
+	// DriftRounds is installed on every built detector: extra
+	// location-enumeration rounds feeding the drift signal.
+	DriftRounds int
+
 	probes []*Probe
 	rng    *rand.Rand
 	net    *netsim.Network
@@ -169,11 +177,16 @@ func (p *Platform) Client(probe *Probe) core.Client {
 // Detector builds a ready detector for a probe, configured with the
 // platform's metadata about it.
 func (p *Platform) Detector(probe *Probe) *core.Detector {
-	return &core.Detector{
+	d := &core.Detector{
 		Client:      p.Client(probe),
 		CPEPublicV4: probe.WANv4,
 		QueryV6:     probe.HasIPv6,
 		Retry:       p.Retry,
 		Metrics:     p.Metrics,
+		DriftRounds: p.DriftRounds,
 	}
+	if p.CertOracle != nil {
+		d.CertOracle = p.CertOracle(probe)
+	}
+	return d
 }

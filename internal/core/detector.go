@@ -65,6 +65,17 @@ type Detector struct {
 	// Report.Metrics is recorded regardless.
 	Metrics *MetricSet
 
+	// CertOracle, when non-nil, enables the certificate-consistency
+	// signal: each round-1 location answer is compared against the
+	// identity the operator presents over an authenticated out-of-band
+	// channel (see signals.go).
+	CertOracle CertOracle
+
+	// DriftRounds, when positive, enables the longitudinal drift signal:
+	// the location enumeration is re-issued that many extra times and
+	// per-server answer sets are compared across rounds.
+	DriftRounds int
+
 	idMu   sync.Mutex
 	nextID uint16
 
@@ -103,6 +114,19 @@ func (d *Detector) Run() *Report {
 	}()
 
 	d.stepLocation(r)
+	// The counter-signals run before the interception gate: their whole
+	// point is to catch what an evasive interceptor hides from step 1
+	// (see signals.go). They detect; they do not localize — the CPE/ISP
+	// steps below stay driven by the CHAOS evidence.
+	if d.DriftRounds > 0 {
+		d.stepDrift(r)
+	}
+	if d.CertOracle != nil {
+		d.stepCertCheck(r)
+	}
+	if d.DriftRounds > 0 || d.CertOracle != nil {
+		d.fuseSignals(r)
+	}
 	if !r.Intercepted() {
 		return r
 	}
@@ -228,14 +252,16 @@ func (d *Detector) exchange(id publicdns.ID, server netip.AddrPort, q *dnswire.M
 	return pr, backoff, transient, permanent
 }
 
-// stepLocation issues location queries to every address of every
-// operator (§3.1) and classifies each answer against the operator's
-// standard format.
-func (d *Detector) stepLocation(r *Report) {
-	type probeSpec struct {
-		id     publicdns.ID
-		server netip.AddrPort
-	}
+// probeSpec names one (operator, server) location-query target.
+type probeSpec struct {
+	id     publicdns.ID
+	server netip.AddrPort
+}
+
+// locationSpecs enumerates the step-1 targets: every address of every
+// operator under test, in deterministic order. The drift step re-issues
+// exactly this enumeration in its later rounds.
+func (d *Detector) locationSpecs() []probeSpec {
 	var specs []probeSpec
 	for _, id := range d.resolvers() {
 		cfg := publicdns.Lookup(id)
@@ -248,6 +274,14 @@ func (d *Detector) stepLocation(r *Report) {
 			specs = append(specs, probeSpec{id: id, server: netip.AddrPortFrom(server, 53)})
 		}
 	}
+	return specs
+}
+
+// stepLocation issues location queries to every address of every
+// operator (§3.1) and classifies each answer against the operator's
+// standard format.
+func (d *Detector) stepLocation(r *Report) {
+	specs := d.locationSpecs()
 
 	results := make([]ProbeResult, len(specs))
 	probeOne := func(i int) {

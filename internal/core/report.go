@@ -136,6 +136,25 @@ type Report struct {
 	// Whoami holds the transparency-check observations (§4.1.2).
 	Whoami []ProbeResult
 
+	// DriftProbes holds the extra-round location observations of the
+	// longitudinal drift signal (empty unless DriftRounds > 0).
+	DriftProbes []ProbeResult
+
+	// CertChecks holds the certificate-consistency comparisons (empty
+	// unless a CertOracle is wired).
+	CertChecks []CertCheck
+
+	// Signals holds the per-(resolver, family) three-signal fusion
+	// records; FusedInterceptedV4/V6 list the resolvers whose fused
+	// verdict is flagged, per family. Filled only when SignalsFused.
+	Signals            []SignalFusion
+	FusedInterceptedV4 []publicdns.ID
+	FusedInterceptedV6 []publicdns.ID
+	// SignalsFused records that the fusion ran at all — a report without
+	// it (no oracle, no drift rounds) answers FusedIntercepted from the
+	// CHAOS verdict alone.
+	SignalsFused bool
+
 	// Faults summarizes fault-shaped degradation per step: how many
 	// queries timed out or came back garbled, and whether the step was
 	// left inconclusive (every query exhausted its retries with only
@@ -161,6 +180,11 @@ const (
 	StepTransparency = "transparency"
 	StepCPE          = "cpe"
 	StepISP          = "isp"
+	// StepDrift labels the longitudinal re-probe rounds. It is not in
+	// MetricSet's registered step list — its counters only exist in
+	// runs that register them — so a detector without drift wired keeps
+	// its metrics snapshot byte-identical.
+	StepDrift = "drift"
 )
 
 // StepFault is the fault evidence for one detector step.
@@ -198,6 +222,16 @@ func (r *Report) InconclusiveSteps() []string {
 // family.
 func (r *Report) Intercepted() bool {
 	return len(r.InterceptedV4) > 0 || len(r.InterceptedV6) > 0
+}
+
+// FusedIntercepted reports whether the three-signal fusion flags any
+// resolver. On reports where the fusion never ran it falls back to the
+// CHAOS-only verdict, so callers can score either mode uniformly.
+func (r *Report) FusedIntercepted() bool {
+	if !r.SignalsFused {
+		return r.Intercepted()
+	}
+	return len(r.FusedInterceptedV4) > 0 || len(r.FusedInterceptedV6) > 0
 }
 
 // InterceptedSet returns the union of intercepted resolvers.
@@ -250,6 +284,25 @@ func (r *Report) String() string {
 	}
 	for _, p := range r.BogonResults {
 		fmt.Fprintf(&sb, "bogon query (%s): %s\n", p.Family, p.String())
+	}
+	if len(r.DriftProbes) > 0 {
+		fmt.Fprintf(&sb, "drift re-probes:\n")
+		for _, p := range r.DriftProbes {
+			fmt.Fprintf(&sb, "  %-10s %-24s %-4s %s\n", p.Resolver, p.Server, p.Family, p.String())
+		}
+	}
+	for _, c := range r.CertChecks {
+		fmt.Fprintf(&sb, "cert check %-10s %-24s %-4s: %s (udp=%q oracle=%q)\n",
+			c.Resolver, c.Server, c.Family, c.State, c.UDPAnswer, c.OracleIdentity)
+	}
+	if r.SignalsFused {
+		fmt.Fprintf(&sb, "signal fusion:\n")
+		for _, s := range r.Signals {
+			fmt.Fprintf(&sb, "  %-10s %-4s chaos=%-12s cert=%-12s drift=%-12s => %s\n",
+				s.Resolver, s.Family, s.Chaos, s.Cert, s.Drift, s.Fused)
+		}
+		fmt.Fprintf(&sb, "fused intercepted (IPv4): %v\n", r.FusedInterceptedV4)
+		fmt.Fprintf(&sb, "fused intercepted (IPv6): %v\n", r.FusedInterceptedV6)
 	}
 	for _, f := range r.Faults {
 		status := "degraded"

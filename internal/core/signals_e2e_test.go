@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/homelab"
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// funcOracle adapts a function to core.CertOracle.
+type funcOracle func(publicdns.ID, netip.Addr) (string, bool)
+
+func (f funcOracle) Identity(id publicdns.ID, server netip.Addr) (string, bool) {
+	return f(id, server)
+}
+
+// TestDetectorSignalsCleanHome runs the full detector with both extra
+// signals armed against a clean home: one drift round re-probing every
+// location target, cert checks for every probed server, and a fusion
+// that stays quiet — the signals must not manufacture detection where
+// the CHAOS technique finds none.
+func TestDetectorSignalsCleanHome(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	d := lab.Detector()
+	d.DriftRounds = 1
+	seen := map[publicdns.ID]bool{}
+	d.CertOracle = funcOracle(func(id publicdns.ID, server netip.Addr) (string, bool) {
+		seen[id] = true
+		// No out-of-band identity available: every check inconclusive.
+		return "", false
+	})
+	r := d.Run()
+
+	if !r.SignalsFused {
+		t.Fatal("signals did not fuse")
+	}
+	if len(r.DriftProbes) != len(r.Location) {
+		t.Errorf("drift re-probed %d targets, location probed %d", len(r.DriftProbes), len(r.Location))
+	}
+	if len(r.CertChecks) != len(r.Location) {
+		t.Errorf("%d cert checks for %d location probes", len(r.CertChecks), len(r.Location))
+	}
+	if len(seen) != 4 {
+		t.Errorf("oracle consulted for %d operators, want 4", len(seen))
+	}
+	if len(r.FusedInterceptedV4) != 0 || len(r.FusedInterceptedV6) != 0 {
+		t.Errorf("clean home fused-intercepted: v4=%v v6=%v", r.FusedInterceptedV4, r.FusedInterceptedV6)
+	}
+	if r.FusedIntercepted() {
+		t.Error("FusedIntercepted() = true on a clean home")
+	}
+	for _, s := range r.Signals {
+		if s.Chaos != core.SignalClear {
+			t.Errorf("%s/%s chaos signal = %s, want clear", s.Resolver, s.Family, s.Chaos)
+		}
+		if s.Cert != core.SignalInconclusive {
+			t.Errorf("%s/%s cert signal = %s, want inconclusive (oracle degraded)", s.Resolver, s.Family, s.Cert)
+		}
+		if s.Drift != core.SignalFlagged {
+			continue
+		}
+		t.Errorf("%s/%s drift flagged on a stable clean path", s.Resolver, s.Family)
+	}
+}
+
+// TestDetectorCertMismatchFlagsWithoutChaosEvidence is the CERTainty
+// scenario: the UDP path answers with a perfect persona imitation
+// (chaos clear), but the authenticated out-of-band identity disagrees —
+// the cert signal alone must carry the fusion to flagged.
+func TestDetectorCertMismatchFlagsWithoutChaosEvidence(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	d := lab.Detector()
+	d.CertOracle = funcOracle(func(id publicdns.ID, server netip.Addr) (string, bool) {
+		if id == publicdns.Cloudflare {
+			return "XXX", true // never what the UDP path answers
+		}
+		return "", false
+	})
+	r := d.Run()
+
+	if r.Intercepted() {
+		t.Fatalf("chaos verdict moved; this test wants chaos-clean: %s", r)
+	}
+	flagged := 0
+	for _, c := range r.CertChecks {
+		if c.State == core.SignalFlagged {
+			flagged++
+			if c.Resolver != publicdns.Cloudflare {
+				t.Errorf("flagged cert check for %s, want cloudflare only", c.Resolver)
+			}
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("no cert check flagged despite the oracle mismatch")
+	}
+	want := map[publicdns.ID]bool{publicdns.Cloudflare: true}
+	for _, id := range r.FusedInterceptedV4 {
+		if !want[id] {
+			t.Errorf("fused-intercepted v4 %s, want cloudflare only", id)
+		}
+	}
+	if len(r.FusedInterceptedV4) != 1 {
+		t.Errorf("FusedInterceptedV4 = %v, want exactly cloudflare", r.FusedInterceptedV4)
+	}
+	if !r.FusedIntercepted() {
+		t.Error("fusion missed the cert mismatch")
+	}
+}
+
+// TestDetectorSignalsInterceptedHome: when CHAOS already convicts, the
+// fused sets must contain at least the chaos-intercepted resolvers —
+// fusion only ever adds evidence, never subtracts it.
+func TestDetectorSignalsInterceptedHome(t *testing.T) {
+	lab := homelab.New(homelab.ISPMiddlebox)
+	d := lab.Detector()
+	d.DriftRounds = 1
+	d.CertOracle = funcOracle(func(publicdns.ID, netip.Addr) (string, bool) { return "", false })
+	r := d.Run()
+
+	if !r.Intercepted() {
+		t.Fatalf("middlebox not detected: %s", r)
+	}
+	fused := map[publicdns.ID]bool{}
+	for _, id := range r.FusedInterceptedV4 {
+		fused[id] = true
+	}
+	for _, id := range r.InterceptedV4 {
+		if !fused[id] {
+			t.Errorf("chaos-intercepted %s missing from fused set %v", id, r.FusedInterceptedV4)
+		}
+	}
+	if !r.FusedIntercepted() {
+		t.Error("FusedIntercepted() = false on an intercepted home")
+	}
+}
+
+// TestDetectorDriftRoundsOff: with no drift rounds and no oracle the
+// detector must not fuse — reports keep their pre-signal shape, which
+// the base golden corpus pins byte-for-byte.
+func TestDetectorDriftRoundsOff(t *testing.T) {
+	lab := homelab.New(homelab.Clean)
+	r := lab.Detector().Run()
+	if r.SignalsFused || len(r.DriftProbes) != 0 || len(r.CertChecks) != 0 || len(r.Signals) != 0 {
+		t.Errorf("signal machinery ran unrequested: fused=%v drift=%d certs=%d signals=%d",
+			r.SignalsFused, len(r.DriftProbes), len(r.CertChecks), len(r.Signals))
+	}
+}

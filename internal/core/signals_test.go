@@ -1,0 +1,302 @@
+package core
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/publicdns"
+)
+
+// TestFuseSignalsEveryCombination pins the fusion rule over its entire
+// input space: all 27 (chaos, cert, drift) verdict combinations, each
+// with its documented outcome written out rather than recomputed. The
+// rule under test: any flagged signal flags the fusion; otherwise any
+// inconclusive signal leaves it inconclusive; only three measured-clean
+// signals produce clear.
+func TestFuseSignalsEveryCombination(t *testing.T) {
+	const (
+		C = SignalClear
+		F = SignalFlagged
+		I = SignalInconclusive
+	)
+	cases := []struct {
+		chaos, cert, drift, want SignalVerdict
+	}{
+		// All clear: the only way to a clean bill.
+		{C, C, C, C},
+		// One flagged signal always flags, no matter the other two:
+		// the signals guard different evasions, so one positive is
+		// evidence even when the others saw nothing.
+		{F, C, C, F},
+		{C, F, C, F},
+		{C, C, F, F},
+		{F, F, C, F},
+		{F, C, F, F},
+		{C, F, F, F},
+		{F, F, F, F},
+		// Flagged still dominates when the remaining signals could not
+		// measure — degraded instrumentation must not suppress evidence.
+		{F, I, C, F},
+		{F, C, I, F},
+		{F, I, I, F},
+		{I, F, C, F},
+		{C, F, I, F},
+		{I, F, I, F},
+		{I, C, F, F},
+		{C, I, F, F},
+		{I, I, F, F},
+		{F, F, I, F},
+		{F, I, F, F},
+		{I, F, F, F},
+		// No evidence plus any unmeasured signal: inconclusive, never
+		// clear (a clean bill requires every signal to have measured)
+		// and never flagged (degradation must not manufacture FPs).
+		{I, C, C, I},
+		{C, I, C, I},
+		{C, C, I, I},
+		{I, I, C, I},
+		{I, C, I, I},
+		{C, I, I, I},
+		{I, I, I, I},
+	}
+	if len(cases) != 27 {
+		t.Fatalf("table covers %d combinations, want 27", len(cases))
+	}
+	seen := map[[3]SignalVerdict]bool{}
+	for _, tc := range cases {
+		key := [3]SignalVerdict{tc.chaos, tc.cert, tc.drift}
+		if seen[key] {
+			t.Fatalf("duplicate combination %v", key)
+		}
+		seen[key] = true
+		if got := FuseSignals(tc.chaos, tc.cert, tc.drift); got != tc.want {
+			t.Errorf("FuseSignals(%s, %s, %s) = %s, want %s",
+				tc.chaos, tc.cert, tc.drift, got, tc.want)
+		}
+	}
+}
+
+// Helpers for synthetic per-signal reports.
+
+var (
+	sigServerA = netip.MustParseAddrPort("1.1.1.1:53")
+	sigServerB = netip.MustParseAddrPort("1.0.0.1:53")
+)
+
+func sigProbe(server netip.AddrPort, outcome Outcome, answer string) ProbeResult {
+	return ProbeResult{
+		Resolver: publicdns.Cloudflare,
+		Server:   server,
+		Family:   V4,
+		Outcome:  outcome,
+		Answer:   answer,
+	}
+}
+
+func TestChaosSignal(t *testing.T) {
+	d := &Detector{}
+	cases := []struct {
+		name string
+		r    Report
+		want SignalVerdict
+	}{
+		{
+			name: "intercepted set flags",
+			r: Report{
+				InterceptedV4: []publicdns.ID{publicdns.Cloudflare},
+				Location:      []ProbeResult{sigProbe(sigServerA, OutcomeAnswer, "bogus")},
+			},
+			want: SignalFlagged,
+		},
+		{
+			name: "standard answers clear",
+			r:    Report{Location: []ProbeResult{sigProbe(sigServerA, OutcomeAnswer, "IAD")}},
+			want: SignalClear,
+		},
+		{
+			name: "no probes at all is inconclusive",
+			r:    Report{},
+			want: SignalInconclusive,
+		},
+		{
+			name: "every query fault-shaped is inconclusive",
+			r: Report{Location: []ProbeResult{
+				sigProbe(sigServerA, OutcomeTimeout, ""),
+				sigProbe(sigServerB, OutcomeGarbage, ""),
+			}},
+			want: SignalInconclusive,
+		},
+		{
+			name: "one answer among timeouts still measures",
+			r: Report{Location: []ProbeResult{
+				sigProbe(sigServerA, OutcomeTimeout, ""),
+				sigProbe(sigServerB, OutcomeAnswer, "FRA"),
+			}},
+			want: SignalClear,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := d.chaosSignal(&tc.r, publicdns.Cloudflare, V4); got != tc.want {
+				t.Errorf("chaosSignal = %s, want %s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCertSignal(t *testing.T) {
+	d := &Detector{}
+	check := func(state SignalVerdict) CertCheck {
+		return CertCheck{Resolver: publicdns.Cloudflare, Family: V4, Server: sigServerA, State: state}
+	}
+	cases := []struct {
+		name   string
+		checks []CertCheck
+		want   SignalVerdict
+	}{
+		{"no checks is inconclusive", nil, SignalInconclusive},
+		{"all inconclusive stays inconclusive", []CertCheck{check(SignalInconclusive)}, SignalInconclusive},
+		{"one comparison clears", []CertCheck{check(SignalInconclusive), check(SignalClear)}, SignalClear},
+		{"mismatch dominates", []CertCheck{check(SignalClear), check(SignalFlagged)}, SignalFlagged},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Report{CertChecks: tc.checks}
+			if got := d.certSignal(&r, publicdns.Cloudflare, V4); got != tc.want {
+				t.Errorf("certSignal = %s, want %s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDriftSignal(t *testing.T) {
+	d := &Detector{}
+	cases := []struct {
+		name     string
+		location []ProbeResult
+		drift    []ProbeResult
+		want     SignalVerdict
+	}{
+		{
+			name:     "identical answers across rounds clear",
+			location: []ProbeResult{sigProbe(sigServerA, OutcomeAnswer, "IAD")},
+			drift:    []ProbeResult{sigProbe(sigServerA, OutcomeAnswer, "IAD")},
+			want:     SignalClear,
+		},
+		{
+			name:     "distinct answers per server flag",
+			location: []ProbeResult{sigProbe(sigServerA, OutcomeAnswer, "IAD")},
+			drift:    []ProbeResult{sigProbe(sigServerA, OutcomeAnswer, "QJX")},
+			want:     SignalFlagged,
+		},
+		{
+			name: "different servers answering differently is not drift",
+			location: []ProbeResult{
+				sigProbe(sigServerA, OutcomeAnswer, "IAD"),
+				sigProbe(sigServerB, OutcomeAnswer, "FRA"),
+			},
+			drift: []ProbeResult{
+				sigProbe(sigServerA, OutcomeAnswer, "IAD"),
+				sigProbe(sigServerB, OutcomeAnswer, "FRA"),
+			},
+			want: SignalClear,
+		},
+		{
+			name:     "single observation per server cannot compare",
+			location: []ProbeResult{sigProbe(sigServerA, OutcomeAnswer, "IAD")},
+			drift:    []ProbeResult{sigProbe(sigServerA, OutcomeTimeout, "")},
+			want:     SignalInconclusive,
+		},
+		{
+			name:     "timeouts and garbage are never drift evidence",
+			location: []ProbeResult{sigProbe(sigServerA, OutcomeTimeout, "")},
+			drift:    []ProbeResult{sigProbe(sigServerA, OutcomeGarbage, "")},
+			want:     SignalInconclusive,
+		},
+		{
+			name:     "error rcodes are not answer observations",
+			location: []ProbeResult{sigProbe(sigServerA, OutcomeError, "")},
+			drift:    []ProbeResult{sigProbe(sigServerA, OutcomeError, "")},
+			want:     SignalInconclusive,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Report{Location: tc.location, DriftProbes: tc.drift}
+			if got := d.driftSignal(&r, publicdns.Cloudflare, V4); got != tc.want {
+				t.Errorf("driftSignal = %s, want %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFuseSignalsReport exercises the report-level fusion: flagged
+// fusions (and only those) join the fused intercepted sets, and the
+// report renders the signal sections only once fused.
+func TestFuseSignalsReport(t *testing.T) {
+	d := &Detector{Resolvers: []publicdns.ID{publicdns.Cloudflare, publicdns.Google}}
+	r := &Report{
+		// Cloudflare: chaos clear, cert mismatch — fusion must flag.
+		// Google: nothing measured anywhere — inconclusive, not fused.
+		Location: []ProbeResult{
+			sigProbe(sigServerA, OutcomeAnswer, "IAD"),
+			sigProbe(sigServerA, OutcomeAnswer, "IAD"),
+		},
+		CertChecks: []CertCheck{{
+			Resolver: publicdns.Cloudflare, Family: V4, Server: sigServerA,
+			UDPAnswer: "IAD", OracleIdentity: "FRA", State: SignalFlagged,
+		}},
+	}
+	d.fuseSignals(r)
+	if !r.SignalsFused {
+		t.Fatal("SignalsFused not set")
+	}
+	if len(r.Signals) != 2 {
+		t.Fatalf("Signals = %v, want 2 fusion records", r.Signals)
+	}
+	if got := r.FusedInterceptedV4; len(got) != 1 || got[0] != publicdns.Cloudflare {
+		t.Errorf("FusedInterceptedV4 = %v, want [cloudflare]", got)
+	}
+	if !r.FusedIntercepted() {
+		t.Error("FusedIntercepted() = false with a flagged fusion")
+	}
+	for _, s := range r.Signals {
+		if s.Resolver == publicdns.Google && s.Fused != SignalInconclusive {
+			t.Errorf("google fusion = %s, want inconclusive (nothing measured)", s.Fused)
+		}
+	}
+	out := r.String()
+	for _, want := range []string{"signal fusion:", "cert check", "fused intercepted (IPv4)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFusedInterceptedFallback: a report the fusion never ran on
+// answers FusedIntercepted from the CHAOS verdict, so both scorers work
+// uniformly over mixed runs.
+func TestFusedInterceptedFallback(t *testing.T) {
+	r := &Report{InterceptedV4: []publicdns.ID{publicdns.Quad9}}
+	if !r.FusedIntercepted() {
+		t.Error("unfused report should fall back to Intercepted()")
+	}
+	clean := &Report{}
+	if clean.FusedIntercepted() {
+		t.Error("clean unfused report reported fused interception")
+	}
+}
+
+// TestUnfusedReportOmitsSignalSections: a report without signals must
+// render byte-identically to the pre-signal format — the base golden
+// corpus depends on it.
+func TestUnfusedReportOmitsSignalSections(t *testing.T) {
+	r := &Report{Verdict: VerdictNotIntercepted, Transparency: TransparencyNA}
+	out := r.String()
+	for _, banned := range []string{"signal fusion", "cert check", "drift re-probes", "fused intercepted"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("unfused report renders %q:\n%s", banned, out)
+		}
+	}
+}

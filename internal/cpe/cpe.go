@@ -123,6 +123,11 @@ type Config struct {
 	// persona answers are served from pre-packed bytes; the study engine
 	// shares one cache across every CPE in a world.
 	ChaosCache *dnsserver.PackedAnswerCache
+
+	// Adversary, when non-nil, makes the forwarder evade CHAOS
+	// fingerprinting on diverted flows (see dnsserver.Adversary). Direct
+	// queries to the CPE itself keep the honest persona.
+	Adversary *dnsserver.Adversary
 }
 
 // Device is a built CPE.
@@ -159,6 +164,7 @@ func Build(cfg Config) *Device {
 		fwd.ForwardUnhandledChaos = cfg.ForwardUnhandledChaos
 		fwd.Metrics = cfg.Metrics
 		fwd.ChaosCache = cfg.ChaosCache
+		fwd.Adversary = cfg.Adversary
 		d.Forwarder = fwd
 		r.Bind(53, fwd)
 		if !cfg.WANPort53Open {

@@ -44,6 +44,10 @@ type Forwarder struct {
 	// thousands of probes ask the same version.bind questions.
 	ChaosCache *PackedAnswerCache
 
+	// Adversary, when non-nil and active, evades CHAOS fingerprinting on
+	// diverted flows instead of answering with the honest persona.
+	Adversary *Adversary
+
 	pending  map[uint16]fwdPending
 	cache    map[fwdCacheKey]fwdCacheEntry
 	nextPort uint16
@@ -93,8 +97,18 @@ func (f *Forwarder) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 	}
 	f.Metrics.query()
 	q := query.Question()
+	if !f.Adversary.AllowBogon(pkt, f.Egress) {
+		return
+	}
 	isChaosDebug := q.Class == dnswire.ClassCHAOS && q.Type == dnswire.TypeTXT && IsChaosDebugName(q.Name)
 	if isChaosDebug {
+		if resp, drop := f.Adversary.ChaosAnswer(query, pkt, f.Egress); drop {
+			return
+		} else if resp != nil {
+			f.Metrics.chaosLocal()
+			f.reply(sc, pkt, resp)
+			return
+		}
 		answersLocally := (IsVersionQuery(q.Name) && f.Persona.Version != "") ||
 			(IsIdentityQuery(q.Name) && f.Persona.Identity != "")
 		if answersLocally || !f.ForwardUnhandledChaos {

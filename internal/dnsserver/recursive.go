@@ -56,6 +56,10 @@ type RecursiveResolver struct {
 	// pre-packed bytes (see PackedAnswerCache). Optional fast path.
 	ChaosCache *PackedAnswerCache
 
+	// Adversary, when non-nil and active, evades CHAOS fingerprinting on
+	// flows diverted to this resolver instead of answering honestly.
+	Adversary *Adversary
+
 	// DNSSECAware makes the resolver request and return DNSSEC records
 	// (RRSIGs) when the client sets the DO bit. Oblivious resolvers —
 	// common on alternate-resolver paths — silently strip them, which is
@@ -128,6 +132,12 @@ func (r *RecursiveResolver) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 		return
 	}
 	if query.Question().Class == dnswire.ClassCHAOS {
+		if resp, drop := r.Adversary.ChaosAnswer(query, pkt, r.Egress); drop {
+			return
+		} else if resp != nil {
+			r.reply(sc, pkt, resp)
+			return
+		}
 		if wire := r.ChaosCache.Serve(sc, r.Persona, query); wire != nil {
 			sc.Reply(pkt, wire)
 			return
@@ -140,6 +150,9 @@ func (r *RecursiveResolver) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
 	q := query.Question()
 	if q.Class != dnswire.ClassINET {
 		r.reply(sc, pkt, dnswire.NewErrorResponse(query, dnswire.RCodeNotImplemented))
+		return
+	}
+	if !r.Adversary.AllowBogon(pkt, r.Egress) {
 		return
 	}
 	if r.Hook != nil {

@@ -21,6 +21,14 @@ func seedMessages() [][]byte {
 	q := NewQuery(5, "o-o.myaddr.l.google.com", TypeTXT, ClassINET)
 	q.SetEDNS(4096, true)
 	add(q)
+	// Adversarial interceptor wire shapes (dnsserver.Adversary): forged
+	// per-target personas for each resolver family, a replayed genuine
+	// CHAOS identity, and the starved-budget NOTIMP a rate-limiting
+	// interceptor answers with.
+	add(NewTXTResponse(NewChaosTXTQuery(6, "id.server"), "res104.gru.rrdns.pch.net"))
+	add(NewTXTResponse(NewChaosTXTQuery(7, "version.bind"), "Q9-P-7.3"))
+	add(NewTXTResponse(NewChaosTXTQuery(8, "id.server"), "QJX"))
+	add(NewErrorResponse(NewChaosTXTQuery(9, "hostname.bind"), RCodeNotImplemented))
 	// The property suite's corner shapes (max label, max wire name,
 	// EDNS/ECS, every RData, compression with mixed case) make good
 	// starting points too.

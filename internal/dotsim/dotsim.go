@@ -57,6 +57,18 @@ type Server struct {
 	Identity string
 }
 
+// NewAuthenticatedServer returns a Server presenting a trusted
+// certificate for its own address — the out-of-band anchor a
+// CERTainty-style consistency oracle dials: under the Strict profile
+// no interceptor can stand in for it.
+func NewAuthenticatedServer(addr netip.Addr, identity string) *Server {
+	return &Server{
+		Addr:     addr,
+		Cert:     Certificate{Subject: addr, Trusted: true},
+		Identity: identity,
+	}
+}
+
 // Interceptor is an on-path middlebox that can terminate DoT sessions.
 type Interceptor struct {
 	// Cert is what the interceptor presents — self-signed, naming

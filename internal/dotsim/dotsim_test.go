@@ -106,3 +106,33 @@ func TestProfileString(t *testing.T) {
 		t.Error("Profile.String misbehaves")
 	}
 }
+
+// TestNewAuthenticatedServer: the oracle's out-of-band anchor always
+// survives a strict dial to itself and answers with its own identity —
+// and an interceptor on the path cannot satisfy the strict profile.
+func TestNewAuthenticatedServer(t *testing.T) {
+	addr := netip.MustParseAddr("9.9.9.9")
+	srv := NewAuthenticatedServer(addr, "res100.iad.rrdns.pch.net")
+	if srv.Addr != addr || !srv.Cert.Trusted || srv.Cert.Subject != addr {
+		t.Fatalf("server not self-authenticated: %+v", srv)
+	}
+
+	sess, err := Dial(Path{Target: srv}, Strict)
+	if err != nil {
+		t.Fatalf("strict dial to authenticated server failed: %v", err)
+	}
+	if sess.MITM {
+		t.Error("direct session reported MITM")
+	}
+	if got := sess.QueryIdentity(); got != "res100.iad.rrdns.pch.net" {
+		t.Errorf("QueryIdentity = %q", got)
+	}
+
+	mitm := &Interceptor{
+		Cert:    Certificate{Subject: addr, Trusted: false},
+		Backend: &Server{Addr: addr, Identity: "fake"},
+	}
+	if _, err := Dial(Path{Target: srv, Interceptor: mitm}, Strict); err == nil {
+		t.Error("strict dial through an interceptor succeeded")
+	}
+}

@@ -101,9 +101,12 @@ func (n *NAT) applyDNAT(pkt Packet) (out Packet, rewritten, replicate bool) {
 		}
 		key := ctKey{client: pkt.Src, target: r.To}
 		n.dnatCT[key] = pkt.Dst
-		orig := pkt
+		if !pkt.OrigDst.IsValid() {
+			// First rewrite on the path wins: a chain of DNAT hops keeps
+			// the client's true original destination, as conntrack does.
+			pkt.OrigDst = pkt.Dst
+		}
 		pkt.Dst = r.To
-		_ = orig
 		return pkt, true, r.Replicate
 	}
 	return pkt, false, false

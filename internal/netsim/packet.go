@@ -62,6 +62,12 @@ type Packet struct {
 	// network. Services copy it from request to response so that
 	// ArrivedAt-SentAt is a flow's round-trip time.
 	SentAt time.Duration
+	// OrigDst is conntrack's "original destination": the destination the
+	// packet carried before the first DNAT rewrite on its path. Zero on
+	// packets that never hit a DNAT rule. A diverted-to service reads it
+	// to learn which address the client actually queried — the same
+	// information SO_ORIGINAL_DST exposes to real transparent proxies.
+	OrigDst netip.AddrPort
 	// FaultSalt distinguishes fault-injected duplicate copies from
 	// their originals, so the copies roll independent fault fates at
 	// later hops. Zero on every originated packet.

@@ -1,0 +1,108 @@
+package publicdns
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// This file is the adversary's knowledge of the operators it
+// impersonates (dnsserver.Adversary's Genuine/Forge callbacks are built
+// from it), plus the out-of-band identity the CERTainty-style oracle
+// compares against. dnsserver cannot import this package (sites.go
+// already imports dnsserver), so the knowledge flows in as callbacks.
+
+// SiteFor returns the operator's anycast site serving a region — the
+// site whose answers a client in that region genuinely sees.
+func SiteFor(id ID, r Region) Site {
+	for i, rr := range Regions {
+		if rr == r {
+			c := Lookup(id)
+			return Site{
+				Operator: id,
+				Region:   r,
+				City:     regionCity[r],
+				Index:    i,
+				EgressV4: egressV4(c, i),
+				EgressV6: egressV6(c, i),
+			}
+		}
+	}
+	// Unknown region: the EU site, the platform's center of mass.
+	return SiteFor(id, RegionEU)
+}
+
+// GenuineChaos returns the CHAOS debugging answer the operator owning
+// target would give a client in region r: a TXT string, or (when the
+// string is empty) the error rcode the real site answers with. ok is
+// false when target is not a public resolver service address — the
+// adversary has nothing to replay and must fall back to honesty.
+func GenuineChaos(target netip.Addr, name dnswire.Name, r Region) (txt string, rc dnswire.RCode, ok bool) {
+	c, known := ByAddr(target)
+	if !known {
+		return "", 0, false
+	}
+	p := SiteFor(c.ID, r).persona()
+	switch {
+	case dnsserver.IsVersionQuery(name):
+		return p.Version, dnswire.RCodeNotImplemented, true
+	case dnsserver.IsIdentityQuery(name):
+		return p.Identity, dnswire.RCodeNotImplemented, true
+	default:
+		// Unknown CHAOS debugging name: every operator answers NOTIMP.
+		return "", dnswire.RCodeNotImplemented, true
+	}
+}
+
+// ForgeChaos fabricates a format-valid persona string for the operator
+// owning target, using the adversary's deterministic draw. ok is false
+// when forging would be self-defeating — the real target answers the
+// query with an error, so the genuine replay is the better lie.
+func ForgeChaos(target netip.Addr, name dnswire.Name, draw uint64) (string, bool) {
+	c, known := ByAddr(target)
+	if !known {
+		return "", false
+	}
+	switch {
+	case dnsserver.IsIdentityQuery(name):
+		switch c.ID {
+		case Cloudflare:
+			// A plausible three-letter airport code (passes iataRe).
+			return forgeIATA(draw), true
+		case Quad9:
+			// A plausible PCH backend name (passes quad9Re).
+			city := regionCity[Regions[int(draw%uint64(len(Regions)))]]
+			return fmt.Sprintf("res%d.%s.rrdns.pch.net", 100+int((draw>>8)%900), city), true
+		}
+	case dnsserver.IsVersionQuery(name):
+		if c.ID == Quad9 {
+			// Quad9 is the one operator that answers version.bind; vary
+			// the patch level so the string still groups as Q9-*.
+			return fmt.Sprintf("Q9-P-7.%d", int(draw%10)), true
+		}
+	}
+	return "", false
+}
+
+// forgeIATA builds a three-uppercase-letter code from a draw.
+func forgeIATA(draw uint64) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return string([]byte{
+		letters[draw%26],
+		letters[(draw/26)%26],
+		letters[(draw/676)%26],
+	})
+}
+
+// IdentityOverTLS returns the identity the operator's regional site
+// presents over an authenticated out-of-band channel — what a DoT
+// id.server query against a verified certificate returns. ok is false
+// for operators that expose no identity that way (Google and OpenDNS
+// answer CHAOS debugging queries with NOTIMP even over TLS), in which
+// case the certificate-consistency oracle has nothing to compare.
+func IdentityOverTLS(id ID, r Region) (string, bool) {
+	p := SiteFor(id, r).persona()
+	return p.Identity, p.Identity != ""
+}

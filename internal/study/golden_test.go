@@ -2,6 +2,7 @@ package study_test
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -39,6 +40,13 @@ func TestPilotGolden(t *testing.T) {
 		"metrics.json": res.MetricsSnapshot(false).JSON(),
 	}
 
+	checkGolden(t, outputs)
+}
+
+// checkGolden compares (or, under -update, rewrites) named outputs
+// against testdata/golden, shared by the pilot and adversary corpora.
+func checkGolden(t *testing.T, outputs map[string][]byte) {
+	t.Helper()
 	dir := filepath.Join("testdata", "golden")
 	if *update {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -63,4 +71,41 @@ func TestPilotGolden(t *testing.T) {
 				name, want, got)
 		}
 	}
+}
+
+// TestAdversaryGolden pins the adversary sweep's visible surface at
+// every ladder rung: per-level paper tables and metric snapshots, plus
+// the accuracy-vs-level matrix the sweep exists to produce. Each level
+// runs the same 64-probe pilot world with the certificate oracle and
+// one drift re-probe round enabled, so the committed files document
+// exactly how each evasion level reshapes the tables and how the fused
+// scorer recovers the CHAOS losses without false positives.
+func TestAdversaryGolden(t *testing.T) {
+	outputs := map[string][]byte{}
+	var rows []analysis.AdversaryRow
+	for lvl := 0; lvl <= 4; lvl++ {
+		spec := study.PaperSpec().Scale(0.0064) // ~64 probes
+		spec.Adversary = lvl
+		spec.CertCheck = true
+		spec.DriftRounds = 1
+		res := study.RunSharded(spec, study.EngineOptions{Workers: 2})
+		if len(res.Errors) != 0 {
+			t.Fatalf("L%d shard errors: %v", lvl, res.Errors)
+		}
+		t4 := analysis.BuildTable4(res)
+		outputs[fmt.Sprintf("adv-l%d.table4.txt", lvl)] = []byte(analysis.FormatTable4(t4))
+		outputs[fmt.Sprintf("adv-l%d.table5.txt", lvl)] = []byte(analysis.FormatTable5(analysis.BuildTable5(res)))
+		outputs[fmt.Sprintf("adv-l%d.metrics.json", lvl)] = res.MetricsSnapshot(false).JSON()
+		rows = append(rows, analysis.ScoreAdversary(lvl, res))
+	}
+	outputs["adversary_matrix.txt"] = []byte(analysis.FormatAdversary(rows))
+
+	for _, r := range rows {
+		if r.ChaosFP != 0 || r.FusedFP != 0 {
+			t.Errorf("L%d has false positives (chaos %d, fused %d); no scorer may buy accuracy with FPs",
+				r.Level, r.ChaosFP, r.FusedFP)
+		}
+	}
+
+	checkGolden(t, outputs)
 }

@@ -127,6 +127,23 @@ type Spec struct {
 	// preserve the sharding contract.
 	ClientWrapper func(core.Client, *atlas.Probe) core.Client
 
+	// Adversary selects the interceptor evasion ladder rung installed on
+	// every interceptor in the world — CPE forwarders on intercepting
+	// seats, ISP resolvers (normal and refusing), and the transit
+	// resolvers (see dnsserver.Adversary). 0 keeps today's honest
+	// interceptors.
+	Adversary int
+
+	// CertCheck wires the certificate-consistency oracle into every
+	// detector: each round-1 location answer is compared against the
+	// identity the operator's regional site presents over an
+	// authenticated out-of-band channel (core.CertOracle).
+	CertCheck bool
+
+	// DriftRounds re-issues the location enumeration this many extra
+	// times per probe, feeding the longitudinal drift signal.
+	DriftRounds int
+
 	// DisableMetrics turns the observability plane off for this run:
 	// no registry is built and every instrumented site reduces to one
 	// nil check. Exists for the metrics-overhead A/B measurement

@@ -98,6 +98,8 @@ func (t *WorldTemplate) Build(spec Spec) *World {
 	w.Platform = atlas.NewPlatform(w.Net, spec.Seed)
 	w.Platform.Retry = spec.Retry
 	w.Platform.Metrics = core.NewMetricSet(w.Metrics)
+	w.installSignals()
+	w.buildAdversaries()
 
 	w.buildISPs(t.orgs, t.plans)
 	w.buildTransitInterceptors()

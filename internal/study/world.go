@@ -55,6 +55,11 @@ type World struct {
 	// (the world is a single-threaded event loop), shared by every CPE
 	// forwarder and resolver in it.
 	chaosCache *dnsserver.PackedAnswerCache
+
+	// advByRegion caches the per-region evasive-interceptor models when
+	// Spec.Adversary > 0 (see adversary.go). Per world: the L4 budget
+	// map is mutable measurement state.
+	advByRegion map[publicdns.Region]*dnsserver.Adversary
 }
 
 // ispResolverPersonas rotate across ISPs for variety in intercepted
@@ -123,6 +128,8 @@ func (w *World) buildISPs(orgs []geo.Org, plans []orgPlan) {
 		n := w.Backbone.AttachISP(cfg)
 		n.Resolver.ChaosCache = w.chaosCache
 		n.Refusing.ChaosCache = w.chaosCache
+		n.Resolver.Adversary = w.adversaryFor(region)
+		n.Refusing.Adversary = w.adversaryFor(region)
 		w.ISPs[org.ASN] = n
 
 		regional := w.Backbone.Regional[region]
@@ -148,6 +155,7 @@ func (w *World) buildTransitInterceptors() {
 		res := dnsserver.NewRecursiveResolver(resolverAddr, backbone.RootAddr)
 		res.Persona = ispResolverPersonas[(i+1)%len(ispResolverPersonas)]
 		res.ChaosCache = w.chaosCache
+		res.Adversary = w.adversaryFor(region)
 		rtr.Bind(53, res)
 		regional := w.Backbone.Regional[region]
 		rtr.AddDefaultRoute(regional)
@@ -723,6 +731,7 @@ func (w *World) buildProbe(network *isp.Network, seg *isp.Segment, plan *orgPlan
 		if s.Loc == LocCPE {
 			truth.Persona = s.Persona
 			cfg.Persona = dnsserver.ChaosPersona{Version: s.Persona}
+			cfg.Adversary = w.adversaryFor(region)
 			if s.PatternV4 == nil {
 				cfg.Intercept.AllV4 = true
 			} else {
