@@ -41,6 +41,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "study scale factor (1.0 = ~10,000 probes)")
 		seed     = flag.Int64("seed", 0, "override the spec's deterministic seed")
 		workers  = flag.Int("workers", 0, "parallel study shards (0 = all cores); output is identical at any count")
+		lanes    = flag.Int("lanes", 0, "probe lanes per shard, each its own event loop over the shared world core; output is identical at any count (in-memory: 0 = auto from spare cores; -stream: 0 = 1, and checkpoints move to lane boundaries; torture: 0 = varied per cycle)")
 		table    = flag.Int("table", 0, "print only this table (1-5)")
 		figure   = flag.Int("figure", 0, "print only this figure (3-4)")
 		csv      = flag.Bool("csv", false, "emit Table 4 as CSV")
@@ -116,7 +117,7 @@ func main() {
 	}
 
 	if *tortureSeed != 0 {
-		runTorture(spec, nWorkers, *tortureSeed, *tortureCycles)
+		runTorture(spec, nWorkers, *lanes, *tortureSeed, *tortureCycles)
 		return
 	}
 	if *tortureCycles != 0 {
@@ -130,7 +131,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "resilience sweep: %d probes x %d fault levels, %d worker(s)...\n",
 			spec.TotalProbes, len(levels), nWorkers)
 		start := time.Now()
-		rows := analysis.RunResilienceSweep(spec, study.EngineOptions{Workers: nWorkers}, levels, retry)
+		rows := analysis.RunResilienceSweep(spec, study.EngineOptions{Workers: nWorkers, Lanes: *lanes}, levels, retry)
 		fmt.Fprintf(os.Stderr, "sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
 		fmt.Println(analysis.FormatResilience(rows))
 		return
@@ -141,7 +142,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adversary sweep: %d probes x %d evasion levels, %d worker(s)...\n",
 			spec.TotalProbes, len(levels), nWorkers)
 		start := time.Now()
-		rows := analysis.RunAdversarySweep(spec, study.EngineOptions{Workers: nWorkers}, levels, nil)
+		rows := analysis.RunAdversarySweep(spec, study.EngineOptions{Workers: nWorkers, Lanes: *lanes}, levels, nil)
 		fmt.Fprintf(os.Stderr, "sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
 		fmt.Println(analysis.FormatAdversary(rows))
 		return
@@ -188,6 +189,7 @@ func main() {
 	if *stream {
 		opts := study.StreamOptions{
 			Workers:         nWorkers,
+			Lanes:           *lanes,
 			Progress:        progress,
 			NewAccumulator:  func(int) study.Accumulator { return analysis.NewAccumulator() },
 			CheckpointDir:   *ckptDir,
@@ -218,7 +220,7 @@ func main() {
 			{"probes resumed from checkpoint", fmt.Sprintf("%d", res.Skipped)},
 		}))
 	} else {
-		results = study.RunSharded(spec, study.EngineOptions{Workers: nWorkers, Progress: progress})
+		results = study.RunSharded(spec, study.EngineOptions{Workers: nWorkers, Lanes: *lanes, Progress: progress})
 		acc = analysis.NewAccumulator()
 		for _, rec := range results.Records {
 			acc.Fold(rec)
@@ -327,7 +329,7 @@ func main() {
 // on fault-injected filesystems, ending with a byte-level diff of the
 // tables, Stable metrics, and sink files. Exits non-zero on any
 // divergence or fatal abort.
-func runTorture(spec study.Spec, workers int, seed int64, cycles int) {
+func runTorture(spec study.Spec, workers, lanes int, seed int64, cycles int) {
 	dir, err := os.MkdirTemp("", "pilotstudy-torture-")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pilotstudy: %v\n", err)
@@ -340,6 +342,7 @@ func runTorture(spec study.Spec, workers int, seed int64, cycles int) {
 	rep, err := study.RunTorture(study.TortureOptions{
 		Spec:           spec,
 		Workers:        workers,
+		Lanes:          lanes,
 		Cycles:         cycles,
 		Seed:           seed,
 		Dir:            dir,

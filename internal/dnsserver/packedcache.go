@@ -2,6 +2,7 @@ package dnsserver
 
 import (
 	"encoding/binary"
+	"sync"
 
 	"github.com/dnswatch/dnsloc/internal/dnswire"
 	"github.com/dnswatch/dnsloc/internal/netsim"
@@ -13,10 +14,14 @@ import (
 // only on the persona and on the parts of the query the response echoes
 // (first question verbatim, opcode, RD) — plus the message ID, which is
 // patched into the cached bytes per query. One instance is shared by
-// every server of a world; the sharded engine gives each shard world its
-// own, so no lock is needed.
+// every server of every world stamped from a template — shard and lane
+// worlds running concurrently included — so the map is a sync.Map. Two
+// worlds racing on a miss both pack the identical bytes (a persona's
+// answer is a pure function of the key), so whichever Store wins, the
+// cached value is the same; cached slices are never mutated (the ID is
+// patched into a copy).
 type PackedAnswerCache struct {
-	m map[packedAnswerKey][]byte
+	m sync.Map // packedAnswerKey -> []byte
 }
 
 type packedAnswerKey struct {
@@ -30,7 +35,7 @@ type packedAnswerKey struct {
 
 // NewPackedAnswerCache returns an empty cache.
 func NewPackedAnswerCache() *PackedAnswerCache {
-	return &PackedAnswerCache{m: make(map[packedAnswerKey][]byte)}
+	return &PackedAnswerCache{}
 }
 
 // Serve returns the persona's packed answer to query with the query's ID
@@ -53,8 +58,10 @@ func (c *PackedAnswerCache) Serve(sc *netsim.ServiceCtx, persona ChaosPersona, q
 		opcode:  query.Header.Opcode,
 		rd:      query.Header.RecursionDesired,
 	}
-	wire, ok := c.m[key]
-	if !ok {
+	var wire []byte
+	if v, ok := c.m.Load(key); ok {
+		wire = v.([]byte)
+	} else {
 		resp := persona.Answer(query)
 		if resp == nil {
 			return nil
@@ -64,7 +71,7 @@ func (c *PackedAnswerCache) Serve(sc *netsim.ServiceCtx, persona ChaosPersona, q
 			return nil
 		}
 		wire = packed
-		c.m[key] = wire
+		c.m.Store(key, wire)
 	}
 	var buf []byte
 	if sc != nil {

@@ -40,9 +40,29 @@ type calQueue struct {
 	size      int // ring + overflow
 	ringCount int
 	// overflow holds events scheduled beyond the ring horizon, in
-	// enqueue order; minOvfTick caches their earliest tick.
+	// enqueue order; minOvfTick caches their earliest tick. The cache is
+	// only meaningful while overflow is nonempty — read it through
+	// ovfMin, never directly: a batch drain that empties the overflow
+	// leaves minOvfTick holding the drained minimum, and a same-tick
+	// re-insert that trusted the stale value would jump headTick into
+	// the past and replay an already-scanned bucket out of order.
 	overflow   []event
 	minOvfTick int64
+}
+
+// calNoOverflow is ovfMin's result while the overflow is empty: later
+// than any real tick, so every "is an overflow event due?" comparison
+// fails closed.
+const calNoOverflow = int64(1<<63 - 1)
+
+// ovfMin returns the earliest overflow tick, or calNoOverflow when the
+// overflow is empty. Centralizing the emptiness check here is what makes
+// a stale minOvfTick unreadable (see the field comment).
+func (q *calQueue) ovfMin() int64 {
+	if len(q.overflow) == 0 {
+		return calNoOverflow
+	}
+	return q.minOvfTick
 }
 
 func (q *calQueue) Len() int { return q.size }
@@ -57,15 +77,15 @@ func (q *calQueue) push(ev event) {
 		// an idle gap costs nothing to scan over. The jump must never
 		// pass a pending overflow event — a bucket behind headTick
 		// would otherwise go unscanned.
-		if len(q.overflow) > 0 && q.minOvfTick < tick {
-			q.headTick = q.minOvfTick
+		if m := q.ovfMin(); m < tick {
+			q.headTick = m
 		} else {
 			q.headTick = tick
 		}
 	}
 	q.size++
 	if tick >= q.headTick+calBuckets {
-		if len(q.overflow) == 0 || tick < q.minOvfTick {
+		if tick < q.ovfMin() {
 			q.minOvfTick = tick
 		}
 		q.overflow = append(q.overflow, ev)
@@ -95,9 +115,11 @@ func (q *calQueue) popBatch(dst []event) []event {
 	// event must never be outrun by a later-ticked ring event.
 	for {
 		if q.ringCount == 0 {
-			q.headTick = q.minOvfTick
+			// size > 0 with an empty ring means the overflow is nonempty
+			// (size == ringCount + len(overflow)), so ovfMin is a real tick.
+			q.headTick = q.ovfMin()
 		}
-		if len(q.overflow) > 0 && q.minOvfTick < q.headTick+calBuckets {
+		if q.ovfMin() < q.headTick+calBuckets {
 			q.drainOverflow()
 		}
 		if len(q.ring[q.headTick&(calBuckets-1)]) > 0 {
@@ -151,7 +173,7 @@ func (q *calQueue) drainOverflow() {
 	for _, ev := range ovf {
 		tick := int64(ev.at) >> calBucketBits
 		if tick >= q.headTick+calBuckets {
-			if len(q.overflow) == 0 || tick < q.minOvfTick {
+			if tick < q.ovfMin() {
 				q.minOvfTick = tick
 			}
 			q.overflow = append(q.overflow, ev)

@@ -172,6 +172,137 @@ func TestCalQueueInterleavedPushPop(t *testing.T) {
 	}
 }
 
+// TestCalQueueStaleMinAfterOverflowDrain pins the cached-min hazard the
+// ovfMin accessor closes: a batch drain that empties the overflow leaves
+// minOvfTick holding the drained minimum, and a same-tick re-insert
+// right after the drain must not let that stale value steer the
+// empty-ring jump (or the overflow-vs-ring comparison in popBatch) back
+// into the past. The sequence below walks the queue through exactly that
+// state — overflow filled, horizon advanced so the drain empties it,
+// queue fully popped, then a re-insert at the very tick the stale cache
+// still names — and checks heap order end to end.
+func TestCalQueueStaleMinAfterOverflowDrain(t *testing.T) {
+	horizon := time.Duration(calBuckets << calBucketBits)
+	var cal calQueue
+	var heap eventHeap
+	seq := 0
+	push := func(at time.Duration) {
+		seq++
+		ev := event{at: at, seq: seq}
+		cal.push(ev)
+		heap.push(ev)
+	}
+	check := func(stage string) {
+		var batch []event
+		for cal.Len() > 0 {
+			batch = cal.popBatch(batch[:0])
+			for _, got := range batch {
+				want := heap.pop()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("%s: got (at %v, seq %d), want (at %v, seq %d)",
+						stage, got.at, got.seq, want.at, want.seq)
+				}
+			}
+		}
+		if heap.Len() != 0 {
+			t.Fatalf("%s: calendar queue drained but heap holds %d events", stage, heap.Len())
+		}
+	}
+	// An overflow event one tick past the horizon, plus a near event. The
+	// pop of the near event advances the horizon, drainOverflow empties
+	// the overflow into the ring, and the remaining pops drain the queue —
+	// minOvfTick is now stale at the overflow event's tick.
+	stale := horizon + time.Duration(1<<calBucketBits)
+	push(time.Millisecond)
+	push(stale)
+	check("prime")
+	// Same-tick re-insert on the empty queue: its tick equals the stale
+	// cached min. A direct minOvfTick read here would treat the empty
+	// overflow as pending and could aim headTick at a bucket that is
+	// never scanned again; ovfMin reports "no overflow" instead.
+	push(stale)
+	push(stale + horizon) // and refill the overflow behind it
+	push(stale + time.Microsecond)
+	check("reinsert")
+}
+
+// TestCalQueueOverflowChurnFuzz is a heavier companion to the property
+// tests above: interleaved push/pop with the push mix skewed hard toward
+// the overflow machinery — horizon-edge ticks, deep overflow, multiples
+// of the horizon (bucket-slot aliasing), and same-timestamp re-inserts
+// issued immediately after each batch drain.
+func TestCalQueueOverflowChurnFuzz(t *testing.T) {
+	trials := 2000
+	if testing.Short() {
+		trials = 200
+	}
+	horizon := time.Duration(calBuckets << calBucketBits)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var cal calQueue
+		var heap eventHeap
+		seq := 0
+		now := time.Duration(0)
+		push := func(at time.Duration) {
+			seq++
+			ev := event{at: at, seq: seq}
+			cal.push(ev)
+			heap.push(ev)
+		}
+		randomAt := func() time.Duration {
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				return now // same-timestamp collision
+			case 3, 4:
+				return now + time.Duration(rng.Int63n(int64(4*time.Millisecond)))
+			case 5: // straddle the horizon edge by a tick or two
+				return now + horizon + time.Duration(rng.Int63n(1<<calBucketBits)) - time.Duration(rng.Intn(3))
+			case 6, 7: // deep overflow
+				return now + horizon + time.Duration(rng.Int63n(int64(30*time.Second)))
+			default: // horizon multiples: same ring slot, different tick
+				k := 1 + rng.Int63n(4)
+				return now + time.Duration(k)*horizon + time.Duration(rng.Int63n(1<<calBucketBits))
+			}
+		}
+		for i := 0; i < 8; i++ {
+			push(randomAt())
+		}
+		var batch []event
+		steps := 0
+		for cal.Len() > 0 && steps < 500 {
+			steps++
+			batch = cal.popBatch(batch[:0])
+			if len(batch) == 0 {
+				t.Fatalf("trial %d: popBatch returned nothing from a nonempty queue", trial)
+			}
+			now = batch[0].at
+			for _, got := range batch {
+				want := heap.pop()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("trial %d step %d: got (at %v, seq %d), want (at %v, seq %d)",
+						trial, steps, got.at, got.seq, want.at, want.seq)
+				}
+				if rng.Intn(3) == 0 {
+					push(randomAt())
+				}
+			}
+		}
+		for cal.Len() > 0 {
+			batch = cal.popBatch(batch[:0])
+			for _, got := range batch {
+				want := heap.pop()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("trial %d drain: got (at %v, seq %d), want (at %v, seq %d)",
+						trial, got.at, got.seq, want.at, want.seq)
+				}
+			}
+		}
+		if heap.Len() != 0 {
+			t.Fatalf("trial %d: calendar queue drained but heap holds %d events", trial, heap.Len())
+		}
+	}
+}
+
 // TestCalQueueEmptyJump: after a full drain, a push far in the future
 // must not pay a bucket-by-bucket scan — the ring jumps. This is a
 // behavioural smoke test (it would time out if the jump regressed to a

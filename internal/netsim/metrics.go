@@ -22,6 +22,12 @@ type netMetrics struct {
 	rateDrops  *metrics.Counter // fault: query dropped by token bucket
 
 	natOccupancy *metrics.Gauge // peak SNAT+conntrack entries at any one NAT
+
+	// Route-lookup memo effectiveness (lookupRoute's 4-slot cache).
+	// Diagnostic: lookups cover every flow, including infrastructure
+	// recursion whose volume depends on which probes share a world.
+	routeLookups   *metrics.Counter
+	routeCacheHits *metrics.Counter
 }
 
 // SetMetrics wires the network's hot paths to a registry; nil detaches
@@ -42,6 +48,9 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 		reordered:    reg.Counter("netsim.fault_reordered_packets", metrics.Stable),
 		rateDrops:    reg.Counter("netsim.fault_rate_limited_drops", metrics.Stable),
 		natOccupancy: reg.Gauge("netsim.nat_table_peak_entries", metrics.Diagnostic),
+
+		routeLookups:   reg.Counter("netsim.route_lookups", metrics.Diagnostic),
+		routeCacheHits: reg.Counter("netsim.route_cache_hits", metrics.Diagnostic),
 	}
 }
 

@@ -120,6 +120,15 @@ type Router struct {
 	// Invalidated with the lengths whenever the table changes.
 	cache4 lookupCache
 	cache6 lookupCache
+
+	// core, when set, shares this router's forwarding table across
+	// worlds (see routingcore.go). The recorder keeps local tables and
+	// mirrors inserts into the core; bound routers resolve against the
+	// sealed core plus any world-local additions, with coreRoutes
+	// materializing each core ordinal as a cacheable *Route.
+	core          *RoutingCore
+	coreRecording bool
+	coreRoutes    []Route
 }
 
 // lookupCacheSlots is the per-family memo size: big enough for the
@@ -235,11 +244,41 @@ func (r *Router) AddRouteFiltered(prefix netip.Prefix, next Device, filter func(
 	r.insertRoute(&Route{Prefix: prefix, Next: next, Filter: filter})
 }
 
+// ShareCore attaches shared routing state (routingcore.go). In
+// recording mode the router keeps its local tables — the recorder world
+// stays the reference — and mirrors eligible inserts into the core. In
+// bound mode the sealed core supplies the table; coreRoutes is sized
+// once so materialized routes have stable addresses for the lookup
+// cache.
+func (r *Router) ShareCore(core *RoutingCore, recording bool) {
+	if core == nil {
+		return
+	}
+	r.core = core
+	r.coreRecording = recording
+	if !recording {
+		r.coreRoutes = make([]Route, core.numRoutes)
+	}
+}
+
 // insertRoute stores a route in the per-family, per-length map. A later
 // insert of the same prefix replaces the earlier one.
 func (r *Router) insertRoute(rt *Route) {
 	p := rt.Prefix.Masked()
 	rt.Prefix = p
+	if r.core != nil && rt.Filter == nil && rt.Next != nil {
+		if r.coreRecording {
+			r.core.record(p, rt.Next.DeviceName())
+			// fall through: the recorder also populates local tables
+		} else if e, ok := r.core.entry(p); ok && r.core.hopNames[e.hop] == rt.Next.DeviceName() {
+			// Bound world re-issuing a recorded insert: just bind the
+			// device into the ordinal's slot, no map work. Inserts the
+			// core doesn't know (or that disagree on the hop) fall
+			// through to a local insert, which shadows the core entry.
+			r.coreRoutes[e.ord] = Route{Prefix: p, Next: rt.Next}
+			return
+		}
+	}
 	table := r.routes4
 	if p.Addr().Is6() {
 		table = r.routes6
@@ -268,6 +307,12 @@ func (r *Router) AddDefaultRouteFiltered(next Device, filter func(Packet) (bool,
 // per destination. The memo is pure: it only short-circuits a repeat of
 // the identical lookup, and any table change invalidates it via stale.
 func (r *Router) lookupRoute(dst netip.Addr) *Route {
+	return r.lookupRouteM(dst, nil)
+}
+
+// lookupRouteM is lookupRoute with the hot path's metric handles; nm
+// may be nil (metrics detached).
+func (r *Router) lookupRouteM(dst netip.Addr, nm *netMetrics) *Route {
 	if r.stale {
 		r.lengths4 = sortedLengthsDesc(r.routes4)
 		r.lengths6 = sortedLengthsDesc(r.routes6)
@@ -277,25 +322,62 @@ func (r *Router) lookupRoute(dst netip.Addr) *Route {
 	}
 	d := dst.Unmap()
 	table, lengths, cache := r.routes4, r.lengths4, &r.cache4
+	var core *coreTable
+	if r.core != nil && !r.coreRecording {
+		core = &r.core.v4
+	}
 	if d.Is6() {
 		table, lengths, cache = r.routes6, r.lengths6, &r.cache6
+		if core != nil {
+			core = &r.core.v6
+		}
+	}
+	if nm != nil {
+		nm.routeLookups.Inc()
 	}
 	if rt, ok := cache.get(d); ok {
+		if nm != nil {
+			nm.routeCacheHits.Inc()
+		}
 		return rt
 	}
-	var hit *Route
-	for _, bits := range lengths {
-		p, err := d.Prefix(bits)
-		if err != nil {
-			continue
-		}
-		if rt, ok := table[bits][p]; ok {
-			hit = rt
-			break
-		}
-	}
+	hit := r.lpmMatch(d, table, lengths, core)
 	cache.put(d, hit)
 	return hit
+}
+
+// lpmMatch scans the local table and (on bound routers) the shared core
+// in a merged longest-prefix walk. Local entries win ties — a world-
+// local insert shadows the core's entry for the same prefix length.
+func (r *Router) lpmMatch(d netip.Addr, table map[int]map[netip.Prefix]*Route, lengths []int, core *coreTable) *Route {
+	li, ci := 0, 0
+	for li < len(lengths) || (core != nil && ci < len(core.lengths)) {
+		lb, cb := -1, -1
+		if li < len(lengths) {
+			lb = lengths[li]
+		}
+		if core != nil && ci < len(core.lengths) {
+			cb = core.lengths[ci]
+		}
+		if lb >= cb {
+			li++
+			if p, err := d.Prefix(lb); err == nil {
+				if rt, ok := table[lb][p]; ok {
+					return rt
+				}
+			}
+		} else {
+			ci++
+			if p, err := d.Prefix(cb); err == nil {
+				if e, ok := core.byLen[cb][p]; ok {
+					if rt := &r.coreRoutes[e.ord]; rt.Next != nil {
+						return rt
+					}
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // sortedLengthsDesc lists a table's prefix lengths, longest first.
@@ -377,7 +459,7 @@ func (r *Router) deliverLocal(ctx *Ctx, pkt Packet) {
 // locallyOriginated packets skip route filters' TTL handling edge cases
 // but otherwise follow the same path.
 func (r *Router) routePacket(ctx *Ctx, pkt Packet, locallyOriginated bool) {
-	rt := r.lookupRoute(pkt.Dst.Addr())
+	rt := r.lookupRouteM(pkt.Dst.Addr(), ctx.net.metrics)
 	if rt == nil || rt.Next == nil {
 		ctx.Drop(pkt, "no route to "+pkt.Dst.Addr().String())
 		return

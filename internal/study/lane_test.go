@@ -1,0 +1,318 @@
+package study_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// stableSnap renders the deterministic half of the metrics plane.
+func stableSnap(res *study.Results) string {
+	return string(res.MetricsSnapshot(false).JSON())
+}
+
+// TestLaneEngineDeterministic extends the worker-count determinism pin
+// to the lanes axis: any (workers × lanes) grid must reproduce the
+// serial run byte-for-byte — record order, every rendered table and
+// figure, the availability totals, and the Stable metrics snapshot.
+// The grid includes an uneven split (lanes that do not divide the
+// shard's probe count) so the window math is exercised, not just the
+// round numbers.
+func TestLaneEngineDeterministic(t *testing.T) {
+	spec := study.PaperSpec().Scale(0.05)
+
+	serial := study.RunSharded(spec, study.EngineOptions{Workers: 1, Lanes: 1})
+	if len(serial.Errors) != 0 {
+		t.Fatalf("serial run reported errors: %v", serial.Errors)
+	}
+	wantRender := renderAll(serial)
+	wantTotals := respondedTotals(serial)
+	wantMetrics := stableSnap(serial)
+
+	grids := []struct{ workers, lanes int }{
+		{1, 4},
+		{2, 2},
+		{3, 2},
+		{1, 7}, // uneven windows: 500/1 shard, 7 lanes
+		{4, 3},
+	}
+	for _, g := range grids {
+		g := g
+		t.Run(fmt.Sprintf("w%dxl%d", g.workers, g.lanes), func(t *testing.T) {
+			res := study.RunSharded(spec, study.EngineOptions{Workers: g.workers, Lanes: g.lanes})
+			if len(res.Errors) != 0 {
+				t.Fatalf("lane run reported errors: %v", res.Errors)
+			}
+			if len(res.Records) != len(serial.Records) {
+				t.Fatalf("record count = %d, serial has %d", len(res.Records), len(serial.Records))
+			}
+			for i := range res.Records {
+				if res.Records[i].Probe.ID != serial.Records[i].Probe.ID {
+					t.Fatalf("record %d is probe %d, serial has %d",
+						i, res.Records[i].Probe.ID, serial.Records[i].Probe.ID)
+				}
+			}
+			if got := renderAll(res); got != wantRender {
+				t.Errorf("rendered output diverges from serial run\nserial:\n%s\nlanes:\n%s", wantRender, got)
+			}
+			if got := respondedTotals(res); !reflect.DeepEqual(got, wantTotals) {
+				t.Errorf("responded totals diverge: got %v want %v", got, wantTotals)
+			}
+			if got := stableSnap(res); got != wantMetrics {
+				t.Errorf("stable metrics snapshot diverges from serial run\nserial:\n%s\nlanes:\n%s", wantMetrics, got)
+			}
+		})
+	}
+}
+
+// TestLaneFaultedDeterministic pins the lanes axis under fault
+// injection: the per-probe exports of a faulted study are identical at
+// any lane count, because fault decisions hash packet content and every
+// lane replays the same RNG streams its probes would see serially.
+func TestLaneFaultedDeterministic(t *testing.T) {
+	spec := faultedSpec()
+
+	serial := study.RunSharded(spec, study.EngineOptions{Workers: 1, Lanes: 1})
+	if n := len(serial.Quarantined()); n != 0 {
+		t.Fatalf("faulted serial run quarantined %d probes", n)
+	}
+	want := exportJSON(t, serial)
+	wantMetrics := stableSnap(serial)
+
+	grids := []struct{ workers, lanes int }{{1, 4}, {2, 3}}
+	for _, g := range grids {
+		g := g
+		t.Run(fmt.Sprintf("w%dxl%d", g.workers, g.lanes), func(t *testing.T) {
+			res := study.RunSharded(spec, study.EngineOptions{Workers: g.workers, Lanes: g.lanes})
+			if len(res.Errors) != 0 {
+				t.Fatalf("lane run reported errors: %v", res.Errors)
+			}
+			got := exportJSON(t, res)
+			if len(got) != len(want) {
+				t.Fatalf("export rows = %d, serial has %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("export row %d diverges\nserial: %s\nlanes:  %s", i, want[i], got[i])
+				}
+			}
+			if gotM := stableSnap(res); gotM != wantMetrics {
+				t.Errorf("stable metrics snapshot diverges under faults")
+			}
+		})
+	}
+}
+
+// TestStreamLanesMatchSingleLane: the lane-parallel streaming pipeline
+// renders byte-identical tables, Stable metrics, and sink files to the
+// single-lane pipeline at any (workers × lanes) combination — the
+// committer folds lanes strictly in lane order, so the output order is
+// the single-lane order.
+func TestStreamLanesMatchSingleLane(t *testing.T) {
+	spec := streamSpec()
+
+	refDir := t.TempDir()
+	ref := streamOpts(2)
+	ref.NewSink = fileSinks(t, refDir)
+	refRes, err := study.RunStreamed(spec, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderStream(t, refRes)
+	wantSinks := readSinks(t, refDir, 2)
+
+	grids := []struct{ workers, lanes int }{{2, 2}, {2, 3}, {1, 4}}
+	for _, g := range grids {
+		g := g
+		t.Run(fmt.Sprintf("w%dxl%d", g.workers, g.lanes), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := streamOpts(g.workers)
+			opts.Lanes = g.lanes
+			opts.NewSink = fileSinks(t, dir)
+			res, err := study.RunStreamed(spec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := renderStream(t, res); got != want {
+				t.Errorf("lane-streamed output diverges from single-lane pipeline:\n--- single-lane ---\n%s--- lanes ---\n%s",
+					want, got)
+			}
+			// Within a shard the committer wrote rows in lane order,
+			// which is the shard's probe order — the sink files must
+			// match the single-lane run's byte for byte. (Only at the
+			// reference's worker count: shard concatenation order
+			// differs across worker counts.)
+			if g.workers == 2 {
+				if gotSinks := readSinks(t, dir, g.workers); gotSinks != wantSinks {
+					t.Errorf("lane-streamed sink files diverge (%d vs %d bytes)", len(gotSinks), len(wantSinks))
+				}
+			}
+		})
+	}
+}
+
+// TestStreamLaneCheckpointResume pins the cross-lane resume contract:
+// the checkpoint fingerprint is lane-free and the cursor counts shard
+// ranks, so a run killed at one lane count resumes at any other and
+// finishes byte-identical to an uninterrupted run. Both directions are
+// exercised — lane-boundary checkpoints resumed by the single-lane
+// interval path, and interval checkpoints resumed mid-lane by the lane
+// path.
+func TestStreamLaneCheckpointResume(t *testing.T) {
+	spec := streamSpec()
+	const workers = 2
+
+	refDir := t.TempDir()
+	ref := streamOpts(workers)
+	ref.NewSink = fileSinks(t, refDir)
+	refRes, err := study.RunStreamed(spec, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderStream(t, refRes)
+	wantSinks := readSinks(t, refDir, workers)
+
+	cases := []struct {
+		name                string
+		killLanes, resLanes int
+		stopAfter           int
+	}{
+		// 128 probes / 2 shards = 64 ranks; 4 lanes → boundaries at
+		// 16/32/48/64. Halting at 40 leaves checkpoints at 16 and 32.
+		{"lanes4-to-lanes1", 4, 1, 40},
+		// Single-lane interval checkpoints at 10 and 20, halt at 25.
+		// The cursor 20 lands inside lane 0 of 3's window (ranks 0..21),
+		// so the lane path resumes mid-window: lane 0 re-measures its
+		// last ranks, lanes 1 and 2 run in full.
+		{"lanes1-to-lanes3", 1, 3, 25},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ckDir := t.TempDir()
+			sinkDir := t.TempDir()
+			killed := streamOpts(workers)
+			killed.Lanes = tc.killLanes
+			killed.CheckpointDir = ckDir
+			killed.CheckpointEvery = 10
+			killed.StopAfterProbes = tc.stopAfter
+			killed.NewSink = fileSinks(t, sinkDir)
+			kRes, err := study.RunStreamed(spec, killed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !kRes.Stopped {
+				t.Fatal("StopAfterProbes did not halt the run")
+			}
+			if got := counterValue(t, kRes.MetricsSnapshot(true), "study.checkpoints_written"); got == 0 {
+				t.Fatal("killed run wrote no checkpoints")
+			}
+
+			resumed := streamOpts(workers)
+			resumed.Lanes = tc.resLanes
+			resumed.CheckpointDir = ckDir
+			resumed.CheckpointEvery = 10
+			resumed.Resume = true
+			resumed.NewSink = fileSinks(t, sinkDir)
+			rRes, err := study.RunStreamed(spec, resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rRes.Skipped == 0 {
+				t.Error("resumed run skipped no probes — checkpoints were not loaded across lane counts")
+			}
+			if got := renderStream(t, rRes); got != want {
+				t.Errorf("cross-lane resume diverges from uninterrupted run:\n--- uninterrupted ---\n%s--- resumed ---\n%s",
+					want, got)
+			}
+			if got := readSinks(t, sinkDir, workers); got != wantSinks {
+				t.Errorf("cross-lane resumed sink files diverge (%d vs %d bytes)", len(got), len(wantSinks))
+			}
+		})
+	}
+}
+
+// TestStreamLaneResumeOfCompletedRun: resuming a lane-mode run that
+// already finished skips every lane's window — no lane world is built,
+// nothing re-measures — and the refreshed final checkpoint plus outputs
+// stay byte-identical.
+func TestStreamLaneResumeOfCompletedRun(t *testing.T) {
+	spec := streamSpec()
+	ckDir := t.TempDir()
+	sinkDir := t.TempDir()
+
+	first := streamOpts(2)
+	first.Lanes = 3
+	first.CheckpointDir = ckDir
+	first.NewSink = fileSinks(t, sinkDir)
+	fRes, err := study.RunStreamed(spec, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderStream(t, fRes)
+	wantSinks := readSinks(t, sinkDir, 2)
+
+	again := streamOpts(2)
+	again.Lanes = 3
+	again.CheckpointDir = ckDir
+	again.Resume = true
+	again.NewSink = fileSinks(t, sinkDir)
+	aRes, err := study.RunStreamed(spec, again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aRes.Folded != 0 {
+		t.Errorf("resume of completed run re-measured %d probes, want 0", aRes.Folded)
+	}
+	if aRes.Skipped == 0 {
+		t.Error("resume of completed run skipped nothing")
+	}
+	if got := renderStream(t, aRes); got != want {
+		t.Errorf("resume of completed lane run diverges")
+	}
+	if got := readSinks(t, sinkDir, 2); got != wantSinks {
+		t.Errorf("resume of completed lane run rewrote sink files (%d vs %d bytes)", len(got), len(wantSinks))
+	}
+}
+
+// TestLaneAdversaryDeterministic pins the lanes axis under an active
+// adversary: forged answers and rate-limit evasion derive from
+// per-probe RNG chains, so lane partitioning must not move them.
+func TestLaneAdversaryDeterministic(t *testing.T) {
+	scenarios := []struct {
+		name    string
+		level   int
+		faulted bool
+	}{
+		{"clean-forge", 2, false},
+		{"faulted-rate-limit", 4, true},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			spec := adversarySpec(sc.level, sc.faulted)
+			serial := study.RunSharded(spec, study.EngineOptions{Workers: 1, Lanes: 1})
+			want := exportJSON(t, serial)
+			wantReport := reportStrings(serial)
+
+			res := study.RunSharded(spec, study.EngineOptions{Workers: 2, Lanes: 2})
+			if len(res.Errors) != 0 {
+				t.Fatalf("lane run reported errors: %v", res.Errors)
+			}
+			got := exportJSON(t, res)
+			if len(got) != len(want) {
+				t.Fatalf("export rows = %d, serial has %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("export row %d diverges\nserial: %s\nlanes:  %s", i, want[i], got[i])
+				}
+			}
+			if !reflect.DeepEqual(reportStrings(res), wantReport) {
+				t.Errorf("rendered reports diverge between serial and 2x2 lanes")
+			}
+		})
+	}
+}

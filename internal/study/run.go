@@ -144,8 +144,8 @@ func streamRecords(w *World, skip int, yield func(*ProbeRecord) bool) {
 	measureStart := time.Now()
 	produced := 0
 	for _, probe := range w.Platform.Probes() {
-		if probe.Host == nil && w.Spec.ShardCount > 1 {
-			continue // foreign stub: its own shard records it
+		if probe.Host == nil && w.Spec.partitioned() {
+			continue // foreign stub: its own shard or lane records it
 		}
 		if produced < skip {
 			produced++

@@ -85,6 +85,15 @@ type Spec struct {
 	// <= 1 means unsharded. Set via Shard.
 	ShardIndex, ShardCount int
 
+	// LaneIndex/LaneCount subdivide a shard's owned probes into
+	// contiguous windows of the shard's rank sequence — lane l of L owns
+	// ranks [l*N/L, (l+1)*N/L) of the shard's N probes — so each lane
+	// world simulates an unbroken run of the shard's probe IDs and lane
+	// outputs concatenate in probe-ID order without a merge sort.
+	// LaneCount <= 1 means one lane (the whole shard). Set via Lane,
+	// after Shard.
+	LaneIndex, LaneCount int
+
 	// Availability model (see atlas.Availability).
 	FullShare    float64
 	PartialShare float64
@@ -279,6 +288,11 @@ func PaperSpec() Spec {
 	}
 }
 
+// firstProbeID is the ID planOrgs assigns the first planned probe.
+// Probe IDs are contiguous from here, which is what makes shard ranks
+// and lane windows computable arithmetically from an ID.
+const firstProbeID = 1000
+
 // Shard returns the spec restricted to shard k of total. The shard owns
 // every probe whose ID falls on it round-robin, so seat probes (created
 // first within each organization) spread evenly over shards. Building
@@ -289,12 +303,72 @@ func (s Spec) Shard(k, total int) Spec {
 	return s
 }
 
-// owns reports whether this spec's shard instantiates the probe.
+// Lane returns the spec restricted to lane l of total within its shard
+// window (see LaneIndex). Apply after Shard.
+func (s Spec) Lane(l, total int) Spec {
+	s.LaneIndex, s.LaneCount = l, total
+	return s
+}
+
+// owns reports whether this spec's shard and lane instantiate the probe.
 func (s Spec) owns(probeID int) bool {
-	if s.ShardCount <= 1 {
-		return true
+	if s.ShardCount > 1 && probeID%s.ShardCount != s.ShardIndex {
+		return false
 	}
-	return probeID%s.ShardCount == s.ShardIndex
+	if s.LaneCount > 1 {
+		r := s.shardRank(probeID)
+		start, end := s.laneWindow()
+		if r < start || r >= end {
+			return false
+		}
+	}
+	return true
+}
+
+// partitioned reports whether this spec builds only part of the probe
+// population (sharded, laned, or both) — i.e. whether stub probes exist.
+func (s Spec) partitioned() bool {
+	return s.ShardCount > 1 || s.LaneCount > 1
+}
+
+// shardResidue is the residue class of this shard's owned IDs relative
+// to firstProbeID: the j-th planned probe (ID firstProbeID+j) belongs to
+// the shard when j % ShardCount == shardResidue.
+func (s Spec) shardResidue() int {
+	K := s.ShardCount
+	return ((s.ShardIndex-firstProbeID)%K + K) % K
+}
+
+// shardRank is an owned probe ID's zero-based position in the shard's
+// owned sequence. With one shard it is simply the ID's offset from
+// firstProbeID.
+func (s Spec) shardRank(probeID int) int {
+	if s.ShardCount <= 1 {
+		return probeID - firstProbeID
+	}
+	return (probeID - firstProbeID - s.shardResidue()) / s.ShardCount
+}
+
+// shardOwnedCount is how many of TotalProbes this shard owns.
+func (s Spec) shardOwnedCount() int {
+	if s.ShardCount <= 1 {
+		return s.TotalProbes
+	}
+	n := s.TotalProbes - s.shardResidue()
+	if n <= 0 {
+		return 0
+	}
+	return (n + s.ShardCount - 1) / s.ShardCount
+}
+
+// laneWindow is this lane's half-open window [start, end) of shard
+// ranks. Lane windows tile the shard's owned sequence contiguously.
+func (s Spec) laneWindow() (start, end int) {
+	n := s.shardOwnedCount()
+	if s.LaneCount <= 1 {
+		return 0, n
+	}
+	return s.LaneIndex * n / s.LaneCount, (s.LaneIndex + 1) * n / s.LaneCount
 }
 
 // TotalSeats sums the quota table.

@@ -40,6 +40,17 @@ type Accumulator interface {
 type StreamOptions struct {
 	// Workers is the shard count; <= 0 means GOMAXPROCS.
 	Workers int
+	// Lanes is the per-shard lane count: each shard's owned probes split
+	// into Lanes contiguous windows, each simulated end-to-end by its own
+	// world over the template's shared immutable core, with one committer
+	// per shard folding the lanes' records strictly in lane order — so
+	// every output byte matches the single-lane pipeline. Unlike the
+	// in-memory engine, <= 0 means 1 here: lane mode moves the
+	// checkpoint cadence from record intervals (CheckpointEvery) to lane
+	// boundaries — the only points where the accumulator, sink, and
+	// registry are exactly aligned while lanes run ahead of the
+	// committer — so it is opt-in rather than inferred from the machine.
+	Lanes int
 	// Progress, when non-nil, receives one call per completed shard,
 	// serialized but in completion order.
 	Progress func(shard, workers, probes int, elapsed time.Duration)
@@ -157,6 +168,18 @@ func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
 	if spec.TotalProbes > 0 && workers > spec.TotalProbes {
 		workers = spec.TotalProbes
 	}
+	lanes := opts.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	if spec.TotalProbes > 0 {
+		if per := spec.TotalProbes / workers; lanes > per {
+			lanes = per
+		}
+		if lanes < 1 {
+			lanes = 1
+		}
+	}
 	fsys := opts.FS
 	if fsys == nil {
 		fsys = faultfs.OS{}
@@ -186,9 +209,9 @@ func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
 	}
 
 	tpl := NewWorldTemplate(spec)
-	// Shard builds run concurrently; split the machine between them for
-	// each one's parallel org population.
-	if bw := runtime.GOMAXPROCS(0) / workers; bw > 1 {
+	// Shard and lane builds run concurrently; split the machine between
+	// them for each one's parallel org population.
+	if bw := runtime.GOMAXPROCS(0) / (workers * lanes); bw > 1 {
 		tpl.BuildWorkers = bw
 	} else {
 		tpl.BuildWorkers = 1
@@ -212,7 +235,7 @@ func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
 				// accumulator (and registry) is discarded wholesale, so
 				// nothing it half-counted can double into the merge.
 				accs[k] = nil
-				reg, n, skip, halt, err := runShardAttempt(tpl, spec, k, workers, opts, fsys, attempt, warnf, &accs[k])
+				reg, n, skip, halt, err := runShardAttempt(tpl, spec, k, workers, lanes, opts, fsys, attempt, warnf, &accs[k])
 				if err == nil {
 					shardRegs[k], folded[k], skipped[k], stopped[k] = reg, n, skip, halt
 					if opts.Progress != nil {
@@ -268,12 +291,15 @@ func RunStreamed(spec Spec, opts StreamOptions) (*StreamResults, error) {
 
 // runShardAttempt is one supervised execution of a shard worker,
 // converting a panic into an error the supervisor can restart on.
-func runShardAttempt(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOptions, fsys faultfs.FS, attempt int, warnf func(string, ...any), accSlot *Accumulator) (reg *metrics.Registry, folded, skip int, halted bool, err error) {
+func runShardAttempt(tpl *WorldTemplate, spec Spec, k, workers, lanes int, opts StreamOptions, fsys faultfs.FS, attempt int, warnf func(string, ...any), accSlot *Accumulator) (reg *metrics.Registry, folded, skip int, halted bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panicked: %v", r)
 		}
 	}()
+	if lanes > 1 {
+		return runStreamShardLanes(tpl, spec, k, workers, lanes, opts, fsys, attempt, warnf, accSlot)
+	}
 	return runStreamShard(tpl, spec, k, workers, opts, fsys, attempt, warnf, accSlot)
 }
 
@@ -414,6 +440,233 @@ func runStreamShard(tpl *WorldTemplate, spec Spec, k, workers int, opts StreamOp
 			warnf("study: shard %d/%d final checkpoint failed (a resume will re-measure the tail): %v", k, workers, cerr)
 		} else {
 			world.studyMetrics.noteCheckpoint()
+		}
+	}
+	return reg, folded, skip, halted, nil
+}
+
+// laneChanBuf bounds how far one lane's event loop can run ahead of the
+// shard committer: the streaming pipeline's O(1)-per-probe memory bound
+// becomes O(lanes × laneChanBuf) records in flight, never O(probes).
+const laneChanBuf = 32
+
+// laneFeed is one lane's side of the shard committer handshake. The
+// lane goroutine fills reg and err, then closes ch; the channel close
+// is the happens-before edge, so the committer reads them only after
+// the drain loop ends.
+type laneFeed struct {
+	ch  chan *ProbeRecord
+	reg *metrics.Registry
+	err error
+	// start/end are the lane's rank window within the shard; skip is the
+	// checkpointed prefix of that window.
+	start, end, skip int
+}
+
+// runStreamShardLanes is runStreamShard's lane-parallel variant: the
+// shard's owned probe ranks split into lanes contiguous windows, each
+// measured end-to-end by its own world (over the template's shared
+// immutable core), while a single committer — this function — drains
+// the lanes strictly in lane order, folding into one accumulator and
+// sink. Because lane windows are contiguous and ordered, the fold order
+// is exactly the single-lane order, and every output byte matches.
+//
+// Checkpoints move to lane boundaries: lanes run ahead of the committer,
+// so mid-lane the lane registries hold counts past the fold cursor and
+// a snapshot there would double-count on resume. When lane l's channel
+// closes, its registry merges into the shard registry — the merged
+// state then covers exactly the ranks below the lane's end (restored
+// checkpoint < skip, completed lanes are a contiguous prefix, stubs and
+// skipped probes produce no Stable counts) — and that boundary is
+// durably checkpointed. The fingerprint stays lane-free, so a
+// checkpoint written at one lane count resumes at any other.
+func runStreamShardLanes(tpl *WorldTemplate, spec Spec, k, workers, lanes int, opts StreamOptions, fsys faultfs.FS, attempt int, warnf func(string, ...any), accSlot *Accumulator) (reg *metrics.Registry, folded, skip int, halted bool, err error) {
+	acc := opts.NewAccumulator(k)
+	*accSlot = acc
+
+	fingerprint := checkpointFingerprint(spec, k, workers)
+	var store *ckStore
+	if opts.CheckpointDir != "" {
+		store = newCkStore(fsys, opts.CheckpointDir, k, workers, fingerprint)
+	}
+	var restored *metrics.Snapshot
+	recovery := ckFresh
+	if store != nil {
+		if opts.Resume || attempt > 0 {
+			ck, class, detail := store.load()
+			recovery = class
+			if detail != "" {
+				warnf("study: shard %d/%d checkpoint recovery (%s): %s", k, workers, class, detail)
+			}
+			if ck != nil {
+				if lerr := acc.LoadState(ck.Acc); lerr != nil {
+					warnf("study: shard %d/%d checkpoint state rejected (%v); restarting from cursor 0", k, workers, lerr)
+					acc = opts.NewAccumulator(k)
+					*accSlot = acc
+					recovery = ckAllCorrupt
+				} else {
+					skip = ck.Cursor
+					restored = ck.Metrics
+				}
+			}
+		} else {
+			store.clear()
+		}
+	}
+
+	// The shard registry lives above the lane worlds: restored snapshot
+	// first, then each completed lane's registry in lane order. The
+	// shard-level instruments (resume accounting, checkpoint and sink
+	// health) land here rather than on any one lane's world.
+	var sm *studyMetrics
+	if !spec.DisableMetrics {
+		reg = metrics.New()
+		reg.AddSnapshot(restored)
+		sm = newStudyMetrics(reg)
+	}
+	sm.noteResumeSkipped(skip)
+	if recovery.recovered() {
+		sm.noteCheckpointRecovery()
+	}
+
+	var sink RecordSink
+	if opts.NewSink != nil {
+		sink, err = opts.NewSink(k, workers, skip)
+		if err != nil {
+			return reg, 0, skip, false, err
+		}
+	}
+	var flusher SinkFlusher
+	if f, ok := sink.(SinkFlusher); ok {
+		flusher = f
+	}
+
+	shardSpec := spec.Shard(k, workers)
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	cancel := func() { doneOnce.Do(func() { close(done) }) }
+	var lwg sync.WaitGroup
+	feeds := make([]*laneFeed, lanes)
+	for l := 0; l < lanes; l++ {
+		laneSpec := shardSpec.Lane(l, lanes)
+		s, e := laneSpec.laneWindow()
+		lf := &laneFeed{ch: make(chan *ProbeRecord, laneChanBuf), start: s, end: e}
+		feeds[l] = lf
+		lf.skip = skip - s
+		if lf.skip < 0 {
+			lf.skip = 0
+		}
+		if lf.skip >= e-s {
+			// The checkpoint already covers this whole window (or the
+			// window is empty): nothing to measure, so the lane's world is
+			// never built.
+			lf.skip = e - s
+			close(lf.ch)
+			continue
+		}
+		lwg.Add(1)
+		go func(l int, lf *laneFeed, laneSpec Spec) {
+			defer lwg.Done()
+			defer close(lf.ch)
+			// Quarantine is per-probe inside streamRecords; this recover
+			// catches a lane world build blowing up, surfacing it as the
+			// attempt error so the supervisor restarts the shard.
+			defer func() {
+				if r := recover(); r != nil {
+					lf.err = fmt.Errorf("lane %d/%d panicked: %v", l, lanes, r)
+				}
+			}()
+			world := tpl.Build(laneSpec)
+			lf.reg = world.Metrics
+			streamRecords(world, lf.skip, func(rec *ProbeRecord) bool {
+				select {
+				case lf.ch <- rec:
+					return true
+				case <-done:
+					return false
+				}
+			})
+		}(l, lf, laneSpec)
+	}
+
+	var ioErr error
+	var exp ProbeExport // reused across records; serialized before the next fill
+	wroteCk := false
+commit:
+	for _, lf := range feeds {
+		for rec := range lf.ch {
+			acc.Fold(rec)
+			if sink != nil && ioErr == nil {
+				ExportRecordInto(rec, &exp)
+				ioErr = sink.Append(exp)
+			}
+			folded++
+			if opts.StopAfterProbes > 0 && folded >= opts.StopAfterProbes {
+				halted = true
+				break commit
+			}
+			if ioErr != nil {
+				break commit
+			}
+		}
+		// Channel closed: the lane goroutine has finished and its
+		// registry covers exactly the lane's non-skipped ranks.
+		reg.Merge(lf.reg)
+		if lf.err != nil {
+			err = lf.err
+			break commit
+		}
+		// Lane boundary: accumulator, sink, and registry agree on the
+		// cursor — the only alignment point in lane mode, so this is
+		// where checkpoints happen (CheckpointEvery does not apply).
+		if store != nil && lf.end > skip && ioErr == nil {
+			if flusher != nil {
+				ioErr = flusher.Flush()
+			}
+			if ioErr != nil {
+				break commit
+			}
+			if cerr := store.store(lf.end, acc, reg); cerr != nil {
+				sm.noteCheckpointWriteFailure()
+				warnf("study: shard %d/%d checkpoint write at cursor %d failed (retrying at next lane boundary): %v",
+					k, workers, lf.end, cerr)
+			} else {
+				sm.noteCheckpoint()
+				wroteCk = true
+			}
+		}
+	}
+	// Unblock any lane still ahead of a halt or error, then wait: lanes
+	// select on done in their yield, so they exit after at most one more
+	// record.
+	cancel()
+	lwg.Wait()
+
+	if sink != nil {
+		cerr := sink.Close()
+		if ioErr == nil {
+			ioErr = cerr
+		}
+		if ss, ok := sink.(SinkStatser); ok {
+			sm.noteSinkHealing(ss.SinkStats())
+		}
+	}
+	if err != nil {
+		return reg, folded, skip, halted, err
+	}
+	if ioErr != nil {
+		return reg, folded, skip, halted, ioErr
+	}
+	// Every lane boundary writes a checkpoint, so the last one already
+	// marked the shard complete. The exception is a resume of an
+	// already-complete shard (every lane fully skipped): refresh the
+	// final checkpoint as the single-lane path would.
+	if store != nil && !halted && !wroteCk {
+		if cerr := store.store(skip+folded, acc, reg); cerr != nil {
+			sm.noteCheckpointWriteFailure()
+			warnf("study: shard %d/%d final checkpoint failed (a resume will re-measure the tail): %v", k, workers, cerr)
+		} else {
+			sm.noteCheckpoint()
 		}
 	}
 	return reg, folded, skip, halted, nil

@@ -41,6 +41,18 @@ type WorldTemplate struct {
 	// makes the per-org parallel population below deterministic.
 	plans []orgPlan
 
+	// cores shares the backbone core and regional transit routers'
+	// forwarding tables across every world built from this template: the
+	// first Build records and seals them, later Builds bind devices by
+	// name instead of rebuilding the prefix maps (netsim.RoutingCore).
+	cores *netsim.CoreSet
+
+	// chaosCache is the packed CHAOS answer cache, shared by every world
+	// of this template — the persona answers it memoizes are pure
+	// functions of the query, so shard and lane worlds running
+	// concurrently can all hit one cache.
+	chaosCache *dnsserver.PackedAnswerCache
+
 	// BuildWorkers caps the goroutines one Build uses to populate orgs
 	// in parallel; <= 0 means GOMAXPROCS. The sharded engines set it to
 	// GOMAXPROCS/workers so concurrent shard builds do not oversubscribe
@@ -64,6 +76,8 @@ func NewWorldTemplate(spec Spec) *WorldTemplate {
 		probesPerOrg: probesPerOrg,
 		seats:        seats,
 		plans:        planOrgs(spec, orgs, probesPerOrg, seats),
+		cores:        netsim.NewCoreSet(),
+		chaosCache:   dnsserver.NewPackedAnswerCache(),
 	}
 }
 
@@ -73,14 +87,21 @@ func NewWorldTemplate(spec Spec) *WorldTemplate {
 // is only ever read, so concurrent Builds are safe.
 func (t *WorldTemplate) Build(spec Spec) *World {
 	buildStart := time.Now()
+	// The first Build is the routing-core recorder; concurrent Builds
+	// wait inside Begin until it seals (just after the shared routers'
+	// topology is complete, below) and then bind against the sealed
+	// cores. The deferred Abandon only acts if a recorder panics before
+	// sealing — it releases the waiters to build unshared.
+	role := t.cores.Begin()
+	defer t.cores.Abandon()
 	w := &World{
 		Spec:                spec,
 		Net:                 netsim.NewNetwork(),
 		ISPs:                make(map[int]*isp.Network),
 		transitSeatPatterns: make(map[publicdns.Region]map[netip.Addr]Pattern),
-		chaosCache:          dnsserver.NewPackedAnswerCache(),
+		chaosCache:          t.chaosCache,
 	}
-	w.Backbone = backbone.BuildWith(w.Net, t.zones)
+	w.Backbone = backbone.BuildWithCores(w.Net, t.zones, t.cores, role)
 	for _, byRegion := range w.Backbone.Resolvers {
 		for _, res := range byRegion {
 			res.ChaosCache = w.chaosCache
@@ -103,6 +124,10 @@ func (t *WorldTemplate) Build(spec Spec) *World {
 
 	w.buildISPs(t.orgs, t.plans)
 	w.buildTransitInterceptors()
+	// Every route the shared routers will ever carry is installed by
+	// now — home population below only touches segment and CPE routers —
+	// so the recorder can seal and release any waiting builds.
+	t.cores.Seal()
 	w.populatePlans(t.plans, t.buildWorkers())
 	w.studyMetrics.observeBuild(time.Since(buildStart))
 	return w

@@ -25,6 +25,13 @@ type TortureOptions struct {
 	Spec Spec
 	// Workers is the shard count; <= 0 means 4.
 	Workers int
+	// Lanes pins the per-shard lane count for every tortured cycle;
+	// <= 0 means the campaign varies it per cycle (1..3) from Seed,
+	// exercising cross-lane resume: the checkpoint cursor counts shard
+	// ranks and the fingerprint is lane-free, so a cycle killed at one
+	// lane count must resume cleanly at another. The undisturbed
+	// reference always runs single-lane.
+	Lanes int
 	// Cycles is the number of kill/corrupt/resume rounds; the final
 	// round always runs to completion. <= 0 means 30.
 	Cycles int
@@ -268,8 +275,17 @@ func RunTorture(o TortureOptions) (*TortureReport, error) {
 			faultfs.TornWrite: 0.03,
 			faultfs.WriteEIO:  0.04,
 		}})
+		// The lane draw is unconditional so a pinned Lanes option changes
+		// only the lane count — kill points and corruption choices stay
+		// comparable across campaigns at the same seed.
+		laneDraw := 1 + rng.Intn(3)
+		lanes := o.Lanes
+		if lanes <= 0 {
+			lanes = laneDraw
+		}
 		run := StreamOptions{
 			Workers:         workers,
+			Lanes:           lanes,
 			NewAccumulator:  o.NewAccumulator,
 			CheckpointDir:   ckDir,
 			CheckpointEvery: every,

@@ -448,7 +448,7 @@ type orgPlan struct {
 func planOrgs(spec Spec, orgs []geo.Org, probesPerOrg map[int]int, seats map[int][]*seat) []orgPlan {
 	rng := rand.New(rand.NewSource(spec.Seed + 1))
 	plans := make([]orgPlan, 0, len(orgs))
-	nextID := 1000
+	nextID := firstProbeID
 	for _, org := range orgs {
 		n := probesPerOrg[org.ASN]
 		if n == 0 {
