@@ -9,6 +9,7 @@
 //	pilotstudy -csv             # machine-readable Table 4
 //	pilotstudy -accuracy        # ground-truth scoring of the technique
 //	pilotstudy -faults          # resilience sweep under injected faults
+//	pilotstudy -encryption      # DoT/DoH interception-vs-adoption sweep
 //	pilotstudy -metrics         # print the run's full metric snapshot
 //	pilotstudy -metrics-json f  # write the deterministic snapshot ("-" = stdout)
 //	pilotstudy -pprof p         # capture p.cpu / p.heap profiles of the sweep
@@ -32,6 +33,8 @@ import (
 
 	"github.com/dnswatch/dnsloc/internal/analysis"
 	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/netsim"
 	"github.com/dnswatch/dnsloc/internal/render"
 	"github.com/dnswatch/dnsloc/internal/study"
 )
@@ -48,8 +51,9 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the full per-probe results as JSON to this file")
 		accuracy = flag.Bool("accuracy", false, "also print ground-truth accuracy scoring")
 		ext      = flag.String("ext", "", "extension experiment: 'ttl' (hop ladders), 'patterns' (§4.1.1 families), or 'population' (platform bias)")
-		faults   = flag.Bool("faults", false, "run the resilience sweep: verdict accuracy vs injected fault level")
+		faults   = flag.Bool("faults", false, "run the resilience sweep: verdict accuracy vs injected fault level (with -encryption: run the encryption sweep under a mid-level fault plane instead)")
 		advSweep = flag.Bool("adversary", false, "run the adversary sweep: detection accuracy vs interceptor evasion level (L0-L4), CHAOS-only vs chaos+cert+drift fusion")
+		encSweep = flag.Bool("encryption", false, "run the encryption sweep: interception rate and detection accuracy vs DoT/DoH adoption fraction, client profile, and middlebox policy")
 
 		showMetrics = flag.Bool("metrics", false, "print the full metric snapshot (stable + diagnostic) after the run")
 		metricsJSON = flag.String("metrics-json", "", "write the deterministic (stable-only) metric snapshot as JSON to this file; '-' for stdout")
@@ -69,8 +73,8 @@ func main() {
 	flag.Parse()
 
 	if *stream {
-		if *jsonOut != "" || *ext != "" || *faults || *advSweep {
-			fmt.Fprintln(os.Stderr, "pilotstudy: -stream retains no records; -json, -ext, -faults, and -adversary need the in-memory pipeline (use -records for streamed per-probe output)")
+		if *jsonOut != "" || *ext != "" || *faults || *advSweep || *encSweep {
+			fmt.Fprintln(os.Stderr, "pilotstudy: -stream retains no records; -json, -ext, -faults, -adversary, and -encryption need the in-memory pipeline (use -records for streamed per-probe output)")
 			os.Exit(2)
 		}
 	} else {
@@ -125,7 +129,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *faults {
+	if *faults && !*encSweep {
 		levels := []float64{0, 0.25, 0.5, 0.75, 1.0}
 		retry := &core.RetryPolicy{MaxAttempts: 3}
 		fmt.Fprintf(os.Stderr, "resilience sweep: %d probes x %d fault levels, %d worker(s)...\n",
@@ -145,6 +149,33 @@ func main() {
 		rows := analysis.RunAdversarySweep(spec, study.EngineOptions{Workers: nWorkers, Lanes: *lanes}, levels, nil)
 		fmt.Fprintf(os.Stderr, "sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
 		fmt.Println(analysis.FormatAdversary(rows))
+		return
+	}
+
+	if *encSweep {
+		adoptions := []float64{0, 0.5, 1.0}
+		transports := []core.TransportMode{
+			core.TransportDoTOpportunistic, core.TransportDoTStrict, core.TransportDoH,
+		}
+		policies := []dnsserver.EncryptedPolicy{
+			dnsserver.EncPass, dnsserver.EncBlock, dnsserver.EncTerminate,
+		}
+		// -faults composes: the same grid measured through a mid-level
+		// fault plane, with the retry budget the resilience sweep uses.
+		var retry *core.RetryPolicy
+		if *faults {
+			fp := netsim.PresetFault(0.5, spec.Seed+9000)
+			spec.Fault = &fp
+			retry = &core.RetryPolicy{MaxAttempts: 3}
+		}
+		cells := len(adoptions) * len(transports) * len(policies)
+		fmt.Fprintf(os.Stderr, "encryption sweep: %d probes x %d grid cells, %d worker(s)...\n",
+			spec.TotalProbes, cells, nWorkers)
+		start := time.Now()
+		rows := analysis.RunEncryptionSweep(spec, study.EngineOptions{Workers: nWorkers, Lanes: *lanes},
+			adoptions, transports, policies, retry)
+		fmt.Fprintf(os.Stderr, "sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(analysis.FormatEncryption(rows))
 		return
 	}
 

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/render"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// EncryptionRow is one cell of the encrypted-transport sweep: the same
+// study world measured with an Adoption fraction of the fleet speaking
+// Transport while every interceptor applies Policy to the encrypted
+// channel. The sweep's claim, mirroring the paper's §6 countermeasure
+// discussion: encryption removes on-path interception exactly where the
+// client profile refuses to downgrade, while opportunistic profiles
+// keep the detection signal (a terminating middlebox exposes its
+// persona, a blocking one forces the client back onto interceptable
+// Do53) — and no profile buys privacy with false positives.
+type EncryptionRow struct {
+	// Adoption is the upgraded fraction of the fleet (0 = Do53 baseline).
+	Adoption float64
+	// Transport is the upgraded probes' client profile.
+	Transport core.TransportMode
+	// Policy is the interceptors' treatment of encrypted DNS.
+	Policy dnsserver.EncryptedPolicy
+
+	// Responded counts probes that produced a report; Adopted counts the
+	// responding probes that ran the encrypted transport.
+	Responded, Adopted int
+
+	// Flagged counts reports that flag interception; AdoptedFlagged is
+	// the same count restricted to the adopting cohort — its rate over
+	// Adopted is the sweep's "interception rate under encryption".
+	Flagged, AdoptedFlagged int
+
+	// TP/FP/FN/TN score detection against the effective ground truth:
+	// what interception the probe's resolution path actually suffers
+	// once transport and policy are accounted for (see effectiveTruth).
+	TP, FP, FN, TN int
+}
+
+// Accuracy is the detection accuracy against effective truth.
+func (r EncryptionRow) Accuracy() float64 {
+	if r.Responded == 0 {
+		return 0
+	}
+	return float64(r.TP+r.TN) / float64(r.Responded)
+}
+
+// AdoptedFlaggedRate is the interception rate of the adopting cohort.
+func (r EncryptionRow) AdoptedFlaggedRate() float64 {
+	if r.Adopted == 0 {
+		return 0
+	}
+	return float64(r.AdoptedFlagged) / float64(r.Adopted)
+}
+
+// RunEncryptionSweep runs the sharded study once per grid cell —
+// every (policy, transport, adoption) combination — and scores each
+// run. An adoption of zero is the Do53 baseline; it is measured per
+// policy so each policy block carries its own reference row, under
+// identical instrumentation.
+func RunEncryptionSweep(spec study.Spec, opts study.EngineOptions, adoptions []float64, transports []core.TransportMode, policies []dnsserver.EncryptedPolicy, retry *core.RetryPolicy) []EncryptionRow {
+	var rows []EncryptionRow
+	for _, pol := range policies {
+		for _, tr := range transports {
+			for _, ad := range adoptions {
+				e := &study.Encryption{Adoption: ad, Transport: tr, Policy: pol}
+				s := spec
+				s.Encryption = e
+				s.Retry = retry
+				res := study.RunSharded(s, opts)
+				rows = append(rows, ScoreEncryption(e, res))
+			}
+		}
+	}
+	return rows
+}
+
+// effectiveTruth is the interception status of a probe's resolution
+// path once transport and middlebox policy are applied. Non-adopting
+// probes keep their Do53 ground truth. For an adopting probe sitting
+// on a true interceptor:
+//
+//   - pass-through lets the encrypted flow reach the real operator —
+//     the path is clean, so effective truth is false;
+//   - block plus an opportunistic client forces a downgrade to Do53,
+//     which the interceptor owns — truth stays true;
+//   - block or terminate against a strict client yields no resolution
+//     at all: nothing is intercepted, effective truth is false;
+//   - terminate plus an opportunistic client hands the session to the
+//     interceptor's own resolver — truth stays true.
+func effectiveTruth(rec *study.ProbeRecord, e *study.Encryption) bool {
+	truly := rec.Probe.Truth.Intercepted()
+	if !truly || !rec.Probe.EncTransport.Encrypted() {
+		return truly
+	}
+	switch e.Policy {
+	case dnsserver.EncBlock, dnsserver.EncTerminate:
+		return !e.Transport.Strict()
+	default: // EncPass
+		return false
+	}
+}
+
+// ScoreEncryption reduces one run to its sweep row. Exported so tests
+// can score the same Results they assert determinism on.
+func ScoreEncryption(e *study.Encryption, res *study.Results) EncryptionRow {
+	row := EncryptionRow{Adoption: e.Adoption, Transport: e.Transport, Policy: e.Policy}
+	for _, rec := range res.Records {
+		if rec.Report == nil {
+			continue
+		}
+		row.Responded++
+		adopted := rec.Probe.EncTransport.Encrypted()
+		if adopted {
+			row.Adopted++
+		}
+		flagged := rec.Report.Intercepted()
+		if flagged {
+			row.Flagged++
+			if adopted {
+				row.AdoptedFlagged++
+			}
+		}
+		switch truth := effectiveTruth(rec, e); {
+		case truth && flagged:
+			row.TP++
+		case truth && !flagged:
+			row.FN++
+		case !truth && flagged:
+			row.FP++
+		default:
+			row.TN++
+		}
+	}
+	return row
+}
+
+// FormatEncryption renders the interception-vs-adoption matrix.
+func FormatEncryption(rows []EncryptionRow) string {
+	out := [][]string{{
+		"Policy", "Transport", "Adoption", "Responded", "Adopted",
+		"Flagged", "Enc. Intercepted", "TP", "FP", "FN", "TN", "Accuracy",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy.String(), r.Transport.String(),
+			fmt.Sprintf("%.2f", r.Adoption),
+			fmt.Sprint(r.Responded), fmt.Sprint(r.Adopted),
+			fmt.Sprint(r.Flagged),
+			fmt.Sprintf("%.3f", r.AdoptedFlaggedRate()),
+			fmt.Sprint(r.TP), fmt.Sprint(r.FP), fmt.Sprint(r.FN), fmt.Sprint(r.TN),
+			fmt.Sprintf("%.3f", r.Accuracy()),
+		})
+	}
+	return "Encryption sweep: interception and detection vs DoT/DoH adoption\n" +
+		"(Enc. Intercepted = flagged share of the adopting cohort;\n" +
+		" accuracy scored against effective truth under the policy)\n\n" +
+		render.Table(out)
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/atlas"
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/study"
+)
+
+// TestRunEncryptionSweep drives the sweep at pilot scale over a small
+// grid, pinning the sweep's claim shapes: full strict adoption under a
+// terminating middlebox zeroes the adopting cohort's interception
+// rate, full opportunistic adoption under a blocking one restores the
+// Do53 ground truth, and no cell buys its accuracy with false
+// positives.
+func TestRunEncryptionSweep(t *testing.T) {
+	spec := study.PaperSpec().Scale(0.0064)
+	rows := RunEncryptionSweep(spec, study.EngineOptions{Workers: 2},
+		[]float64{0, 1.0},
+		[]core.TransportMode{core.TransportDoTOpportunistic, core.TransportDoTStrict},
+		[]dnsserver.EncryptedPolicy{dnsserver.EncBlock, dnsserver.EncTerminate},
+		nil)
+	if len(rows) != 8 {
+		t.Fatalf("%d rows for a 2x2x2 grid", len(rows))
+	}
+
+	byCell := func(pol dnsserver.EncryptedPolicy, tr core.TransportMode, ad float64) EncryptionRow {
+		for _, r := range rows {
+			if r.Policy == pol && r.Transport == tr && r.Adoption == ad {
+				return r
+			}
+		}
+		t.Fatalf("no row for %s/%s/%.2f", pol, tr, ad)
+		return EncryptionRow{}
+	}
+
+	baseline := byCell(dnsserver.EncBlock, core.TransportDoTOpportunistic, 0)
+	if baseline.Adopted != 0 || baseline.AdoptedFlaggedRate() != 0 {
+		t.Errorf("adoption-0 baseline has %d adopters", baseline.Adopted)
+	}
+	if baseline.Flagged == 0 {
+		t.Error("baseline world intercepts nothing; the sweep has no signal to measure")
+	}
+
+	strictTerm := byCell(dnsserver.EncTerminate, core.TransportDoTStrict, 1.0)
+	if strictTerm.Adopted == 0 || strictTerm.AdoptedFlagged != 0 {
+		t.Errorf("strict+terminate at full adoption: %d/%d adopters flagged, want 0",
+			strictTerm.AdoptedFlagged, strictTerm.Adopted)
+	}
+
+	oppBlock := byCell(dnsserver.EncBlock, core.TransportDoTOpportunistic, 1.0)
+	if oppBlock.Flagged != baseline.Flagged {
+		t.Errorf("opportunistic+block flagged %d, want the Do53 ground truth %d (downgraded clients stay interceptable)",
+			oppBlock.Flagged, baseline.Flagged)
+	}
+
+	for _, r := range rows {
+		if r.FP != 0 {
+			t.Errorf("%s/%s/%.2f: %d false positives, want 0", r.Policy, r.Transport, r.Adoption, r.FP)
+		}
+		if r.Responded == 0 {
+			t.Errorf("%s/%s/%.2f: nothing responded", r.Policy, r.Transport, r.Adoption)
+		}
+		if acc := r.Accuracy(); acc < baseline.Accuracy() {
+			t.Errorf("%s/%s/%.2f accuracy = %.3f below baseline %.3f",
+				r.Policy, r.Transport, r.Adoption, acc, baseline.Accuracy())
+		}
+	}
+
+	out := FormatEncryption(rows)
+	for _, want := range []string{"Policy", "Adoption", "Enc. Intercepted", "dot-strict", "terminate", "Accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatEncryption output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEncryptionRowGuards: empty rows divide by nothing.
+func TestEncryptionRowGuards(t *testing.T) {
+	var r EncryptionRow
+	if r.Accuracy() != 0 {
+		t.Errorf("empty row accuracy = %.3f, want 0", r.Accuracy())
+	}
+	if r.AdoptedFlaggedRate() != 0 {
+		t.Errorf("empty row adopted-flagged rate = %.3f, want 0", r.AdoptedFlaggedRate())
+	}
+}
+
+// TestEffectiveTruth enumerates the truth table the scoring rests on.
+func TestEffectiveTruth(t *testing.T) {
+	rec := func(intercepted bool, tr core.TransportMode) *study.ProbeRecord {
+		p := &atlas.Probe{EncTransport: tr}
+		if intercepted {
+			p.Truth.Location = "cpe"
+		}
+		return &study.ProbeRecord{Probe: p}
+	}
+	cases := []struct {
+		name string
+		rec  *study.ProbeRecord
+		pol  dnsserver.EncryptedPolicy
+		tr   core.TransportMode
+		want bool
+	}{
+		{"clean path stays clean", rec(false, core.TransportDoH), dnsserver.EncTerminate, core.TransportDoH, false},
+		{"non-adopting keeps Do53 truth", rec(true, core.TransportDo53), dnsserver.EncTerminate, core.TransportDo53, true},
+		{"pass lets adopters escape", rec(true, core.TransportDoH), dnsserver.EncPass, core.TransportDoH, false},
+		{"block downgrades opportunistic into interception", rec(true, core.TransportDoTOpportunistic), dnsserver.EncBlock, core.TransportDoTOpportunistic, true},
+		{"block starves strict instead", rec(true, core.TransportDoTStrict), dnsserver.EncBlock, core.TransportDoTStrict, false},
+		{"terminate owns opportunistic sessions", rec(true, core.TransportDoTOpportunistic), dnsserver.EncTerminate, core.TransportDoTOpportunistic, true},
+		{"terminate is refused by strict", rec(true, core.TransportDoH), dnsserver.EncTerminate, core.TransportDoH, false},
+	}
+	for _, c := range cases {
+		e := &study.Encryption{Adoption: 1, Transport: c.tr, Policy: c.pol}
+		if got := effectiveTruth(c.rec, e); got != c.want {
+			t.Errorf("%s: effectiveTruth = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

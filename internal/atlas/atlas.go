@@ -72,6 +72,11 @@ type Probe struct {
 
 	Availability Availability
 	Truth        GroundTruth
+
+	// EncTransport is the probe's stub-resolver transport configuration:
+	// TransportDo53 (the default) or one of the encrypted modes when the
+	// adoption model upgraded this probe.
+	EncTransport core.TransportMode
 }
 
 // Platform is the probe fleet plus the availability model.
@@ -96,6 +101,12 @@ type Platform struct {
 	// DriftRounds is installed on every built detector: extra
 	// location-enumeration rounds feeding the drift signal.
 	DriftRounds int
+
+	// EncryptedUpgrade selects which query targets a transport-upgraded
+	// probe reaches over DoT/DoH — typically the public operators' known
+	// anycast addresses, leaving the CPE and bogon steps on cleartext as
+	// real stubs do. Nil upgrades every target.
+	EncryptedUpgrade func(netip.Addr) bool
 
 	probes []*Probe
 	rng    *rand.Rand
@@ -169,9 +180,18 @@ func (p *Platform) PredrawResponses(draws func(*Probe) int) AvailabilityTable {
 	return table
 }
 
-// Client builds the detector transport for a probe.
+// Client builds the detector transport for a probe: a plain SimClient
+// for Do53 probes, an EncryptedClient for transport-upgraded ones.
 func (p *Platform) Client(probe *Probe) core.Client {
-	return &core.SimClient{Net: p.net, Host: probe.Host}
+	sim := &core.SimClient{Net: p.net, Host: probe.Host}
+	if !probe.EncTransport.Encrypted() {
+		return sim
+	}
+	return &core.EncryptedClient{
+		Sim:     sim,
+		Mode:    probe.EncTransport,
+		Upgrade: p.EncryptedUpgrade,
+	}
 }
 
 // Detector builds a ready detector for a probe, configured with the

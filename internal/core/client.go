@@ -34,6 +34,13 @@ var ErrNoRoute = errors.New("core: no connectivity in destination address family
 // the path is damaging responses, not dropping them.
 var ErrGarbage = errors.New("core: only unparseable responses arrived")
 
+// ErrAuthFailed reports that a strict-profile encrypted transport
+// rejected the server's certificate — the dialed resolver cannot be
+// authenticated, which is what a terminate-and-intercept middlebox
+// looks like to a strict DoT/DoH client. Permanent: retrying re-dials
+// the same interceptor.
+var ErrAuthFailed = errors.New("core: encrypted transport certificate does not authenticate the resolver")
+
 // ErrRefused reports that the transport-level connection was refused
 // (ICMP port unreachable / TCP RST) — a transient condition under
 // resolver rate limiting, distinct from a DNS REFUSED rcode, which is

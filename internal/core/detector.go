@@ -220,6 +220,9 @@ func (d *Detector) exchange(id publicdns.ID, server netip.AddrPort, q *dnswire.M
 	case errors.Is(err, ErrNoRoute):
 		pr.Outcome = OutcomeNoRoute
 		return pr, backoff, transient, permanent
+	case errors.Is(err, ErrAuthFailed):
+		pr.Outcome = OutcomeAuthFail
+		return pr, backoff, transient, permanent
 	case err != nil:
 		// An unclassified transport failure exhausted its retries;
 		// conservatively the same non-evidence as a timeout.

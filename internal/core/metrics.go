@@ -22,11 +22,12 @@ type Metrics struct {
 	Backoff time.Duration
 
 	// Final-outcome mix, one increment per query.
-	Answers  int
-	Errors   int // error rcode or unusable NOERROR
-	Timeouts int
-	Garbage  int
-	NoRoute  int
+	Answers   int
+	Errors    int // error rcode or unusable NOERROR
+	Timeouts  int
+	Garbage   int
+	NoRoute   int
+	AuthFails int
 
 	// Per-attempt error classification (Classify): failed attempts that
 	// were retryable vs. ones that aborted the query.
@@ -53,6 +54,8 @@ func (m *Metrics) add(pr *ProbeResult, backoff time.Duration, transient, permane
 		m.Garbage++
 	case OutcomeNoRoute:
 		m.NoRoute++
+	case OutcomeAuthFail:
+		m.AuthFails++
 	}
 }
 
@@ -73,11 +76,12 @@ type MetricSet struct {
 	Retries      *metrics.Counter
 	BackoffNanos *metrics.Counter
 
-	Answers  *metrics.Counter
-	Errors   *metrics.Counter
-	Timeouts *metrics.Counter
-	Garbage  *metrics.Counter
-	NoRoute  *metrics.Counter
+	Answers   *metrics.Counter
+	Errors    *metrics.Counter
+	Timeouts  *metrics.Counter
+	Garbage   *metrics.Counter
+	NoRoute   *metrics.Counter
+	AuthFails *metrics.Counter
 
 	TransientFailures *metrics.Counter
 	PermanentFailures *metrics.Counter
@@ -104,6 +108,7 @@ func NewMetricSet(reg *metrics.Registry) *MetricSet {
 		Timeouts:          reg.Counter("core.outcome_timeouts", metrics.Stable),
 		Garbage:           reg.Counter("core.outcome_garbage", metrics.Stable),
 		NoRoute:           reg.Counter("core.outcome_noroute", metrics.Stable),
+		AuthFails:         reg.Counter("core.outcome_authfail", metrics.Stable),
 		TransientFailures: reg.Counter("core.attempt_failures_transient", metrics.Stable),
 		PermanentFailures: reg.Counter("core.attempt_failures_permanent", metrics.Stable),
 		RTT:               reg.Histogram("core.rtt_ms", metrics.Diagnostic, RTTEdgesMs),
@@ -140,6 +145,8 @@ func (ms *MetricSet) note(pr *ProbeResult, backoff time.Duration, transient, per
 		ms.Garbage.Inc()
 	case OutcomeNoRoute:
 		ms.NoRoute.Inc()
+	case OutcomeAuthFail:
+		ms.AuthFails.Inc()
 	}
 }
 

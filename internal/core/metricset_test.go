@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dnswatch/dnsloc/internal/metrics"
+)
+
+// TestNewMetricSetDisabledPlane: a nil registry yields a nil set, and
+// every recording helper is nil-safe — the disabled plane costs nothing
+// and panics nowhere.
+func TestNewMetricSetDisabledPlane(t *testing.T) {
+	ms := NewMetricSet(nil)
+	if ms != nil {
+		t.Fatal("nil registry should yield a nil MetricSet")
+	}
+	ms.note(&ProbeResult{Outcome: OutcomeAnswer}, time.Millisecond, 1, 0)
+	ms.noteStep(StepCPE, []ProbeResult{{Attempts: 1}})
+}
+
+// TestMetricSetNoteRoutesOutcomes: each outcome lands in its own
+// counter, and the attempt/retry/backoff arithmetic holds up.
+func TestMetricSetNoteRoutesOutcomes(t *testing.T) {
+	ms := NewMetricSet(metrics.New())
+	if ms == nil {
+		t.Fatal("live registry yielded a nil MetricSet")
+	}
+	for _, o := range []Outcome{
+		OutcomeAnswer, OutcomeError, OutcomeTimeout,
+		OutcomeGarbage, OutcomeNoRoute, OutcomeAuthFail,
+	} {
+		ms.note(&ProbeResult{Outcome: o, Attempts: 2, RTT: 30 * time.Millisecond},
+			time.Millisecond, 1, 1)
+	}
+
+	if ms.Queries.Value() != 6 || ms.Attempts.Value() != 12 || ms.Retries.Value() != 6 {
+		t.Errorf("queries/attempts/retries = %d/%d/%d, want 6/12/6",
+			ms.Queries.Value(), ms.Attempts.Value(), ms.Retries.Value())
+	}
+	if ms.BackoffNanos.Value() != 6*time.Millisecond.Nanoseconds() {
+		t.Errorf("backoff = %d ns, want 6ms", ms.BackoffNanos.Value())
+	}
+	if ms.TransientFailures.Value() != 6 || ms.PermanentFailures.Value() != 6 {
+		t.Errorf("transient/permanent = %d/%d, want 6/6",
+			ms.TransientFailures.Value(), ms.PermanentFailures.Value())
+	}
+	for name, c := range map[string]*metrics.Counter{
+		"answers": ms.Answers, "errors": ms.Errors, "timeouts": ms.Timeouts,
+		"garbage": ms.Garbage, "noroute": ms.NoRoute, "authfails": ms.AuthFails,
+	} {
+		if c.Value() != 1 {
+			t.Errorf("%s = %d, want exactly 1", name, c.Value())
+		}
+	}
+	if ms.RTT.Count() != 1 {
+		t.Errorf("RTT observations = %d; only answers carry an RTT", ms.RTT.Count())
+	}
+}
+
+// TestMetricSetNoteStep: per-step totals sum over the step's probes.
+func TestMetricSetNoteStep(t *testing.T) {
+	ms := NewMetricSet(metrics.New())
+	ms.noteStep(StepCPE, []ProbeResult{{Attempts: 3}, {Attempts: 1}})
+	if q := ms.stepQueries[StepCPE].Value(); q != 2 {
+		t.Errorf("step queries = %d, want 2", q)
+	}
+	if a := ms.stepAttempts[StepCPE].Value(); a != 4 {
+		t.Errorf("step attempts = %d, want 4", a)
+	}
+	if v := ms.stepQueries[StepLocation].Value(); v != 0 {
+		t.Errorf("untouched step recorded %d queries", v)
+	}
+}

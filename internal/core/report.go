@@ -34,6 +34,11 @@ const (
 	// verdict purposes (never interception evidence) but recorded
 	// separately as fault evidence.
 	OutcomeGarbage Outcome = "garbage"
+	// OutcomeAuthFail: a strict encrypted transport could not
+	// authenticate the server. The query measured nothing (so it is
+	// never CHAOS-answer evidence), but unlike a timeout the client
+	// knows the channel itself is compromised or blocked.
+	OutcomeAuthFail Outcome = "authfail"
 )
 
 // ProbeResult is one raw query observation.
@@ -73,6 +78,8 @@ func (p ProbeResult) String() string {
 		return "-"
 	case OutcomeGarbage:
 		return "garbage"
+	case OutcomeAuthFail:
+		return "authfail"
 	default:
 		return "timeout"
 	}

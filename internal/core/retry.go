@@ -115,7 +115,7 @@ func Classify(err error) ErrClass {
 	switch {
 	case err == nil:
 		return ClassSuccess
-	case errors.Is(err, ErrNoRoute):
+	case errors.Is(err, ErrNoRoute), errors.Is(err, ErrAuthFailed):
 		return ClassPermanent
 	default:
 		return ClassTransient

@@ -23,6 +23,7 @@ func TestClassify(t *testing.T) {
 		{core.ErrRefused, core.ClassTransient},
 		{errors.New("something novel"), core.ClassTransient},
 		{core.ErrNoRoute, core.ClassPermanent},
+		{core.ErrAuthFailed, core.ClassPermanent},
 	}
 	for _, c := range cases {
 		if got := core.Classify(c.err); got != c.want {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/dotsim"
 	"github.com/dnswatch/dnsloc/internal/netsim"
 )
 
@@ -115,6 +116,12 @@ type Config struct {
 	// Intercept is the DNAT interception behaviour.
 	Intercept InterceptSpec
 
+	// Encrypted is what the CPE does with LAN-originated encrypted DNS
+	// (DoT/DoH): pass it, block it to force a downgrade, or terminate
+	// the sessions at its own forwarder behind an untrusted certificate
+	// — the three router behaviors the XDRI study observed.
+	Encrypted dnsserver.EncryptedPolicy
+
 	// Metrics, when non-nil, is installed on the built forwarder; the
 	// study engine shares one set across every CPE in a world.
 	Metrics *dnsserver.ForwarderMetrics
@@ -180,7 +187,67 @@ func Build(cfg Config) *Device {
 	}
 
 	d.installInterception()
+	d.installEncrypted()
 	return d
+}
+
+// encryptedDNS matches LAN-originated encrypted-DNS stream traffic.
+func (d *Device) encryptedDNS(pkt netsim.Packet) bool {
+	cfg := d.Config
+	if pkt.Proto != netsim.TCP {
+		return false
+	}
+	if p := pkt.Dst.Port(); p != netsim.PortDoT && p != netsim.PortDoH {
+		return false
+	}
+	src := pkt.Src.Addr()
+	return cfg.LANPrefix.Contains(src.Unmap()) ||
+		(cfg.LANPrefix6.IsValid() && cfg.LANPrefix6.Contains(src))
+}
+
+// installEncrypted applies the CPE's encrypted-DNS policy. Block is an
+// input-filter DROP (clients observe a timeout and, if opportunistic,
+// downgrade to port 53 — where installInterception's rules apply).
+// Terminate DNATs the stream to the CPE's own endpoint, which fronts
+// the forwarder behind a certificate no client trusts.
+func (d *Device) installEncrypted() {
+	cfg := d.Config
+	switch cfg.Encrypted {
+	case dnsserver.EncBlock:
+		d.Router.AddInputFilter(func(pkt netsim.Packet) (bool, string) {
+			if d.encryptedDNS(pkt) {
+				return true, "cpe blocks encrypted DNS"
+			}
+			return false, ""
+		})
+	case dnsserver.EncTerminate:
+		if d.Forwarder == nil {
+			return
+		}
+		ep := &dnsserver.StreamEndpoint{
+			// Self-signed: names the CPE itself, trusted by no one.
+			Cert:  dotsim.Certificate{Subject: cfg.WANAddr},
+			Inner: d.Forwarder,
+		}
+		d.Router.BindOn(cfg.LANAddr, netsim.PortDoT, ep)
+		d.Router.NAT.AddDNAT(netsim.DNATRule{
+			Name: "enc-terminate-v4",
+			Match: func(pkt netsim.Packet) bool {
+				return d.encryptedDNS(pkt) && !pkt.IsIPv6()
+			},
+			To: netip.AddrPortFrom(cfg.LANAddr, netsim.PortDoT),
+		})
+		if cfg.LANAddr6.IsValid() {
+			d.Router.BindOn(cfg.LANAddr6, netsim.PortDoT, ep)
+			d.Router.NAT.AddDNAT(netsim.DNATRule{
+				Name: "enc-terminate-v6",
+				Match: func(pkt netsim.Packet) bool {
+					return d.encryptedDNS(pkt) && pkt.IsIPv6()
+				},
+				To: netip.AddrPortFrom(cfg.LANAddr6, netsim.PortDoT),
+			})
+		}
+	}
 }
 
 // installInterception adds the XDNS-style DNAT rules.

@@ -87,7 +87,12 @@ func NewForwarder(persona ChaosPersona, egress netip.Addr, upstream netip.AddrPo
 
 // ServeUDP implements netsim.Service.
 func (f *Forwarder) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
-	if pkt.Dst.Port() != 53 {
+	// Anything not addressed to port 53 is an upstream response — unless
+	// Enc marks it as a client query a stream endpoint unwrapped and
+	// handed over with its original encrypted-port destination (which
+	// keeps conntrack reply-spoofing intact). Upstream responses always
+	// carry Enc zero: the forwarder's own queries go out in the clear.
+	if pkt.Dst.Port() != 53 && pkt.Enc == 0 {
 		f.handleUpstream(sc, pkt)
 		return
 	}

@@ -1,0 +1,105 @@
+package dnsserver
+
+import (
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/metrics"
+)
+
+// TestPackedAnswerCacheServes: the cache packs a persona's answer once,
+// then replays the cached wire with each query's ID patched in.
+func TestPackedAnswerCacheServes(t *testing.T) {
+	c := NewPackedAnswerCache()
+
+	wire := c.Serve(nil, PersonaDnsmasq, dnswire.NewChaosTXTQuery(5, "version.bind"))
+	if wire == nil {
+		t.Fatal("persona answers version.bind; cache served nil")
+	}
+	m, err := dnswire.Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.ID != 5 {
+		t.Errorf("ID = %d, want the query's 5", m.Header.ID)
+	}
+	txt1, ok := m.FirstTXT()
+	if !ok || txt1 == "" {
+		t.Fatal("cached answer carries no TXT")
+	}
+
+	// Replay: same question, new ID — must come from the cached wire
+	// with only the ID rewritten.
+	wire = c.Serve(nil, PersonaDnsmasq, dnswire.NewChaosTXTQuery(6, "version.bind"))
+	m, err = dnswire.Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.ID != 6 {
+		t.Errorf("replayed ID = %d, want 6", m.Header.ID)
+	}
+	if txt2, _ := m.FirstTXT(); txt2 != txt1 {
+		t.Errorf("replayed TXT = %q, want the cached %q", txt2, txt1)
+	}
+}
+
+// TestPackedAnswerCacheMisses: unanswerable queries and nil caches both
+// return nil so callers fall through to their unhandled path.
+func TestPackedAnswerCacheMisses(t *testing.T) {
+	c := NewPackedAnswerCache()
+	q := dnswire.NewQuery(7, "www.example.com", dnswire.TypeA, dnswire.ClassINET)
+	if c.Serve(nil, PersonaDnsmasq, q) != nil {
+		t.Error("persona does not answer INET A queries; cache served bytes")
+	}
+	var nilCache *PackedAnswerCache
+	if nilCache.Serve(nil, PersonaDnsmasq, dnswire.NewChaosTXTQuery(8, "version.bind")) != nil {
+		t.Error("nil cache served bytes")
+	}
+}
+
+// TestForwarderMetricsRecording: the registered counters record through
+// the nil-safe helpers, and a nil registry disables the set entirely.
+func TestForwarderMetricsRecording(t *testing.T) {
+	if NewForwarderMetrics(nil) != nil {
+		t.Error("nil registry should yield nil metrics")
+	}
+	var disabled *ForwarderMetrics
+	disabled.query() // must not panic
+
+	fm := NewForwarderMetrics(metrics.New())
+	fm.query()
+	fm.query()
+	fm.chaosLocal()
+	fm.cacheHit()
+	fm.cacheMiss()
+	fm.forwarded()
+	for name, got := range map[string]int64{
+		"queries":      fm.Queries.Value(),
+		"chaos_local":  fm.ChaosLocal.Value(),
+		"cache_hits":   fm.CacheHits.Value(),
+		"cache_misses": fm.CacheMisses.Value(),
+		"forwarded":    fm.Forwarded.Value(),
+	} {
+		want := int64(1)
+		if name == "queries" {
+			want = 2
+		}
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestAuthServerAddZone: zones attached after construction join the
+// longest-origin-match selection.
+func TestAuthServerAddZone(t *testing.T) {
+	s := NewAuthServer()
+	z := NewZone("example.com")
+	s.AddZone(z)
+	if got := s.bestZone("www.example.com"); got != z {
+		t.Errorf("bestZone = %v, want the added zone", got)
+	}
+	if s.bestZone("www.example.org") != nil {
+		t.Error("bestZone matched a foreign origin")
+	}
+}

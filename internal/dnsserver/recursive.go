@@ -123,7 +123,9 @@ func (r *RecursiveResolver) FlushCache() { r.cache = make(map[cacheKey]cacheEntr
 // ServeUDP implements netsim.Service: port 53 receives client queries;
 // ephemeral ports receive upstream responses.
 func (r *RecursiveResolver) ServeUDP(sc *netsim.ServiceCtx, pkt netsim.Packet) {
-	if pkt.Dst.Port() != 53 {
+	// Enc-marked packets are client queries unwrapped by a stream
+	// endpoint, whatever their destination port; see Forwarder.ServeUDP.
+	if pkt.Dst.Port() != 53 && pkt.Enc == 0 {
 		r.handleUpstream(sc, pkt)
 		return
 	}

@@ -53,6 +53,32 @@ func ReadTCP(r io.Reader) (*Message, error) {
 	return Unpack(body)
 }
 
+// AppendTCPFrame appends body to dst with the RFC 1035 §4.2.2 2-octet
+// length prefix. The encrypted-transport plane (netsim streams) reuses
+// this framing for the DNS messages it carries, exactly as RFC 7858 DoT
+// sessions carry TCP-framed messages inside TLS records.
+func AppendTCPFrame(dst, body []byte) ([]byte, error) {
+	if len(body) > maxTCPMessage {
+		return nil, fmt.Errorf("dnswire: message is %d bytes, exceeds TCP frame limit", len(body))
+	}
+	var pfx [2]byte
+	binary.BigEndian.PutUint16(pfx[:], uint16(len(body)))
+	return append(append(dst, pfx[:]...), body...), nil
+}
+
+// SplitTCPFrame splits one length-prefixed message off the front of b,
+// returning the message body and any remaining bytes.
+func SplitTCPFrame(b []byte) (body, rest []byte, err error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("dnswire: short TCP frame: %d bytes", len(b))
+	}
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	if len(b) < 2+n {
+		return nil, nil, fmt.Errorf("dnswire: TCP frame truncated: have %d of %d bytes", len(b)-2, n)
+	}
+	return b[2 : 2+n], b[2+n:], nil
+}
+
 // packUnbounded packs without the UDP size ceiling; TCP has its own
 // 64 KiB frame limit, checked by the callers.
 func (m *Message) packUnbounded() ([]byte, error) {

@@ -48,6 +48,14 @@ type Certificate struct {
 	Trusted bool
 }
 
+// AuthenticatesStrict reports whether a strict-profile client dialing
+// target accepts this certificate: the chain must verify and the
+// subject must name the dialed resolver (RFC 7858 §4.2). The packet
+// simulator's encrypted transport plane shares this decision with Dial.
+func (c Certificate) AuthenticatesStrict(target netip.Addr) bool {
+	return c.Trusted && c.Subject == target
+}
+
 // Server is a DoT resolver endpoint.
 type Server struct {
 	Addr netip.Addr
@@ -110,10 +118,8 @@ func Dial(p Path, profile Profile) (*Session, error) {
 		s.answering = p.Target
 		s.MITM = false
 	}
-	if profile == Strict {
-		if !s.PeerCert.Trusted || s.PeerCert.Subject != p.Target.Addr {
-			return nil, ErrAuthFailed
-		}
+	if profile == Strict && !s.PeerCert.AuthenticatesStrict(p.Target.Addr) {
+		return nil, ErrAuthFailed
 	}
 	return s, nil
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/dnswatch/dnsloc/internal/cpe"
 	"github.com/dnswatch/dnsloc/internal/dnsserver"
 	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/dotsim"
 	"github.com/dnswatch/dnsloc/internal/netsim"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
 )
@@ -46,6 +47,11 @@ type MiddleboxSpec struct {
 	// destinations, the border drops them, and the probe can only
 	// conclude "unknown".
 	InterceptBogons bool
+	// Encrypted is the segment's policy for DoT/DoH streams crossing
+	// it: pass, block (forcing opportunistic clients down to port 53,
+	// where Rules apply), or terminate at the ISP's own stream endpoint
+	// behind an untrusted certificate.
+	Encrypted dnsserver.EncryptedPolicy
 }
 
 // Config describes one ISP.
@@ -154,6 +160,14 @@ func Build(cfg Config, uplink netsim.Device) *Network {
 		n.Border.AddRoute(infra6, n.ResolverRtr)
 	}
 
+	// Stream endpoint for terminate-policy middleboxes: sessions DNATed
+	// here are answered by the ISP resolver behind a certificate that
+	// names the resolver but verifies for nobody.
+	n.ResolverRtr.BindOn(n.ResolverAddr, netsim.PortDoT, &dnsserver.StreamEndpoint{
+		Cert:  dotsim.Certificate{Subject: n.ResolverAddr},
+		Inner: n.Resolver,
+	})
+
 	n.ResolverRtr.AddDefaultRoute(n.Border)
 	n.Border.AddRoute(slice24(cfg.PrefixV4, 0), n.ResolverRtr)
 	return n
@@ -202,6 +216,23 @@ func (n *Network) AddSegment(mb *MiddleboxSpec) *Segment {
 		for i, rule := range mb.Rules {
 			seg.Router.NAT.AddDNAT(n.dnatRule(seg, i, rule))
 		}
+		switch mb.Encrypted {
+		case dnsserver.EncBlock:
+			seg.Router.AddInputFilter(func(pkt netsim.Packet) (bool, string) {
+				if encryptedDNS(pkt) {
+					return true, "middlebox blocks encrypted DNS"
+				}
+				return false, ""
+			})
+		case dnsserver.EncTerminate:
+			seg.Router.NAT.AddDNAT(netsim.DNATRule{
+				Name: fmt.Sprintf("as%d-seg%d-enc-terminate", n.Config.ASN, seg.Index),
+				Match: func(pkt netsim.Packet) bool {
+					return encryptedDNS(pkt) && pkt.Dst.Addr() != n.ResolverAddr
+				},
+				To: netip.AddrPortFrom(n.ResolverAddr, netsim.PortDoT),
+			})
+		}
 		if mb.InterceptBogons {
 			seg.Router.NAT.AddDNAT(netsim.DNATRule{
 				Name: fmt.Sprintf("as%d-seg%d-bogons", n.Config.ASN, seg.Index),
@@ -215,6 +246,15 @@ func (n *Network) AddSegment(mb *MiddleboxSpec) *Segment {
 	}
 	n.segments = append(n.segments, seg)
 	return seg
+}
+
+// encryptedDNS matches DoT/DoH stream traffic.
+func encryptedDNS(pkt netsim.Packet) bool {
+	if pkt.Proto != netsim.TCP {
+		return false
+	}
+	p := pkt.Dst.Port()
+	return p == netsim.PortDoT || p == netsim.PortDoH
 }
 
 // dnatRule compiles a MiddleboxRule to a netsim DNAT rule. Regular rules

@@ -151,6 +151,11 @@ type ExchangeOptions struct {
 	// TTL overrides the initial hop limit; 0 means DefaultTTL. The
 	// TTL-ladder localization extension uses small values here.
 	TTL int
+	// Proto overrides the transport protocol; the zero value means UDP.
+	// Encrypted stream sessions (stream.go) exchange their frames over
+	// TCP, which keeps them invisible to the UDP-gated interception
+	// rules and the UDP-gated fault plane alike.
+	Proto Proto
 }
 
 // Exchange sends one datagram to dst and drains every response that
@@ -170,11 +175,15 @@ func (h *Host) Exchange(n *Network, dst netip.AddrPort, payload []byte, opts Exc
 	if ttl == 0 {
 		ttl = DefaultTTL
 	}
+	proto := opts.Proto
+	if proto == 0 {
+		proto = UDP
+	}
 	port := h.ephemeralPort()
 	pkt := Packet{
 		Src:     netip.AddrPortFrom(src, port),
 		Dst:     dst,
-		Proto:   UDP,
+		Proto:   proto,
 		TTL:     ttl,
 		Payload: payload,
 		SentAt:  n.Now(),

@@ -24,13 +24,16 @@ import (
 	"time"
 )
 
-// Proto is a transport protocol number. Only UDP is modeled; DNS
-// interception of the kind the paper studies is a UDP phenomenon.
+// Proto is a transport protocol number. Port-53 DNS interception of the
+// kind the paper studies is a UDP phenomenon; TCP carries the modeled
+// encrypted stream sessions (DoT/DoH, see stream.go), which is exactly
+// why the UDP-gated interception rules never touch them.
 type Proto uint8
 
 // Protocols.
 const (
 	ICMP Proto = 1
+	TCP  Proto = 6
 	UDP  Proto = 17
 )
 
@@ -39,6 +42,8 @@ func (p Proto) String() string {
 	switch p {
 	case UDP:
 		return "udp"
+	case TCP:
+		return "tcp"
 	case ICMP:
 		return "icmp"
 	default:
@@ -72,6 +77,13 @@ type Packet struct {
 	// their originals, so the copies roll independent fault fates at
 	// later hops. Zero on every originated packet.
 	FaultSalt uint8
+	// Enc marks a packet as belonging to an encrypted stream session:
+	// zero for plaintext, else the session's ALPN code (ALPNDoT/ALPNDoH).
+	// A stream endpoint stamps it on the inner request it hands its
+	// backing service, and ServiceCtx.Reply copies it request-to-response,
+	// so even a service that answers asynchronously (a forwarder waiting
+	// on its upstream) returns the response inside the client's session.
+	Enc uint8
 	// ArrivedAt is stamped by the receiving host on final delivery.
 	ArrivedAt time.Duration
 }

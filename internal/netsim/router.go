@@ -65,6 +65,7 @@ func (sc *ServiceCtx) Reply(to Packet, payload []byte) {
 		TTL:     DefaultTTL,
 		Payload: payload,
 		SentAt:  to.SentAt,
+		Enc:     to.Enc,
 	})
 }
 
@@ -120,6 +121,12 @@ type Router struct {
 	// Invalidated with the lengths whenever the table changes.
 	cache4 lookupCache
 	cache6 lookupCache
+
+	// inputFilters veto arriving packets before any PREROUTING
+	// processing — the INPUT/FORWARD drop rules of an iptables firewall.
+	// A middlebox that blocks encrypted DNS to force a downgrade (the
+	// XDRI "block" behavior) installs one matching TCP 853/443.
+	inputFilters []func(Packet) (drop bool, why string)
 
 	// core, when set, shares this router's forwarding table across
 	// worlds (see routingcore.go). The recorder keeps local tables and
@@ -232,6 +239,13 @@ func (r *Router) BoundService(addr netip.Addr, port uint16) (Service, bool) {
 	}
 	s, ok := r.services[port]
 	return s, ok
+}
+
+// AddInputFilter installs a drop rule evaluated on every packet this
+// router receives, before conntrack and DNAT. Dropped packets vanish;
+// the sender observes a timeout, as with a real silent firewall DROP.
+func (r *Router) AddInputFilter(f func(Packet) (drop bool, why string)) {
+	r.inputFilters = append(r.inputFilters, f)
 }
 
 // AddRoute appends a forwarding entry.
@@ -392,6 +406,15 @@ func sortedLengthsDesc(table map[int]map[netip.Prefix]*Route) []int {
 
 // Receive implements Device: the netfilter-ordered pipeline.
 func (r *Router) Receive(ctx *Ctx, pkt Packet) {
+	// Firewall drop rules run first: a blocked packet never reaches
+	// conntrack or NAT.
+	for _, f := range r.inputFilters {
+		if drop, why := f(pkt); drop {
+			ctx.Drop(pkt, why)
+			return
+		}
+	}
+
 	// PREROUTING, conntrack reversal: replies of tracked flows get their
 	// addresses restored before any routing decision. ICMP errors about
 	// masqueraded flows are re-addressed to the original LAN host.

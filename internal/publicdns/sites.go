@@ -7,6 +7,7 @@ import (
 
 	"github.com/dnswatch/dnsloc/internal/dnsserver"
 	"github.com/dnswatch/dnsloc/internal/dnswire"
+	"github.com/dnswatch/dnsloc/internal/dotsim"
 	"github.com/dnswatch/dnsloc/internal/netsim"
 )
 
@@ -196,5 +197,16 @@ func (s Site) Build(rootHints ...netip.Addr) (*netsim.Router, *dnsserver.Recursi
 	res.Persona = s.persona()
 	res.Hook = s.hook()
 	router.Bind(53, res)
+
+	// The operator terminates DoT (853) and DoH (443) itself, with a
+	// certificate that authenticates whichever anycast address the
+	// client dialed — the real deployments all serve both.
+	ep := &dnsserver.StreamEndpoint{
+		Cert:        dotsim.Certificate{Trusted: true},
+		SelfSubject: true,
+		Inner:       res,
+	}
+	router.Bind(netsim.PortDoT, ep)
+	router.Bind(netsim.PortDoH, ep)
 	return router, res
 }

@@ -87,4 +87,13 @@ func (w *World) installSignals() {
 			return certOracle{region: pr.Region}
 		}
 	}
+	if w.Spec.Encryption != nil {
+		// Upgraded stubs encrypt only toward the public operators' known
+		// anycast addresses; the CPE version.bind step and the bogon
+		// probes stay Do53, like a real stub with a DoT upstream.
+		w.Platform.EncryptedUpgrade = func(a netip.Addr) bool {
+			_, ok := publicdns.ByAddr(a)
+			return ok
+		}
+	}
 }

@@ -13,10 +13,13 @@
 package study
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 
 	"github.com/dnswatch/dnsloc/internal/atlas"
 	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnsserver"
 	"github.com/dnswatch/dnsloc/internal/netsim"
 	"github.com/dnswatch/dnsloc/internal/publicdns"
 )
@@ -158,6 +161,46 @@ type Spec struct {
 	// nil check. Exists for the metrics-overhead A/B measurement
 	// (EXPERIMENTS.md); production runs leave it false.
 	DisableMetrics bool
+
+	// Encryption, when non-nil, turns on the encrypted-transport plane:
+	// an Adoption fraction of probes upgrade their stub transport, and
+	// every interceptor in the world treats the encrypted channel
+	// according to Policy. Nil keeps the all-Do53 world.
+	Encryption *Encryption
+}
+
+// Encryption parameterizes the DoT/DoH adoption sweep: how much of the
+// fleet encrypts, with which client profile, and what the middleboxes
+// do about it.
+type Encryption struct {
+	// Adoption is the fraction of probes whose stub resolver upgrades
+	// to Transport. Per-probe adoption is a pure hash of (Seed, probe
+	// ID), so it is identical on every shard and lane.
+	Adoption float64
+	// Transport is the upgraded probes' client mode.
+	Transport core.TransportMode
+	// Policy is how interception points (intercepting CPEs, ISP
+	// middleboxes, transit interceptors) treat encrypted DNS flows.
+	Policy dnsserver.EncryptedPolicy
+}
+
+// adopts reports whether a probe upgrades its transport under the
+// spec's encryption model.
+func (s Spec) adopts(probeID int) bool {
+	e := s.Encryption
+	if e == nil || e.Adoption <= 0 || !e.Transport.Encrypted() {
+		return false
+	}
+	if e.Adoption >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(s.Seed))
+	binary.LittleEndian.PutUint64(b[8:], uint64(probeID))
+	h.Write(b[:])
+	// Top 53 bits give a uniform [0,1) with exact float64 semantics.
+	return float64(h.Sum64()>>11)/float64(1<<53) < e.Adoption
 }
 
 // Shorthands for patterns.

@@ -11,8 +11,10 @@ import (
 
 	"github.com/dnswatch/dnsloc/internal/atlas"
 	"github.com/dnswatch/dnsloc/internal/backbone"
+	"github.com/dnswatch/dnsloc/internal/core"
 	"github.com/dnswatch/dnsloc/internal/cpe"
 	"github.com/dnswatch/dnsloc/internal/dnsserver"
+	"github.com/dnswatch/dnsloc/internal/dotsim"
 	"github.com/dnswatch/dnsloc/internal/geo"
 	"github.com/dnswatch/dnsloc/internal/isp"
 	"github.com/dnswatch/dnsloc/internal/metrics"
@@ -182,6 +184,47 @@ func (w *World) buildTransitInterceptors() {
 			},
 			To: netip.AddrPortFrom(resolverAddr, 53),
 		})
+
+		// The encrypted plane: a transit interceptor on the path of its
+		// seats applies the spec's policy to DoT/DoH flows too. Matching
+		// is per-seat-pattern, like the Do53 DNAT above.
+		if e := w.Spec.Encryption; e != nil {
+			matchEnc := func(pkt netsim.Packet) bool {
+				if pkt.Proto != netsim.TCP || pkt.IsIPv6() {
+					return false
+				}
+				if p := pkt.Dst.Port(); p != netsim.PortDoT && p != netsim.PortDoH {
+					return false
+				}
+				if pkt.Dst.Addr() == resolverAddr {
+					return false
+				}
+				pat, ok := seatSet[pkt.Src.Addr()]
+				if !ok {
+					return false
+				}
+				return pat.matchesV4(pkt.Dst.Addr())
+			}
+			switch e.Policy {
+			case dnsserver.EncBlock:
+				regional.AddInputFilter(func(pkt netsim.Packet) (bool, string) {
+					if matchEnc(pkt) {
+						return true, "transit interceptor blocks encrypted DNS"
+					}
+					return false, ""
+				})
+			case dnsserver.EncTerminate:
+				rtr.BindOn(resolverAddr, netsim.PortDoT, &dnsserver.StreamEndpoint{
+					Cert:  dotsim.Certificate{Subject: resolverAddr}, // untrusted
+					Inner: res,
+				})
+				regional.NAT.AddDNAT(netsim.DNATRule{
+					Name:  fmt.Sprintf("transit-enc-terminate-%s", region),
+					Match: matchEnc,
+					To:    netip.AddrPortFrom(resolverAddr, netsim.PortDoT),
+				})
+			}
+		}
 	}
 }
 
@@ -646,6 +689,9 @@ func (w *World) populateOrgPlan(plan *orgPlan) orgPopulation {
 // middleboxSpec compiles a seat's interception into middlebox rules.
 func (w *World) middleboxSpec(s *seat) *isp.MiddleboxSpec {
 	mb := &isp.MiddleboxSpec{InterceptBogons: s.Loc == LocISP}
+	if e := w.Spec.Encryption; e != nil {
+		mb.Encrypted = e.Policy
+	}
 	if !s.v4None {
 		switch {
 		case s.Refuse == RefuseSubset:
@@ -677,6 +723,13 @@ func (w *World) buildProbe(network *isp.Network, seg *isp.Segment, plan *orgPlan
 	org, region, s := plan.org, plan.region, pp.seat
 	hasV6, avail := pp.hasV6, pp.avail
 
+	// Transport adoption is a pure (seed, ID) hash, so stub and real
+	// builds of the same probe agree on it across shards and lanes.
+	enc := core.TransportDo53
+	if w.Spec.adopts(id) {
+		enc = w.Spec.Encryption.Transport
+	}
+
 	// Every probe consumes a home allocation, stub or not: AllocHome is
 	// pure address arithmetic, and burning it unconditionally keeps WAN
 	// addresses identical to the unsharded build. The fault plane hashes
@@ -700,6 +753,7 @@ func (w *World) buildProbe(network *isp.Network, seg *isp.Segment, plan *orgPlan
 			HasIPv6:      hasV6,
 			WANv4:        home.WANv4,
 			Availability: avail,
+			EncTransport: enc,
 		})
 		return
 	}
@@ -732,6 +786,11 @@ func (w *World) buildProbe(network *isp.Network, seg *isp.Segment, plan *orgPlan
 			truth.Persona = s.Persona
 			cfg.Persona = dnsserver.ChaosPersona{Version: s.Persona}
 			cfg.Adversary = w.adversaryFor(region)
+			if e := w.Spec.Encryption; e != nil {
+				// Only intercepting CPEs police the encrypted channel;
+				// clean homes' CPEs pass it through untouched.
+				cfg.Encrypted = e.Policy
+			}
 			if s.PatternV4 == nil {
 				cfg.Intercept.AllV4 = true
 			} else {
@@ -767,6 +826,7 @@ func (w *World) buildProbe(network *isp.Network, seg *isp.Segment, plan *orgPlan
 		Host:         host,
 		Availability: avail,
 		Truth:        truth,
+		EncTransport: enc,
 	})
 }
 

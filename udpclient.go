@@ -52,6 +52,27 @@ func NewUDPClient(timeout time.Duration) *UDPClient {
 	return &UDPClient{Timeout: timeout, Window: 150 * time.Millisecond}
 }
 
+// classifyUDPError maps a UDP socket error onto the detector's error
+// taxonomy. Refusal (ICMP port-unreachable) and deadline expiry are
+// the transient cases retry logic cares about; unreachable networks
+// and hosts — and any other hard socket error — mean the path itself
+// is gone, which retrying the same socket cannot fix.
+func classifyUDPError(err error) error {
+	switch {
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return core.ErrRefused
+	case errors.Is(err, syscall.ENETUNREACH),
+		errors.Is(err, syscall.EHOSTUNREACH),
+		errors.Is(err, syscall.EADDRNOTAVAIL):
+		return core.ErrNoRoute
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return core.ErrTimeout
+	}
+	return core.ErrNoRoute
+}
+
 // Exchange implements Client over a real UDP socket.
 func (c *UDPClient) Exchange(server netip.AddrPort, query *dnswire.Message) ([]*dnswire.Message, error) {
 	resps, _, err := c.ExchangeRTT(server, query)
@@ -110,21 +131,35 @@ func (c *UDPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 		}
 		start := time.Now()
 		if _, err := conn.Write(payload); err != nil {
-			if errors.Is(err, syscall.ECONNREFUSED) {
+			switch cerr := classifyUDPError(err); cerr {
+			case core.ErrRefused:
 				// A prior attempt's ICMP port-unreachable surfaces on the
 				// connected socket: transient, worth the remaining tries.
 				sawRefused = true
-			} else {
-				return nil, 0, err
+			case core.ErrTimeout:
+				// Deadline already spent; the read below ends the attempt.
+			default:
+				return nil, 0, cerr
 			}
 		}
+	readLoop:
 		for {
 			n, err := conn.Read(buf)
 			if err != nil {
-				if errors.Is(err, syscall.ECONNREFUSED) {
+				switch classifyUDPError(err) {
+				case core.ErrRefused:
 					sawRefused = true
+				case core.ErrTimeout:
+					// Attempt deadline; fall through to the retry logic.
+				default:
+					// Hard path failure (network/host unreachable): no
+					// further attempt on this socket can succeed.
+					if len(out) == 0 {
+						c.Metrics.noteAttempt(time.Since(start))
+						return nil, 0, core.ErrNoRoute
+					}
 				}
-				break // attempt over: deadline or refusal
+				break readLoop // attempt over: deadline or refusal
 			}
 			m, perr := dnswire.Unpack(buf[:n])
 			if perr != nil || m.Header.ID != query.Header.ID {
@@ -139,13 +174,18 @@ func (c *UDPClient) ExchangeRTT(server netip.AddrPort, query *dnswire.Message) (
 				c.Metrics.noteAttempt(rtt)
 				return out, rtt, nil
 			}
-			// Shrink the deadline to the replication window.
+			// Re-aim the deadline at the replication window: a replica is
+			// due within Window of the first answer even when that falls
+			// past the attempt deadline — only the overall timeout caps
+			// the wait. (Clipping the window to the attempt deadline used
+			// to silently drop late replicas.)
 			w := time.Now().Add(c.Window)
-			if w.Before(attemptEnd) {
-				if err := conn.SetDeadline(w); err != nil {
-					c.Metrics.noteAttempt(rtt)
-					return out, rtt, nil
-				}
+			if w.After(overall) {
+				w = overall
+			}
+			if err := conn.SetDeadline(w); err != nil {
+				c.Metrics.noteAttempt(rtt)
+				return out, rtt, nil
 			}
 		}
 		if len(out) > 0 {

@@ -1,0 +1,196 @@
+package dnsloc_test
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	dnsloc "github.com/dnswatch/dnsloc"
+	"github.com/dnswatch/dnsloc/internal/core"
+	"github.com/dnswatch/dnsloc/internal/dnswire"
+)
+
+// Live-socket error-classification matrix: the same failure scenarios
+// exercised through every real transport (UDP, TCP, and the
+// truncation-fallback composite), pinning that each classifies into
+// the detector's taxonomy instead of leaking raw syscall errors or
+// collapsing into ErrTimeout. All servers are real kernel sockets.
+
+// garbageUDPServer answers every query with bytes that are not DNS.
+func garbageUDPServer(t *testing.T) netip.AddrPort {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			_, from, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			conn.WriteToUDP([]byte{0xde, 0xad, 0xbe}, from) //nolint:errcheck
+		}
+	}()
+	return conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// truncatingUDPServer answers with the query echoed back, TC bit set,
+// and no answers — the "retry over TCP" signal.
+func truncatingUDPServer(t *testing.T) netip.AddrPort {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, from, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			query, perr := dnswire.Unpack(buf[:n])
+			if perr != nil {
+				continue
+			}
+			resp := dnswire.NewResponse(query, dnswire.RCodeSuccess)
+			resp.Header.Truncated = true
+			if wire, err := resp.Pack(); err == nil {
+				conn.WriteToUDP(wire, from) //nolint:errcheck
+			}
+		}
+	}()
+	return conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// closedUDPPort reserves a loopback UDP port and closes it so datagrams
+// draw an ICMP port-unreachable.
+func closedUDPPort(t *testing.T) netip.AddrPort {
+	t.Helper()
+	rsv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrPort := rsv.LocalAddr().(*net.UDPAddr).AddrPort()
+	rsv.Close()
+	return addrPort
+}
+
+// TestTransportErrorMatrix runs the refused / garbage / silent-timeout
+// scenarios through each real transport. Truncation rows assert the
+// transport-specific contract: the raw UDP client surfaces the TC bit,
+// the fallback client must not (it retries over TCP, and with no TCP
+// listener behind this server the composite classifies as refused).
+func TestTransportErrorMatrix(t *testing.T) {
+	const timeout = 500 * time.Millisecond
+	newUDP := func() core.Client { return dnsloc.NewUDPClient(timeout) }
+	newTCP := func() core.Client { return &dnsloc.TCPClient{Timeout: timeout} }
+	newFB := func() core.Client { return dnsloc.NewFallbackClient(timeout) }
+
+	cases := []struct {
+		name   string
+		client func() core.Client
+		server func(*testing.T) netip.AddrPort
+		want   error
+	}{
+		{"udp/refused", newUDP, closedUDPPort, core.ErrRefused},
+		{"udp/garbage", newUDP, garbageUDPServer, core.ErrGarbage},
+		{"udp/timeout", newUDP, func(t *testing.T) netip.AddrPort {
+			srv := startDroppyDNS(t, 1<<30)
+			t.Cleanup(srv.close)
+			return srv.addrPort
+		}, core.ErrTimeout},
+		{"tcp/refused", newTCP, closedLoopbackPort, core.ErrRefused},
+		{"tcp/garbage", newTCP, func(t *testing.T) netip.AddrPort {
+			return misbehavingTCP(t, func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 512)
+				conn.Read(buf)                             //nolint:errcheck
+				conn.Write([]byte{0x00, 0x03, 0xde, 0xad}) //nolint:errcheck
+			})
+		}, core.ErrGarbage},
+		{"tcp/timeout", newTCP, func(t *testing.T) netip.AddrPort {
+			block := make(chan struct{})
+			t.Cleanup(func() { close(block) })
+			return misbehavingTCP(t, func(conn net.Conn) {
+				defer conn.Close()
+				<-block
+			})
+		}, core.ErrTimeout},
+		{"fallback/refused", newFB, closedUDPPort, core.ErrRefused},
+		{"fallback/garbage", newFB, garbageUDPServer, core.ErrGarbage},
+		{"fallback/timeout", newFB, func(t *testing.T) netip.AddrPort {
+			srv := startDroppyDNS(t, 1<<30)
+			t.Cleanup(srv.close)
+			return srv.addrPort
+		}, core.ErrTimeout},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			addr := tc.server(t)
+			_, err := tc.client().Exchange(addr, dnsloc.NewVersionBindQuery(51))
+			if !errors.Is(err, tc.want) {
+				t.Errorf("%s = %v, want %v", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestUDPClientTruncatedAnswerSurfacesTCBit: the raw UDP client hands
+// back the truncated answer rather than classifying it as an error —
+// deciding to fall back is the FallbackClient's job.
+func TestUDPClientTruncatedAnswerSurfacesTCBit(t *testing.T) {
+	addr := truncatingUDPServer(t)
+	c := dnsloc.NewUDPClient(500 * time.Millisecond)
+	c.Window = 0
+	resps, err := c.Exchange(addr, dnsloc.NewVersionBindQuery(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resps[0].Header.Truncated {
+		t.Error("truncated answer lost its TC bit")
+	}
+}
+
+// TestUDPClientUnreachableIsNoRouteNotRetried: a destination the kernel
+// has no route to must classify as core.ErrNoRoute — permanent — and
+// fail the exchange on the first attempt instead of burning the retry
+// schedule on a path that cannot work. (The regression: unreachable
+// errors on the read path collapsed into ErrTimeout and were retried.)
+// The scenario needs a kernel that actually refuses the destination, so
+// it skips on hosts that route the IPv6 discard prefix.
+func TestUDPClientUnreachableIsNoRouteNotRetried(t *testing.T) {
+	target := netip.AddrPortFrom(netip.MustParseAddr("100::1"), 53)
+	if probe, err := net.DialUDP("udp", nil, net.UDPAddrFromAddrPort(target)); err == nil {
+		_, werr := probe.Write([]byte{0})
+		probe.Close()
+		if werr == nil {
+			t.Skip("kernel routes the IPv6 discard prefix; no unreachable error to classify")
+		}
+	}
+
+	c := dnsloc.NewUDPClient(5 * time.Second)
+	c.Retry = &core.RetryPolicy{
+		MaxAttempts:    4,
+		AttemptTimeout: time.Second,
+		Backoff:        500 * time.Millisecond,
+		JitterSeed:     7,
+	}
+	start := time.Now()
+	_, _, err := c.ExchangeRTT(target, dnsloc.NewVersionBindQuery(53))
+	elapsed := time.Since(start)
+	if !errors.Is(err, core.ErrNoRoute) {
+		t.Fatalf("unreachable destination = %v, want core.ErrNoRoute", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("exchange took %v; a permanent no-route error must not consume the retry schedule", elapsed)
+	}
+}

@@ -1,0 +1,45 @@
+package dnsloc
+
+import (
+	"errors"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+
+	"github.com/dnswatch/dnsloc/internal/core"
+)
+
+// udpOpErr wraps a syscall errno the way the net package surfaces it on
+// a connected UDP socket, so the classifier sees realistic error chains.
+func udpOpErr(op string, errno syscall.Errno) error {
+	return &net.OpError{Op: op, Net: "udp", Err: os.NewSyscallError(op, errno)}
+}
+
+// TestClassifyUDPError pins the UDP socket-error classification the
+// retry policy depends on. The regression it guards: unreachable
+// networks and hosts used to fall through the refusal check and either
+// collapse into ErrTimeout (read path) or escape raw (write path), so
+// the detector retried a path that could never work and callers saw
+// unclassified syscall errors.
+func TestClassifyUDPError(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"refused", udpOpErr("write", syscall.ECONNREFUSED), core.ErrRefused},
+		{"refused-on-read", udpOpErr("read", syscall.ECONNREFUSED), core.ErrRefused},
+		{"net-unreachable", udpOpErr("write", syscall.ENETUNREACH), core.ErrNoRoute},
+		{"host-unreachable", udpOpErr("write", syscall.EHOSTUNREACH), core.ErrNoRoute},
+		{"addr-not-avail", udpOpErr("write", syscall.EADDRNOTAVAIL), core.ErrNoRoute},
+		{"net-unreachable-on-read", udpOpErr("read", syscall.ENETUNREACH), core.ErrNoRoute},
+		{"deadline", &net.OpError{Op: "read", Net: "udp", Err: os.ErrDeadlineExceeded}, core.ErrTimeout},
+		{"unknown", errors.New("socket: too many open files"), core.ErrNoRoute},
+	}
+	for _, tc := range cases {
+		if got := classifyUDPError(tc.err); !errors.Is(got, tc.want) {
+			t.Errorf("%s: classifyUDPError(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}

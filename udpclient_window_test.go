@@ -165,6 +165,85 @@ func TestUDPClientWindowCollectsReplicasAfterRetransmit(t *testing.T) {
 	}
 }
 
+// TestUDPClientWindowOutlivesAttemptDeadline is the regression for the
+// window-clipping bug: the post-answer replication window used to be
+// capped at the current attempt's deadline, so a replica arriving
+// inside the window but after that deadline was silently dropped. The
+// window must extend listening to min(overall timeout, now+Window).
+func TestUDPClientWindowOutlivesAttemptDeadline(t *testing.T) {
+	srv := startDelayedReplicaDNS(t, 400*time.Millisecond)
+	defer srv.close()
+
+	c := dnsloc.NewUDPClient(2 * time.Second)
+	c.Window = 500 * time.Millisecond
+	c.Retry = &core.RetryPolicy{
+		MaxAttempts:    2,
+		AttemptTimeout: 300 * time.Millisecond, // expires before the replica lands
+		Backoff:        5 * time.Millisecond,
+		JitterSeed:     7,
+	}
+	resps, _, err := c.ExchangeRTT(srv.addrPort, dnsloc.NewVersionBindQuery(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Errorf("collected %d responses, want 2 — the replica arrived inside the window but past the attempt deadline", len(resps))
+	}
+	if got := srv.datagrams(); got != 1 {
+		t.Errorf("server saw %d datagrams, want 1 — the first answer must suppress retransmission", got)
+	}
+}
+
+// delayedReplicaDNS answers each query immediately, then sends an
+// identical replica after a fixed delay — the shape of an interceptor
+// racing a distant genuine resolver.
+type delayedReplicaDNS struct {
+	*droppyDNS
+}
+
+func startDelayedReplicaDNS(t *testing.T, delay time.Duration) *delayedReplicaDNS {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &delayedReplicaDNS{droppyDNS: &droppyDNS{
+		conn:     conn,
+		addrPort: conn.LocalAddr().(*net.UDPAddr).AddrPort(),
+		done:     make(chan struct{}),
+	}}
+	go s.serveDelayed(delay)
+	return s
+}
+
+func (s *delayedReplicaDNS) serveDelayed(delay time.Duration) {
+	defer close(s.done)
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.arrived++
+		s.mu.Unlock()
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue
+		}
+		resp := dnswire.NewTXTResponse(query, "delayed-replica")
+		payload, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		s.conn.WriteToUDP(payload, from) //nolint:errcheck
+		go func(p []byte, dst *net.UDPAddr) {
+			time.Sleep(delay)
+			s.conn.WriteToUDP(p, dst) //nolint:errcheck
+		}(append([]byte(nil), payload...), from)
+	}
+}
+
 // dropReplicatingDNS swallows the first drop datagrams, then answers
 // each query replicas times — loss in front of a replicated-answer path
 // (the combination replication_test.go's fixture doesn't cover), over a
